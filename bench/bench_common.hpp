@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared scaffolding for the experiment harnesses in bench/. Each binary
+// reproduces one table/figure/claim from the paper (see DESIGN.md §4 and
+// EXPERIMENTS.md) and prints its results through util::Table so the output
+// of `for b in build/bench/*; do $b; done` is uniform and diffable.
+//
+// Common flags (every harness): --reps=N, --seed=S, --csv=path.csv,
+// --quick (shrink the sweep for smoke runs).
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace crmd::bench {
+
+/// Flags shared by every harness.
+struct CommonArgs {
+  int reps;
+  std::uint64_t seed;
+  std::string csv;
+  bool quick;
+};
+
+/// Parses the shared flags with harness-specific defaults.
+inline CommonArgs parse_common(const util::Args& args, int default_reps,
+                               std::uint64_t default_seed = 1) {
+  CommonArgs c;
+  c.quick = args.get_bool("quick", false);
+  c.reps = static_cast<int>(args.get_int("reps", default_reps));
+  if (c.quick) {
+    c.reps = std::max(1, c.reps / 4);
+  }
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", default_seed));
+  c.csv = args.get("csv", "");
+  return c;
+}
+
+/// Prints the table (and saves CSV when requested). `header` names the
+/// experiment and its paper anchor.
+inline void emit(const util::Table& table, const std::string& header,
+                 const CommonArgs& common) {
+  table.print(std::cout, header);
+  if (!common.csv.empty()) {
+    if (table.save_csv(common.csv)) {
+      std::cout << "(csv written to " << common.csv << ")\n";
+    } else {
+      std::cout << "(FAILED to write csv to " << common.csv << ")\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace crmd::bench

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark): raw simulator throughput, RNG, the
+// feasibility checkers, tracker stepping, estimation updates, and trimming.
+// These gate performance regressions; they reproduce no paper claim.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/aloha.hpp"
+#include "core/aligned/estimation.hpp"
+#include "core/aligned/tracker.hpp"
+#include "core/params.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/feasibility.hpp"
+#include "workload/generators.hpp"
+#include "workload/trim.hpp"
+
+namespace {
+
+using namespace crmd;
+
+void BM_RngU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli(0.3));
+  }
+}
+BENCHMARK(BM_RngBernoulli);
+
+void BM_RngBelow(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+// Simulator slots/second with k concurrent ALOHA jobs.
+void BM_SimulatorAloha(benchmark::State& state) {
+  const auto jobs = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto instance = workload::gen_batch(jobs, 1 << 12, 0);
+    sim::SimConfig config;
+    config.seed = 7;
+    sim::Simulation sim(instance, baselines::make_aloha_factory(0.01),
+                        config);
+    state.ResumeTiming();
+    const auto result = sim.finish();
+    benchmark::DoNotOptimize(result.metrics.slots_simulated);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 12));
+}
+BENCHMARK(BM_SimulatorAloha)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EdfFeasible(benchmark::State& state) {
+  util::Rng rng(3);
+  workload::GeneralConfig config;
+  config.min_window = 1 << 8;
+  config.max_window = 1 << 12;
+  config.gamma = 1.0 / 8;
+  config.horizon = 1 << 15;
+  const auto instance = workload::gen_general(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::edf_feasible(instance, 8));
+  }
+  state.SetLabel(std::to_string(instance.size()) + " jobs");
+}
+BENCHMARK(BM_EdfFeasible);
+
+void BM_TrackerStep(benchmark::State& state) {
+  core::Params p;
+  p.lambda = 2;
+  p.tau = 8;
+  core::aligned::Tracker tracker(p, 8, 14);
+  Slot t = 0;
+  for (auto _ : state) {
+    tracker.begin_slot(t);
+    tracker.end_slot(sim::SlotOutcome::kSilence);
+    ++t;
+  }
+}
+BENCHMARK(BM_TrackerStep);
+
+void BM_EstimationRecord(benchmark::State& state) {
+  core::Params p;
+  p.lambda = 4;
+  for (auto _ : state) {
+    core::aligned::EstimationState est(p, 16);
+    while (!est.complete()) {
+      est.record(sim::SlotOutcome::kSilence);
+    }
+    benchmark::DoNotOptimize(est.estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * p.estimation_steps(16));
+}
+BENCHMARK(BM_EstimationRecord);
+
+void BM_Trimmed(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const Slot r = rng.range(0, 1 << 30);
+    const Slot w = rng.range(1, 1 << 20);
+    benchmark::DoNotOptimize(workload::trimmed(r, r + w));
+  }
+}
+BENCHMARK(BM_Trimmed);
+
+void BM_GenAligned(benchmark::State& state) {
+  workload::AlignedConfig config;
+  config.min_class = 9;
+  config.max_class = 13;
+  config.gamma = 1.0 / 16;
+  config.horizon = 1 << 15;
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::gen_aligned(config, rng));
+  }
+}
+BENCHMARK(BM_GenAligned);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Industrial real-time traffic: the workload class the paper's introduction
+// motivates (WirelessHART / RT-Link style periodic sensor flows, §1).
+//
+// A plant runs 16 periodic sensor flows (every reading must reach the
+// controller before the next one is taken). Occasionally an alarm burst of
+// urgent messages with tight deadlines arrives. The example compares
+// PUNCTUAL (deadline-aware) against classic binary exponential backoff on
+// the same traffic and prints per-category deadline compliance.
+
+#include <iostream>
+
+#include "baselines/beb.hpp"
+#include "core/punctual/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/feasibility.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace crmd;
+
+struct Outcome {
+  std::int64_t periodic_ok = 0;
+  std::int64_t periodic_total = 0;
+  std::int64_t alarm_ok = 0;
+  std::int64_t alarm_total = 0;
+};
+
+Outcome evaluate(const workload::Instance& instance,
+                 const sim::ProtocolFactory& factory, Slot alarm_window,
+                 std::uint64_t seed) {
+  sim::SimConfig config;
+  config.seed = seed;
+  const auto result = sim::run(instance, factory, config);
+  Outcome out;
+  for (const auto& job : result.jobs) {
+    if (job.window() == alarm_window) {
+      ++out.alarm_total;
+      out.alarm_ok += job.success ? 1 : 0;
+    } else {
+      ++out.periodic_total;
+      out.periodic_ok += job.success ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Slot horizon = 1 << 16;
+  const Slot alarm_window = 1 << 10;
+
+  // Periodic flows: power-of-two periods, implicit deadlines, thinned to a
+  // comfortable density (gamma = 1/32 slack guarantee).
+  util::Rng rng(2026);
+  const auto flows = workload::gen_periodic_flows(
+      /*count=*/16, /*min_period=*/1 << 11, /*max_period=*/1 << 14,
+      /*gamma=*/1.0 / 32, /*fill=*/0.8, rng);
+  workload::Instance traffic = workload::gen_periodic(flows, horizon);
+
+  // Alarm bursts: 6 urgent messages, three times, each with a tight
+  // 1024-slot delivery window.
+  for (const Slot burst_at : {Slot{9000}, Slot{30000}, Slot{51000}}) {
+    traffic = workload::merge(
+        traffic, workload::gen_batch(6, alarm_window, burst_at));
+  }
+
+  std::cout << "industrial traffic: " << flows.size() << " periodic flows + "
+            << "3 alarm bursts = " << traffic.size() << " messages over "
+            << horizon << " slots\n";
+  std::cout << "gamma-slack: feasible up to "
+            << workload::max_inflation(traffic) << "-slot messages\n\n";
+
+  core::Params params;
+  params.lambda = 4;
+  const auto punctual = core::punctual::make_punctual_factory(params);
+  const auto beb = baselines::make_beb_factory();
+
+  util::Table table({"protocol", "periodic delivered", "alarms delivered"});
+  const Outcome p = evaluate(traffic, punctual, alarm_window, 7);
+  const Outcome b = evaluate(traffic, beb, alarm_window, 7);
+  auto frac = [](std::int64_t ok, std::int64_t total) {
+    return util::fmt(
+               total == 0 ? 1.0
+                          : static_cast<double>(ok) /
+                                static_cast<double>(total),
+               3) +
+           " (" + std::to_string(ok) + "/" + std::to_string(total) + ")";
+  };
+  table.add_row({"punctual", frac(p.periodic_ok, p.periodic_total),
+                 frac(p.alarm_ok, p.alarm_total)});
+  table.add_row({"beb", frac(b.periodic_ok, b.periodic_total),
+                 frac(b.alarm_ok, b.alarm_total)});
+  table.print(std::cout, "deadline compliance");
+  std::cout << "\nBEB drains queues fast under light load but has no notion "
+               "of deadlines;\nPUNCTUAL spends channel time on coordination "
+               "but its behaviour is governed\nby the windows themselves "
+               "(see bench_protocol_comparison for the full sweep).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Jamming resilience (§3, "Jamming"): ALIGNED keeps delivering when an
+// adversary turns slots into noise with probability p_jam <= 1/2 — even an
+// adversary that reads message contents and targets specific protocol
+// stages.
+//
+// The example sweeps three adversaries across jamming strengths on one
+// sensor batch and prints the delivery matrix (the analyzed regime is the
+// left half; the right half shows where the guarantee erodes).
+
+#include <iostream>
+#include <vector>
+
+#include "core/aligned/protocol.hpp"
+#include "sim/jammer.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace crmd;
+
+  const int level = 13;
+  const std::int64_t batch = 56;
+
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = level;
+  const auto factory = core::aligned::make_aligned_factory(params);
+
+  const std::vector<double> strengths{0.0, 0.25, 0.5, 0.75};
+  util::Table table({"adversary", "p=0.00", "p=0.25", "p=0.50", "p=0.75"});
+
+  struct Adversary {
+    const char* name;
+    std::unique_ptr<sim::Jammer> (*make)(double);
+  };
+  const Adversary adversaries[] = {
+      {"reactive (jams successes)",
+       +[](double p) { return sim::make_reactive_jammer(p); }},
+      {"estimation-targeted",
+       +[](double p) { return sim::make_control_jammer(p); }},
+      {"data-targeted",
+       +[](double p) { return sim::make_data_jammer(p); }},
+  };
+
+  for (const auto& adv : adversaries) {
+    std::vector<std::string> row{adv.name};
+    for (const double p_jam : strengths) {
+      std::int64_t ok = 0;
+      std::int64_t total = 0;
+      for (int rep = 0; rep < 10; ++rep) {
+        sim::SimConfig config;
+        config.seed = 100 + static_cast<std::uint64_t>(rep);
+        const auto result =
+            sim::run(workload::gen_batch(batch, Slot{1} << level, 0),
+                     factory, config, adv.make(p_jam));
+        ok += result.successes();
+        total += static_cast<std::int64_t>(result.jobs.size());
+      }
+      row.push_back(util::fmt(
+          static_cast<double>(ok) / static_cast<double>(total), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, "delivery rate: batch of 56, window 2^13");
+  std::cout << "\nThe paper analyzes p_jam <= 1/2 (Lemma 8/13); delivery "
+               "holds across the\nanalyzed regime for all three adversaries "
+               "and only erodes beyond it.\n";
+  return 0;
+}

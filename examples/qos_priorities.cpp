@@ -1,0 +1,81 @@
+// Deadlines as priorities (§1: "deadlines capture a notion of priority and,
+// in turn, address starvation and fairness").
+//
+// Three QoS tiers share one channel, encoded purely as window sizes:
+//   voice  — 1024-slot windows (tight latency budget),
+//   video  — 4096-slot windows,
+//   bulk   — 16384-slot windows (elastic).
+// ALIGNED's pecking order automatically prioritizes the tighter tiers: the
+// example prints per-tier delivery and latency, showing voice finishing
+// first without any explicit priority field.
+
+#include <iostream>
+#include <map>
+
+#include "core/aligned/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace crmd;
+
+  const int voice_class = 10;  // 2^10 slots
+  const int video_class = 12;
+  const int bulk_class = 14;
+
+  // One bulk window's worth of traffic: bulk transfers at t=0, video
+  // sessions in each 4096-window, voice calls in each 1024-window.
+  workload::Instance traffic = workload::gen_batch(12, 1 << bulk_class, 0);
+  for (int i = 0; i < 4; ++i) {
+    traffic = workload::merge(
+        traffic,
+        workload::gen_batch(6, 1 << video_class, i * (1 << video_class)));
+  }
+  for (int i = 0; i < 16; ++i) {
+    traffic = workload::merge(
+        traffic,
+        workload::gen_batch(2, 1 << voice_class, i * (1 << voice_class)));
+  }
+
+  core::Params params;
+  params.lambda = 1;
+  params.tau = 4;
+  params.min_class = voice_class;
+  const auto factory = core::aligned::make_aligned_factory(params);
+
+  sim::SimConfig config;
+  config.seed = 11;
+  const auto result = sim::run(traffic, factory, config);
+
+  std::map<Slot, std::pair<util::SuccessCounter, util::RunningStats>> tiers;
+  for (const auto& job : result.jobs) {
+    auto& [delivered, latency] = tiers[job.window()];
+    delivered.add(job.success);
+    if (job.success) {
+      latency.add(static_cast<double>(job.latency()));
+    }
+  }
+
+  util::Table table({"tier", "window", "delivered", "mean latency",
+                     "max latency", "latency/window"});
+  const auto tier_name = [&](Slot w) {
+    return w == (1 << voice_class)   ? "voice"
+           : w == (1 << video_class) ? "video"
+                                     : "bulk";
+  };
+  for (const auto& [w, stats] : tiers) {
+    const auto& [delivered, latency] = stats;
+    table.add_row({tier_name(w), util::fmt_count(w),
+                   util::fmt(delivered.rate(), 3),
+                   util::fmt(latency.mean(), 0),
+                   util::fmt(latency.max(), 0),
+                   util::fmt(latency.mean() / static_cast<double>(w), 3)});
+  }
+  table.print(std::cout, "QoS tiers under ALIGNED's pecking order");
+  std::cout << "\nSmaller windows preempt larger ones (critical times, §3): "
+               "voice completes\nwithin a fraction of its budget while bulk "
+               "absorbs the remaining slots.\n";
+  return 0;
+}

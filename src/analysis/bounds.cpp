@@ -1,0 +1,55 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+namespace crmd::analysis {
+
+double success_prob_lower(double contention) noexcept {
+  return contention * std::exp(-2.0 * contention);
+}
+
+double success_prob_upper(double contention) noexcept {
+  return 2.0 * contention * std::exp(-contention);
+}
+
+double success_prob_exact(std::span<const double> probs) {
+  // sum_i p_i * prod_{j != i} (1 - p_j), computed in O(n) via the total
+  // silent product and per-term division, falling back to the O(n^2) form
+  // when some p_i == 1 would divide by zero.
+  double all_silent = 1.0;
+  bool has_one = false;
+  for (const double p : probs) {
+    if (p >= 1.0) {
+      has_one = true;
+    }
+    all_silent *= (1.0 - p);
+  }
+  if (!has_one) {
+    double total = 0.0;
+    for (const double p : probs) {
+      total += p * all_silent / (1.0 - p);
+    }
+    return total;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    double term = probs[i];
+    for (std::size_t j = 0; j < probs.size(); ++j) {
+      if (j != i) {
+        term *= (1.0 - probs[j]);
+      }
+    }
+    total += term;
+  }
+  return total;
+}
+
+double silence_prob_exact(std::span<const double> probs) {
+  double silent = 1.0;
+  for (const double p : probs) {
+    silent *= (1.0 - p);
+  }
+  return silent;
+}
+
+}  // namespace crmd::analysis

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+/// \file bounds.hpp
+/// The contention bounds of §2.1 (Lemma 2 / Corollary 3): when every job
+/// transmits with probability at most 1/2, the per-slot success probability
+/// p_suc satisfies  C/e^{2C} <= p_suc <= 2C/e^C  where C is the slot's
+/// contention (sum of transmission probabilities). Experiment E2 measures
+/// empirical p_suc against these envelopes.
+
+namespace crmd::analysis {
+
+/// Lower envelope C/e^{2C}.
+[[nodiscard]] double success_prob_lower(double contention) noexcept;
+
+/// Upper envelope 2C/e^C.
+[[nodiscard]] double success_prob_upper(double contention) noexcept;
+
+/// Exact success probability for independent transmitters with the given
+/// probabilities: sum_i p_i * prod_{j != i} (1 - p_j).
+[[nodiscard]] double success_prob_exact(std::span<const double> probs);
+
+/// Probability that the slot is silent: prod_i (1 - p_i).
+[[nodiscard]] double silence_prob_exact(std::span<const double> probs);
+
+}  // namespace crmd::analysis

@@ -1,0 +1,22 @@
+#include "analysis/outcomes.hpp"
+
+namespace crmd::analysis {
+
+void OutcomeAggregator::add_run(const sim::SimResult& result) {
+  for (const auto& job : result.jobs) {
+    add_job(job);
+  }
+}
+
+void OutcomeAggregator::add_job(const sim::JobResult& job) {
+  overall_.add(job.success);
+  accesses_.add(static_cast<double>(job.transmissions));
+  WindowBucket& bucket = by_window_[job.window()];
+  bucket.deadline_met.add(job.success);
+  bucket.accesses.add(static_cast<double>(job.transmissions));
+  if (job.success) {
+    bucket.latency.add(static_cast<double>(job.latency()));
+  }
+}
+
+}  // namespace crmd::analysis

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+/// \file outcomes.hpp
+/// Aggregation of per-job outcomes across replications, keyed by window
+/// size — the paper's guarantees are all "with high probability in the
+/// window size", so every experiment reports per-window-size success rates.
+
+namespace crmd::analysis {
+
+/// Per-window-size outcome bucket.
+struct WindowBucket {
+  util::SuccessCounter deadline_met;
+  /// Latency (slots from release to delivery) of successful jobs.
+  util::RunningStats latency;
+  /// Channel accesses (transmissions) per job — the energy metric.
+  util::RunningStats accesses;
+};
+
+/// Accumulates job outcomes from any number of runs.
+class OutcomeAggregator {
+ public:
+  /// Adds every job of a run.
+  void add_run(const sim::SimResult& result);
+
+  /// Adds a single job outcome.
+  void add_job(const sim::JobResult& job);
+
+  /// Overall deadline-met counter.
+  [[nodiscard]] const util::SuccessCounter& overall() const noexcept {
+    return overall_;
+  }
+
+  /// Outcome buckets keyed by exact window size (ascending).
+  [[nodiscard]] const std::map<Slot, WindowBucket>& by_window()
+      const noexcept {
+    return by_window_;
+  }
+
+  /// Total jobs seen.
+  [[nodiscard]] std::uint64_t jobs() const noexcept {
+    return overall_.trials();
+  }
+
+  /// Channel accesses per job across all window sizes.
+  [[nodiscard]] const util::RunningStats& accesses() const noexcept {
+    return accesses_;
+  }
+
+ private:
+  util::SuccessCounter overall_;
+  std::map<Slot, WindowBucket> by_window_;
+  util::RunningStats accesses_;
+};
+
+}  // namespace crmd::analysis

@@ -1,0 +1,50 @@
+#include "analysis/runner.hpp"
+
+namespace crmd::analysis {
+
+ReplicationReport run_replications(const InstanceGen& gen,
+                                   const sim::ProtocolFactory& factory,
+                                   int reps, std::uint64_t base_seed,
+                                   const JammerGen& jammer_gen) {
+  ReplicationReport report;
+  const util::Rng master(base_seed);
+  for (int rep = 0; rep < reps; ++rep) {
+    util::Rng rep_rng =
+        master.child(0x5245504CULL /* "REPL" */ + static_cast<unsigned>(rep));
+    workload::Instance instance = gen(rep_rng);
+    report.jobs_per_rep.add(static_cast<double>(instance.size()));
+    if (instance.empty()) {
+      ++report.replications;
+      continue;
+    }
+    sim::SimConfig config;
+    config.seed = rep_rng.next_u64();
+    std::unique_ptr<sim::Jammer> jammer;
+    if (jammer_gen) {
+      jammer = jammer_gen(rep_rng.child(0x4A414DULL /* "JAM" */));
+    }
+    sim::SimResult result =
+        sim::run(std::move(instance), factory, config, std::move(jammer));
+    report.outcomes.add_run(result);
+    merge_metrics(report.channel, result.metrics);
+    ++report.replications;
+  }
+  return report;
+}
+
+void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from) {
+  into.slots_simulated += from.slots_simulated;
+  into.slots_skipped += from.slots_skipped;
+  into.silent_slots += from.silent_slots;
+  into.success_slots += from.success_slots;
+  into.noise_slots += from.noise_slots;
+  into.jammed_slots += from.jammed_slots;
+  into.data_successes += from.data_successes;
+  into.control_successes += from.control_successes;
+  into.start_successes += from.start_successes;
+  into.claim_successes += from.claim_successes;
+  into.timekeeper_successes += from.timekeeper_successes;
+  into.contention.merge(from.contention);
+}
+
+}  // namespace crmd::analysis

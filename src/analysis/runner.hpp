@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "analysis/outcomes.hpp"
+#include "sim/jammer.hpp"
+#include "sim/simulator.hpp"
+#include "workload/instance.hpp"
+
+/// \file runner.hpp
+/// Replication driver shared by every experiment harness: generate an
+/// instance per replication (seeded deterministically), simulate it, and
+/// aggregate outcomes. Keeps all bench binaries' seed management identical
+/// and reproducible.
+
+namespace crmd::analysis {
+
+/// Builds the instance for replication `rep` (seeds derive from it).
+using InstanceGen = std::function<workload::Instance(util::Rng& rng)>;
+
+/// Builds a fresh adversary per replication; may return null (no jamming).
+using JammerGen = std::function<std::unique_ptr<sim::Jammer>(util::Rng rng)>;
+
+/// Everything a replication sweep accumulates.
+struct ReplicationReport {
+  OutcomeAggregator outcomes;
+  /// Channel metrics summed over all replications.
+  sim::SimMetrics channel;
+  /// Number of replications executed.
+  int replications = 0;
+  /// Jobs per replication (for sanity reporting).
+  util::RunningStats jobs_per_rep;
+};
+
+/// Runs `reps` replications of (generate instance, simulate, aggregate).
+/// Replication r uses the deterministic seed child(base_seed, r) for both
+/// generation and simulation, so reports are exactly reproducible.
+[[nodiscard]] ReplicationReport run_replications(
+    const InstanceGen& gen, const sim::ProtocolFactory& factory, int reps,
+    std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr);
+
+/// Merges channel metrics (helper for custom harness loops).
+void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from);
+
+}  // namespace crmd::analysis

@@ -1,0 +1,46 @@
+#include "baselines/aloha.hpp"
+
+#include <algorithm>
+
+namespace crmd::baselines {
+
+AlohaProtocol::AlohaProtocol(double p, util::Rng rng) : p_(p), rng_(rng) {}
+
+void AlohaProtocol::on_activate(const sim::JobInfo& info) { info_ = info; }
+
+sim::SlotAction AlohaProtocol::on_slot(const sim::SlotView& /*view*/) {
+  sim::SlotAction action;
+  transmitted_ = false;
+  action.declared_prob = p_;
+  if (rng_.bernoulli(p_)) {
+    action.transmit = true;
+    action.message = sim::make_data(info_.id);
+    transmitted_ = true;
+  }
+  return action;
+}
+
+void AlohaProtocol::on_feedback(const sim::SlotView& /*view*/,
+                                const sim::SlotFeedback& fb) {
+  if (transmitted_ && fb.outcome == sim::SlotOutcome::kSuccess) {
+    succeeded_ = true;
+  }
+}
+
+bool AlohaProtocol::done() const { return succeeded_; }
+
+sim::ProtocolFactory make_aloha_factory(double p) {
+  return [p](const sim::JobInfo& /*info*/, util::Rng rng) {
+    return std::make_unique<AlohaProtocol>(p, rng);
+  };
+}
+
+sim::ProtocolFactory make_aloha_window_factory(double scale) {
+  return [scale](const sim::JobInfo& info, util::Rng rng) {
+    const double p =
+        std::min(0.5, scale / static_cast<double>(info.window()));
+    return std::make_unique<AlohaProtocol>(p, rng);
+  };
+}
+
+}  // namespace crmd::baselines

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "sim/protocol.hpp"
+
+/// \file beb.hpp
+/// Windowed binary exponential backoff — the classic contention-resolution
+/// algorithm (Metcalfe–Boggs Ethernet [72]; IEEE 802.11 uses the same
+/// shape). The paper's introduction singles BEB out as the algorithm whose
+/// starvation behaviour motivates deadlines: a job picks a uniformly random
+/// slot in its current backoff window, doubles the window after every
+/// collision (up to a cap), and retries until it succeeds — with no regard
+/// for its deadline. Implemented here as the deadline-agnostic baseline
+/// for E13.
+
+namespace crmd::baselines {
+
+/// Backoff shape parameters.
+struct BebConfig {
+  /// Initial contention-window size (slots).
+  std::int64_t cw_min = 8;
+  /// Maximum contention-window size; 0 means uncapped doubling.
+  std::int64_t cw_max = 1 << 16;
+};
+
+/// Per-job windowed binary exponential backoff.
+class BebProtocol final : public sim::Protocol {
+ public:
+  BebProtocol(const BebConfig& config, util::Rng rng);
+
+  void on_activate(const sim::JobInfo& info) override;
+  sim::SlotAction on_slot(const sim::SlotView& view) override;
+  void on_feedback(const sim::SlotView& view,
+                   const sim::SlotFeedback& fb) override;
+  [[nodiscard]] bool done() const override;
+
+  /// Collisions suffered so far (test hook).
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+ private:
+  void schedule_attempt(Slot from);
+
+  BebConfig config_;
+  util::Rng rng_;
+  sim::JobInfo info_;
+  int failures_ = 0;
+  Slot window_begin_ = 0;
+  Slot window_len_ = 0;
+  Slot attempt_slot_ = 0;  // since-release
+  bool transmitted_ = false;
+  bool succeeded_ = false;
+};
+
+/// Factory adapter for the simulator.
+[[nodiscard]] sim::ProtocolFactory make_beb_factory(BebConfig config = {});
+
+}  // namespace crmd::baselines

@@ -1,0 +1,78 @@
+#include "baselines/edf.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace crmd::baselines {
+
+std::vector<sim::JobResult> edf_schedule(workload::Instance instance) {
+  instance.normalize();
+  const auto n = instance.jobs.size();
+
+  std::vector<sim::JobResult> results(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i].id = static_cast<JobId>(i);
+    results[i].release = instance.jobs[i].release;
+    results[i].deadline = instance.jobs[i].deadline;
+    results[i].success = false;
+    results[i].success_slot = kNoSlot;
+  }
+  if (n == 0) {
+    return results;
+  }
+
+  struct Entry {
+    Slot deadline;
+    Slot release;
+    JobId id;
+    bool operator>(const Entry& other) const {
+      if (deadline != other.deadline) {
+        return deadline > other.deadline;
+      }
+      if (release != other.release) {
+        return release > other.release;
+      }
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+
+  std::size_t next = 0;
+  Slot t = instance.jobs.front().release;
+  while (next < n || !ready.empty()) {
+    if (ready.empty()) {
+      t = std::max(t, instance.jobs[next].release);
+    }
+    while (next < n && instance.jobs[next].release <= t) {
+      ready.push(Entry{instance.jobs[next].deadline,
+                       instance.jobs[next].release,
+                       static_cast<JobId>(next)});
+      ++next;
+    }
+    // Drop expired jobs (unit length: a job needs one slot before its
+    // deadline).
+    while (!ready.empty() && ready.top().deadline <= t) {
+      ready.pop();  // missed — result already marked failure
+    }
+    if (ready.empty()) {
+      continue;
+    }
+    const Entry e = ready.top();
+    ready.pop();
+    results[e.id].success = true;
+    results[e.id].success_slot = t;
+    ++t;
+  }
+  return results;
+}
+
+std::int64_t edf_successes(const workload::Instance& instance) {
+  const auto results = edf_schedule(instance);
+  std::int64_t count = 0;
+  for (const auto& r : results) {
+    count += r.success ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace crmd::baselines

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "workload/instance.hpp"
+
+/// \file edf.hpp
+/// Centralized earliest-deadline-first reference scheduler.
+///
+/// EDF is optimal for unit jobs with release times and deadlines on one
+/// channel, so its outcome is the information-theoretic ceiling every
+/// distributed protocol is measured against in the comparison experiments:
+/// on a feasible instance EDF delivers *every* message (and on infeasible
+/// ones it delivers a maximal prefix in the EDF order). This is not a
+/// channel protocol — it assumes an omniscient scheduler — which is
+/// exactly its role as a baseline.
+
+namespace crmd::baselines {
+
+/// Simulates centralized EDF: at each slot, transmit the live job with the
+/// earliest deadline (ties by release, then id). Returns one JobResult per
+/// job in instance order (ids are instance indices after normalization).
+[[nodiscard]] std::vector<sim::JobResult> edf_schedule(
+    workload::Instance instance);
+
+/// Convenience: the number of jobs EDF delivers by their deadlines.
+[[nodiscard]] std::int64_t edf_successes(const workload::Instance& instance);
+
+}  // namespace crmd::baselines

@@ -1,0 +1,61 @@
+#include "baselines/sawtooth.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace crmd::baselines {
+
+SawtoothProtocol::SawtoothProtocol(util::Rng rng) : rng_(rng) {}
+
+void SawtoothProtocol::on_activate(const sim::JobInfo& info) {
+  info_ = info;
+  epoch_ = 1;
+  phase_ = 1;
+  phase_remaining_ = util::pow2(phase_);
+}
+
+void SawtoothProtocol::advance() {
+  if (--phase_remaining_ > 0) {
+    return;
+  }
+  if (phase_ > 1) {
+    --phase_;  // next tooth: smaller window, higher probability
+  } else {
+    ++epoch_;  // epoch done: restart the sweep one size larger
+    phase_ = epoch_;
+  }
+  phase_remaining_ = util::pow2(std::min(phase_, 40));
+}
+
+sim::SlotAction SawtoothProtocol::on_slot(const sim::SlotView& /*view*/) {
+  sim::SlotAction action;
+  transmitted_ = false;
+  const double p = std::ldexp(1.0, -phase_);  // 2^-phase
+  action.declared_prob = p;
+  if (rng_.bernoulli(p)) {
+    action.transmit = true;
+    action.message = sim::make_data(info_.id);
+    transmitted_ = true;
+  }
+  return action;
+}
+
+void SawtoothProtocol::on_feedback(const sim::SlotView& /*view*/,
+                                   const sim::SlotFeedback& fb) {
+  if (transmitted_ && fb.outcome == sim::SlotOutcome::kSuccess) {
+    succeeded_ = true;
+    return;
+  }
+  advance();
+}
+
+bool SawtoothProtocol::done() const { return succeeded_; }
+
+sim::ProtocolFactory make_sawtooth_factory() {
+  return [](const sim::JobInfo& /*info*/, util::Rng rng) {
+    return std::make_unique<SawtoothProtocol>(rng);
+  };
+}
+
+}  // namespace crmd::baselines

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "sim/protocol.hpp"
+
+/// \file sawtooth.hpp
+/// Sawtooth backoff — the non-monotone backoff that achieves asymptotically
+/// optimal makespan for batch instances ([8, 45, 52] in the paper; windowed
+/// monotone backoff like BEB provably does not [13]). The paper cites it as
+/// the state of the art for throughput-style guarantees; like BEB it is
+/// deadline-agnostic, so it serves as the stronger throughput baseline in
+/// E13.
+///
+/// Shape: epochs i = 1, 2, 3, …; epoch i sweeps phases j = i, i-1, …, 1
+/// where phase j spans 2^j slots with per-slot transmission probability
+/// 2^-j. Probabilities thus ramp *up* within an epoch (the "teeth"), and
+/// epochs grow so that a batch of any size n is eventually swept by a
+/// phase with X ≈ n.
+
+namespace crmd::baselines {
+
+/// Per-job sawtooth backoff.
+class SawtoothProtocol final : public sim::Protocol {
+ public:
+  explicit SawtoothProtocol(util::Rng rng);
+
+  void on_activate(const sim::JobInfo& info) override;
+  sim::SlotAction on_slot(const sim::SlotView& view) override;
+  void on_feedback(const sim::SlotView& view,
+                   const sim::SlotFeedback& fb) override;
+  [[nodiscard]] bool done() const override;
+
+  /// Current epoch (test hook).
+  [[nodiscard]] int epoch() const noexcept { return epoch_; }
+  /// Current phase within the epoch, counting down (test hook).
+  [[nodiscard]] int phase() const noexcept { return phase_; }
+
+ private:
+  void advance();
+
+  util::Rng rng_;
+  sim::JobInfo info_;
+  int epoch_ = 1;
+  int phase_ = 1;          // counts i, i-1, ..., 1 within epoch i
+  Slot phase_remaining_ = 0;
+  bool transmitted_ = false;
+  bool succeeded_ = false;
+};
+
+/// Factory adapter for the simulator.
+[[nodiscard]] sim::ProtocolFactory make_sawtooth_factory();
+
+}  // namespace crmd::baselines

@@ -1,0 +1,60 @@
+#include "core/aligned/broadcast.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace crmd::core::aligned {
+
+BroadcastSchedule::BroadcastSchedule(const Params& params, int level,
+                                     std::int64_t estimate)
+    : lambda_(params.lambda) {
+  assert(level >= 1);
+  assert(estimate >= 0);
+  if (estimate >= 2) {
+    assert(util::is_pow2(estimate));
+    // Decay phases: subphase lengths n, n/2, ..., 2.
+    for (std::int64_t x = estimate; x >= 2; x /= 2) {
+      lens_.push_back(x);
+    }
+  }
+  if (estimate >= 1) {
+    // ℓ equal phases with subphase length ℓ.
+    for (int i = 0; i < level; ++i) {
+      lens_.push_back(level);
+    }
+  }
+  starts_.reserve(lens_.size());
+  for (const std::int64_t x : lens_) {
+    starts_.push_back(total_);
+    total_ += static_cast<std::int64_t>(lambda_) * x;
+  }
+  assert(total_ == params.broadcast_steps(level, estimate));
+}
+
+BroadcastSchedule::Position BroadcastSchedule::position(
+    std::int64_t step) const {
+  assert(step >= 0 && step < total_);
+  // Binary search for the phase containing `step`.
+  std::size_t lo = 0;
+  std::size_t hi = lens_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (starts_[mid] <= step) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const std::int64_t x = lens_[lo];
+  const std::int64_t within_phase = step - starts_[lo];
+  Position pos;
+  pos.subphase_len = x;
+  pos.offset = within_phase % x;
+  // Subphase id: λ subphases per earlier phase plus the index here.
+  pos.subphase_id =
+      static_cast<std::int64_t>(lo) * lambda_ + within_phase / x;
+  return pos;
+}
+
+}  // namespace crmd::core::aligned

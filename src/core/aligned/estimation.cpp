@@ -1,0 +1,62 @@
+#include "core/aligned/estimation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace crmd::core::aligned {
+
+EstimationState::EstimationState(const Params& params, int level)
+    : level_(level),
+      phase_len_(params.estimation_phase_len(level)),
+      tau_(params.tau),
+      successes_(static_cast<std::size_t>(level), 0) {
+  assert(level >= 1);
+}
+
+bool EstimationState::complete() const noexcept {
+  return steps_ >= phase_len_ * level_;
+}
+
+int EstimationState::current_phase() const noexcept {
+  assert(!complete());
+  return static_cast<int>(steps_ / phase_len_) + 1;
+}
+
+double EstimationState::tx_probability() const noexcept {
+  const int phase = current_phase();
+  return std::ldexp(1.0, -phase);  // 1 / 2^phase
+}
+
+void EstimationState::record(sim::SlotOutcome outcome) {
+  assert(!complete());
+  if (outcome == sim::SlotOutcome::kSuccess) {
+    ++successes_[static_cast<std::size_t>(current_phase() - 1)];
+  }
+  ++steps_;
+}
+
+std::int64_t EstimationState::estimate() const {
+  assert(complete());
+  std::int64_t best_count = 0;
+  int best_phase = 0;  // 0 = no phase saw any success
+  for (int phase = 1; phase <= level_; ++phase) {
+    const std::int64_t count =
+        successes_[static_cast<std::size_t>(phase - 1)];
+    // Strict '>' makes the tie-break "smallest phase with the maximum",
+    // a fixed rule every replica applies identically.
+    if (count > best_count) {
+      best_count = count;
+      best_phase = phase;
+    }
+  }
+  return best_phase == 0 ? 0 : tau_ * util::pow2(best_phase);
+}
+
+std::int64_t EstimationState::phase_successes(int phase) const {
+  assert(phase >= 1 && phase <= level_);
+  return successes_[static_cast<std::size_t>(phase - 1)];
+}
+
+}  // namespace crmd::core::aligned

@@ -1,0 +1,110 @@
+#include "core/aligned/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace crmd::core::aligned {
+
+AlignedProtocol::AlignedProtocol(const Params& params, util::Rng rng)
+    : params_(params), rng_(rng) {}
+
+void AlignedProtocol::on_activate(const sim::JobInfo& info) {
+  const Slot w = info.window();
+  if (!util::is_pow2(w) || info.release % w != 0) {
+    throw std::invalid_argument(
+        "AlignedProtocol requires power-of-2-aligned windows");
+  }
+  info_ = info;
+  level_ = util::floor_log2(w);
+  // Without the pecking order (ablation) a job tracks only its own class
+  // and acts whenever that class is incomplete — nested classes collide.
+  const int min_class =
+      params_.pecking_order ? std::min(params_.min_class, level_) : level_;
+  tracker_ = std::make_unique<Tracker>(params_, min_class, level_);
+}
+
+sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
+  sim::SlotAction action;
+  transmitted_ = false;
+  tracker_->begin_slot(view.global_slot);
+  last_step_.valid = true;
+  last_step_.active_class = tracker_->active_class();
+  last_step_.estimating =
+      last_step_.active_class >= 0 &&
+      tracker_->view(last_step_.active_class).estimating;
+  if (stage_ != Stage::kRunning) {
+    return action;  // defensive; the simulator retires done jobs
+  }
+  if (tracker_->active_class() != level_) {
+    return action;  // a smaller class owns this slot: listen silently
+  }
+
+  const Tracker::ClassView cls = tracker_->view(level_);
+  if (cls.estimating) {
+    const double p = cls.estimation->tx_probability();
+    action.declared_prob = p;
+    if (rng_.bernoulli(p)) {
+      action.transmit = true;
+      action.message = sim::make_control(info_.id);
+      transmitted_ = true;
+      transmitted_data_ = false;
+    }
+    return action;
+  }
+
+  // Broadcast stage: one random slot per subphase.
+  const BroadcastSchedule::Position pos =
+      cls.broadcast->position(cls.broadcast_step);
+  if (pos.subphase_id != current_subphase_) {
+    current_subphase_ = pos.subphase_id;
+    chosen_offset_ =
+        static_cast<std::int64_t>(rng_.below(
+            static_cast<std::uint64_t>(pos.subphase_len)));
+  }
+  action.declared_prob = 1.0 / static_cast<double>(pos.subphase_len);
+  if (pos.offset == chosen_offset_) {
+    action.transmit = true;
+    action.message = sim::make_data(info_.id);
+    transmitted_ = true;
+    transmitted_data_ = true;
+  }
+  return action;
+}
+
+void AlignedProtocol::on_feedback(const sim::SlotView& /*view*/,
+                                  const sim::SlotFeedback& fb) {
+  // A successful *data* transmission completes the job (a lone success is
+  // necessarily the transmitter's own); control-probe successes merely feed
+  // the estimation counts below.
+  if (transmitted_ && transmitted_data_ &&
+      fb.outcome == sim::SlotOutcome::kSuccess) {
+    stage_ = Stage::kSucceeded;
+  }
+  tracker_->end_slot(fb.outcome);
+  if (stage_ == Stage::kRunning && tracker_->view(level_).complete) {
+    // §3 Truncation: the class's algorithm ended and this job did not get
+    // through — it gives up and yields to the larger classes.
+    stage_ = Stage::kGaveUp;
+  }
+}
+
+bool AlignedProtocol::done() const { return stage_ != Stage::kRunning; }
+
+int AlignedProtocol::active_class() const noexcept {
+  return tracker_ ? tracker_->active_class() : -1;
+}
+
+std::int64_t AlignedProtocol::own_estimate() const {
+  return tracker_ ? tracker_->view(level_).estimate : -1;
+}
+
+sim::ProtocolFactory make_aligned_factory(Params params) {
+  params.validate();
+  return [params](const sim::JobInfo& /*info*/, util::Rng rng) {
+    return std::make_unique<AlignedProtocol>(params, rng);
+  };
+}
+
+}  // namespace crmd::core::aligned

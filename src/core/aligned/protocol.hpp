@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+
+#include "core/aligned/tracker.hpp"
+#include "core/params.hpp"
+#include "sim/protocol.hpp"
+
+/// \file protocol.hpp (aligned)
+/// ALIGNED (§3): contention resolution for power-of-2-aligned windows.
+///
+/// Every job tracks the pecking-order schedule (Tracker). When its own
+/// class is the active one it performs the class's next step: during the
+/// estimation stage it transmits a control probe with the phase's
+/// probability; during the broadcast stage it transmits its data message in
+/// one uniformly random slot per subphase. When a smaller class is active
+/// it stays silent and merely listens (passively simulating, per Lemma 7).
+/// If its class's algorithm completes without the job having transmitted
+/// successfully — or the window ends first (truncation) — the job gives up.
+///
+/// Model note: ALIGNED is the one protocol allowed to read the global slot
+/// index, standing in for the synchronization the paper derives from
+/// aligned window boundaries.
+
+namespace crmd::core::aligned {
+
+/// Per-job ALIGNED protocol. Requires the job's window to be a power of
+/// two, aligned at a multiple of its size (throws std::invalid_argument on
+/// activation otherwise).
+class AlignedProtocol final : public sim::Protocol {
+ public:
+  AlignedProtocol(const Params& params, util::Rng rng);
+
+  void on_activate(const sim::JobInfo& info) override;
+  sim::SlotAction on_slot(const sim::SlotView& view) override;
+  void on_feedback(const sim::SlotView& view,
+                   const sim::SlotFeedback& fb) override;
+  [[nodiscard]] bool done() const override;
+
+  // --- inspection hooks (tests and experiment harnesses) -------------------
+
+  /// Lifecycle stage of this job.
+  enum class Stage { kRunning, kSucceeded, kGaveUp };
+  [[nodiscard]] Stage stage() const noexcept { return stage_; }
+
+  /// This job's class ℓ (log2 of its window size).
+  [[nodiscard]] int level() const noexcept { return level_; }
+
+  /// The class this job believes is active (valid after its last on_slot;
+  /// -1 when all tracked classes completed).
+  [[nodiscard]] int active_class() const noexcept;
+
+  /// This job's class estimate n_ℓ; -1 while still estimating.
+  [[nodiscard]] std::int64_t own_estimate() const;
+
+  /// Full tracker access for invariant tests.
+  [[nodiscard]] const Tracker& tracker() const { return *tracker_; }
+
+  /// What the most recent on_slot observed: the active class and whether
+  /// that class was in its estimation stage. Valid after on_slot, for the
+  /// slot it was called in; used by the schedule-rendering harness (E1).
+  struct LastStep {
+    bool valid = false;
+    int active_class = -1;
+    bool estimating = false;
+  };
+  [[nodiscard]] const LastStep& last_step() const noexcept {
+    return last_step_;
+  }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  sim::JobInfo info_;
+  int level_ = 0;
+  std::unique_ptr<Tracker> tracker_;
+  Stage stage_ = Stage::kRunning;
+  bool transmitted_ = false;
+  bool transmitted_data_ = false;
+  std::int64_t current_subphase_ = -1;
+  std::int64_t chosen_offset_ = -1;
+  LastStep last_step_;
+};
+
+/// Factory adapter for the simulator. Validates `params` eagerly.
+[[nodiscard]] sim::ProtocolFactory make_aligned_factory(Params params);
+
+}  // namespace crmd::core::aligned

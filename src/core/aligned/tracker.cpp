@@ -1,0 +1,97 @@
+#include "core/aligned/tracker.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace crmd::core::aligned {
+
+Tracker::Tracker(const Params& params, int min_class, int own_class)
+    : params_(params), min_class_(min_class), own_class_(own_class) {
+  assert(1 <= min_class && min_class <= own_class);
+  classes_.resize(static_cast<std::size_t>(own_class - min_class) + 1);
+}
+
+Tracker::ClassState& Tracker::state(int cls) {
+  assert(cls >= min_class_ && cls <= own_class_);
+  return classes_[static_cast<std::size_t>(cls - min_class_)];
+}
+
+const Tracker::ClassState& Tracker::state(int cls) const {
+  assert(cls >= min_class_ && cls <= own_class_);
+  return classes_[static_cast<std::size_t>(cls - min_class_)];
+}
+
+void Tracker::reset_class(int cls) {
+  ClassState& c = state(cls);
+  c.estimation.emplace(params_, cls);
+  c.broadcast.reset();
+  c.broadcast_step = 0;
+  c.estimate = -1;
+  c.complete = false;
+}
+
+void Tracker::begin_slot(Slot t) {
+  if (!started_) {
+    // The owning job activates at its window start — simultaneously a
+    // boundary for every tracked (smaller) class.
+    assert(t % util::pow2(own_class_) == 0);
+    started_ = true;
+  } else {
+    assert(t == last_slot_ + 1);
+  }
+  last_slot_ = t;
+
+  for (int cls = min_class_; cls <= own_class_; ++cls) {
+    if (t % util::pow2(cls) == 0) {
+      reset_class(cls);
+    }
+  }
+  active_ = -1;
+  for (int cls = min_class_; cls <= own_class_; ++cls) {
+    if (!state(cls).complete) {
+      active_ = cls;
+      break;
+    }
+  }
+}
+
+void Tracker::end_slot(sim::SlotOutcome outcome) {
+  assert(started_);
+  if (active_ == -1) {
+    return;
+  }
+  ClassState& c = state(active_);
+  assert(!c.complete);
+  if (c.estimation.has_value()) {
+    c.estimation->record(outcome);
+    if (c.estimation->complete()) {
+      c.estimate = c.estimation->estimate();
+      c.broadcast.emplace(params_, active_, c.estimate);
+      c.estimation.reset();
+      if (c.broadcast->total_steps() == 0) {
+        c.complete = true;  // believed-empty class: nothing to broadcast
+      }
+    }
+    return;
+  }
+  assert(c.broadcast.has_value());
+  ++c.broadcast_step;
+  if (c.broadcast_step >= c.broadcast->total_steps()) {
+    c.complete = true;
+  }
+}
+
+Tracker::ClassView Tracker::view(int cls) const {
+  const ClassState& c = state(cls);
+  ClassView v;
+  v.estimating = c.estimation.has_value();
+  v.estimation = c.estimation.has_value() ? &*c.estimation : nullptr;
+  v.broadcast = c.broadcast.has_value() ? &*c.broadcast : nullptr;
+  v.broadcast_step = c.broadcast_step;
+  v.estimate = c.estimate;
+  v.complete = c.complete;
+  return v;
+}
+
+}  // namespace crmd::core::aligned

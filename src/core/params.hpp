@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+/// \file params.hpp
+/// The protocol constants the paper leaves symbolic.
+///
+/// The paper writes λ for "a parameter that affects the failure
+/// probability" (each occurrence tunable, one symbol used for simplicity),
+/// fixes τ = 64 in the proof of Lemma 8, and needs "sufficiently small" γ.
+/// All of them — plus the slingshot/anarchist exponents of §4 — live here
+/// so experiments can sweep them. Defaults are chosen to be *runnable at
+/// laptop scale* (the proof-grade constants would need astronomically large
+/// windows); EXPERIMENTS.md quantifies the resulting constants-vs-
+/// asymptotics gap.
+
+namespace crmd::core {
+
+/// All tunable constants for UNIFORM, ALIGNED and PUNCTUAL.
+struct Params {
+  // --- shared -------------------------------------------------------------
+
+  /// λ: repetition parameter. Estimation phases have λℓ steps, broadcast
+  /// phases λ subphases, the slingshot runs λ·polylog election slots, and
+  /// anarchists transmit with probability λ·log(w)/w.
+  int lambda = 2;
+
+  /// Global cap on any single transmission probability. Lemma 2 assumes no
+  /// job sends with probability above 1/2 (round-start markers, which are
+  /// deliberate collisions, are exempt).
+  double max_tx_prob = 0.5;
+
+  // --- UNIFORM (§2) ---------------------------------------------------------
+
+  /// Number of uniformly random slots each UNIFORM job transmits in (the
+  /// paper's Θ(1)).
+  int uniform_attempts = 1;
+
+  // --- ALIGNED (§3) ---------------------------------------------------------
+
+  /// τ: the estimate is τ·2^j for the best phase j; τ = 64 per Lemma 8's
+  /// proof. Must be a power of two so estimates stay powers of two.
+  std::int64_t tau = 64;
+
+  /// ℓ_min: the smallest job class the pecking order tracks; equivalently
+  /// the protocol-wide promise that every window has size >= 2^min_class
+  /// (the paper's w_0 >= 1/γ). Classes below this never exist.
+  int min_class = 9;
+
+  /// Ablation (on = paper): defer to smaller job classes (§3's pecking
+  /// order). Off, every class runs its own-window algorithm as if alone,
+  /// so nested classes interfere — the design choice E14d quantifies.
+  bool pecking_order = true;
+
+  // --- PUNCTUAL (§4) --------------------------------------------------------
+
+  /// a: pullback transmission probability is s/(w · (log2 w)^a) per
+  /// election slot. Paper: a = 3.
+  double pullback_prob_log_exp = 3.0;
+
+  /// s: scale on the pullback probability (paper: 1). The paper's claim
+  /// rate only elects leaders at asymptotic window sizes; experiments that
+  /// want to exercise election/handoff at laptop scale raise this (an
+  /// explicit constants-vs-asymptotics knob, reported by every bench that
+  /// uses it).
+  double pullback_prob_scale = 1.0;
+
+  /// b: the pullback stage spans λ·(log2 w)^b election slots. Paper: b = 7
+  /// — far beyond any practical window, so the stage is also capped by
+  /// `pullback_window_frac` below.
+  double pullback_len_log_exp = 7.0;
+
+  /// Cap the pullback stage at this fraction of the job's window (measured
+  /// in rounds) so the protocol always reaches its recheck/anarchist
+  /// decision with most of the window left.
+  double pullback_window_frac = 0.25;
+
+  /// c: anarchists transmit with probability λ·(log2 w)^c / w per anarchy
+  /// slot. Paper: c = 1.
+  double anarchist_log_exp = 1.0;
+
+  /// Windows smaller than this many slots skip the round machinery entirely
+  /// and transmit anarchist-style in every slot (degenerate-window
+  /// fallback; γ-slack instances for sensible γ never trigger it).
+  Slot punctual_min_window = 64;
+
+  /// Extension (off = paper-faithful): a follower whose ALIGNED run
+  /// truncates without success becomes an anarchist for the remainder of
+  /// its window instead of giving up.
+  bool anarchist_fallback_on_truncation = false;
+
+  // --- derived quantities ---------------------------------------------------
+
+  /// T_ℓ = λℓ²: total steps of the size-estimation protocol for class ℓ.
+  [[nodiscard]] std::int64_t estimation_steps(int level) const noexcept;
+
+  /// λℓ: steps per estimation phase for class ℓ.
+  [[nodiscard]] std::int64_t estimation_phase_len(int level) const noexcept;
+
+  /// Active steps of the broadcast stage for class ℓ with estimate n:
+  /// decay phases λn + λn/2 + … + λ·2 (present when n >= 2) followed by ℓ
+  /// equal phases of λℓ (present when n >= 1). Estimate 0 (believed-empty
+  /// class) uses zero broadcast steps.
+  [[nodiscard]] std::int64_t broadcast_steps(int level,
+                                             std::int64_t estimate) const;
+
+  /// Total active steps for class ℓ with estimate n. For n >= 2 this equals
+  /// Lemma 6's 2λ(ℓ² + n − 1).
+  [[nodiscard]] std::int64_t total_steps(int level,
+                                         std::int64_t estimate) const;
+
+  /// Pullback transmission probability for window size w (capped).
+  [[nodiscard]] double pullback_tx_prob(Slot window) const noexcept;
+
+  /// Pullback stage length in election slots for window size w (capped by
+  /// the window fraction).
+  [[nodiscard]] std::int64_t pullback_elections(Slot window) const noexcept;
+
+  /// Anarchist transmission probability for window size w (capped).
+  [[nodiscard]] double anarchist_tx_prob(Slot window) const noexcept;
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+};
+
+}  // namespace crmd::core

@@ -1,0 +1,38 @@
+#include "core/punctual/clock.hpp"
+
+#include <cassert>
+
+namespace crmd::core::punctual {
+
+void RoundClock::sync(Slot anchor) noexcept {
+  assert(anchor >= 0);
+  anchor_ = anchor;
+  synced_ = true;
+}
+
+std::int64_t RoundClock::offset(Slot t) const noexcept {
+  assert(synced_ && t >= anchor_);
+  return (t - anchor_) % kRoundLength;
+}
+
+std::int64_t RoundClock::local_round(Slot t) const noexcept {
+  assert(synced_ && t >= anchor_);
+  return (t - anchor_) / kRoundLength;
+}
+
+void RoundClock::set_frame(std::int64_t leader_time, Slot t) noexcept {
+  frame_base_ = leader_time - local_round(t);
+  frame_known_ = true;
+}
+
+std::int64_t RoundClock::leader_round(Slot t) const noexcept {
+  assert(frame_known_);
+  return local_round(t) + frame_base_;
+}
+
+bool RoundClock::frame_matches(std::int64_t leader_time,
+                               Slot t) const noexcept {
+  return frame_known_ && leader_round(t) == leader_time;
+}
+
+}  // namespace crmd::core::punctual

@@ -1,0 +1,23 @@
+#include "core/punctual/round.hpp"
+
+namespace crmd::core::punctual {
+
+const char* to_string(SlotType type) noexcept {
+  switch (type) {
+    case SlotType::kSync:
+      return "sync";
+    case SlotType::kGuard:
+      return "guard";
+    case SlotType::kTimekeeper:
+      return "timekeeper";
+    case SlotType::kAligned:
+      return "aligned";
+    case SlotType::kLeaderElection:
+      return "leader-election";
+    case SlotType::kAnarchy:
+      return "anarchy";
+  }
+  return "unknown";
+}
+
+}  // namespace crmd::core::punctual

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+/// \file round.hpp
+/// PUNCTUAL's round structure (§4, "Rounds and slots").
+///
+/// Each round packs the four useful slot types — timekeeper, aligned,
+/// leader-election, anarchy — separated by empty guard slots, behind two
+/// leading synchronization slots in which every synced job broadcasts a
+/// start marker. The paper's invariant is that *the only two consecutive
+/// busy slots are the two start slots*, which is what lets an arriving job
+/// lock onto the round grid by listening. The paper's 10-slot layout ends
+/// with the anarchy slot adjacent to the next round's first start slot,
+/// which would break that invariant whenever an anarchist transmits; we
+/// add one trailing guard (11-slot rounds) to restore it. This costs a
+/// 10% constant factor and changes nothing else (documented in DESIGN.md).
+
+namespace crmd::core::punctual {
+
+/// Slots per round.
+inline constexpr int kRoundLength = 11;
+
+/// Role of each slot within a round.
+enum class SlotType : std::uint8_t {
+  kSync,            ///< start-marker slot (offsets 0 and 1); always busy
+  kGuard,           ///< empty separator
+  kTimekeeper,      ///< leader heartbeat / leadership handoffs
+  kAligned,         ///< the embedded ALIGNED protocol's slot
+  kLeaderElection,  ///< SLINGSHOT pullback claims
+  kAnarchy,         ///< release-stage data transmissions
+};
+
+/// Maps an offset within a round (0 .. kRoundLength-1) to its role.
+/// Layout: S S g T g A g L g N g.
+[[nodiscard]] constexpr SlotType slot_type(std::int64_t offset) noexcept {
+  switch (offset) {
+    case 0:
+    case 1:
+      return SlotType::kSync;
+    case 3:
+      return SlotType::kTimekeeper;
+    case 5:
+      return SlotType::kAligned;
+    case 7:
+      return SlotType::kLeaderElection;
+    case 9:
+      return SlotType::kAnarchy;
+    default:
+      return SlotType::kGuard;
+  }
+}
+
+/// Offset of the timekeeper slot within a round.
+inline constexpr std::int64_t kTimekeeperOffset = 3;
+/// Offset of the aligned slot within a round.
+inline constexpr std::int64_t kAlignedOffset = 5;
+/// Offset of the leader-election slot within a round.
+inline constexpr std::int64_t kElectionOffset = 7;
+/// Offset of the anarchy slot within a round.
+inline constexpr std::int64_t kAnarchyOffset = 9;
+
+/// Human-readable slot-type name.
+[[nodiscard]] const char* to_string(SlotType type) noexcept;
+
+}  // namespace crmd::core::punctual

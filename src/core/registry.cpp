@@ -1,0 +1,49 @@
+#include "core/registry.hpp"
+
+#include "baselines/aloha.hpp"
+#include "baselines/beb.hpp"
+#include "baselines/sawtooth.hpp"
+#include "core/aligned/protocol.hpp"
+#include "core/punctual/protocol.hpp"
+#include "core/uniform.hpp"
+
+namespace crmd::core {
+
+std::vector<std::string> protocol_names() {
+  return {"uniform", "aligned", "punctual", "beb", "sawtooth", "aloha"};
+}
+
+bool is_protocol(const std::string& name) {
+  for (const auto& known : protocol_names()) {
+    if (known == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<sim::ProtocolFactory> make_protocol(const std::string& name,
+                                                  const Params& params) {
+  if (name == "uniform") {
+    return make_uniform_factory(params);
+  }
+  if (name == "aligned") {
+    return aligned::make_aligned_factory(params);
+  }
+  if (name == "punctual") {
+    return punctual::make_punctual_factory(params);
+  }
+  if (name == "beb") {
+    return baselines::make_beb_factory();
+  }
+  if (name == "sawtooth") {
+    return baselines::make_sawtooth_factory();
+  }
+  if (name == "aloha") {
+    return baselines::make_aloha_window_factory(
+        static_cast<double>(params.lambda));
+  }
+  return std::nullopt;
+}
+
+}  // namespace crmd::core

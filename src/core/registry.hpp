@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/protocol.hpp"
+
+/// \file registry.hpp
+/// Name-based protocol lookup, so harnesses and the CLI driver can select
+/// algorithms with a flag instead of compile-time wiring.
+///
+/// Registered names:
+///   "uniform"   — UNIFORM (§2)
+///   "aligned"   — ALIGNED (§3; requires power-of-2-aligned windows)
+///   "punctual"  — PUNCTUAL (§4)
+///   "beb"       — binary exponential backoff baseline
+///   "sawtooth"  — sawtooth backoff baseline
+///   "aloha"     — slotted ALOHA with per-window probability scale/window
+///                 (scale from Params::lambda, capped at 1/2)
+
+namespace crmd::core {
+
+/// All registered protocol names, in presentation order.
+[[nodiscard]] std::vector<std::string> protocol_names();
+
+/// True when `name` is registered.
+[[nodiscard]] bool is_protocol(const std::string& name);
+
+/// Builds the factory for `name` with the given constants; std::nullopt
+/// for unknown names. `params` is validated for the protocols that use it.
+[[nodiscard]] std::optional<sim::ProtocolFactory> make_protocol(
+    const std::string& name, const Params& params);
+
+}  // namespace crmd::core

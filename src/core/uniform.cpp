@@ -1,0 +1,62 @@
+#include "core/uniform.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crmd::core {
+
+UniformProtocol::UniformProtocol(const Params& params, util::Rng rng)
+    : params_(params), rng_(rng) {}
+
+void UniformProtocol::on_activate(const sim::JobInfo& info) {
+  info_ = info;
+  const Slot w = info.window();
+  const auto want = std::min<Slot>(params_.uniform_attempts, w);
+  // Sample `want` distinct offsets by rejection (want is tiny).
+  attempts_.clear();
+  while (static_cast<Slot>(attempts_.size()) < want) {
+    const Slot pick = rng_.slot_in(0, w);
+    if (std::find(attempts_.begin(), attempts_.end(), pick) ==
+        attempts_.end()) {
+      attempts_.push_back(pick);
+    }
+  }
+  std::sort(attempts_.begin(), attempts_.end());
+}
+
+sim::SlotAction UniformProtocol::on_slot(const sim::SlotView& view) {
+  sim::SlotAction action;
+  // Contention accounting: a uniformly random choice of `attempts` slots
+  // puts probability attempts/window on each slot a priori.
+  action.declared_prob = static_cast<double>(attempts_.size()) /
+                         static_cast<double>(info_.window());
+  transmitted_this_slot_ = false;
+  if (next_attempt_ < attempts_.size() &&
+      attempts_[next_attempt_] == view.since_release) {
+    ++next_attempt_;
+    action.transmit = true;
+    action.message = sim::make_data(info_.id);
+    transmitted_this_slot_ = true;
+  }
+  return action;
+}
+
+void UniformProtocol::on_feedback(const sim::SlotView& /*view*/,
+                                  const sim::SlotFeedback& fb) {
+  if (transmitted_this_slot_ && fb.outcome == sim::SlotOutcome::kSuccess) {
+    succeeded_ = true;
+  }
+}
+
+bool UniformProtocol::done() const {
+  return succeeded_ || next_attempt_ >= attempts_.size();
+}
+
+sim::ProtocolFactory make_uniform_factory(Params params) {
+  params.validate();
+  return [params](const sim::JobInfo& /*info*/, util::Rng rng) {
+    return std::make_unique<UniformProtocol>(params, rng);
+  };
+}
+
+}  // namespace crmd::core

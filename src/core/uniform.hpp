@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/params.hpp"
+#include "sim/protocol.hpp"
+
+/// \file uniform.hpp
+/// UNIFORM (§2): the natural algorithm — each job transmits its data
+/// message in Θ(1) uniformly random slots of its window (without
+/// replacement) and does nothing else.
+///
+/// The paper proves a dichotomy about it: on γ-slack feasible instances
+/// with γ < 1/6 a constant fraction of all messages succeed w.h.p. in n
+/// (Lemma 4), yet UNIFORM is unfair — instances exist where individual
+/// jobs succeed with probability only O(1/n^Θ(1)) (Lemma 5), and
+/// ironically the small-window (urgent) jobs are the ones that starve.
+
+namespace crmd::core {
+
+/// Per-job UNIFORM protocol. `attempts` copies of the data message are
+/// scheduled in distinct uniformly random slots of the window (fewer when
+/// the window is smaller than the attempt count). The declared per-slot
+/// transmission probability is attempts/window for contention accounting.
+class UniformProtocol final : public sim::Protocol {
+ public:
+  UniformProtocol(const Params& params, util::Rng rng);
+
+  void on_activate(const sim::JobInfo& info) override;
+  sim::SlotAction on_slot(const sim::SlotView& view) override;
+  void on_feedback(const sim::SlotView& view,
+                   const sim::SlotFeedback& fb) override;
+  [[nodiscard]] bool done() const override;
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  sim::JobInfo info_;
+  /// Chosen transmit offsets (since release), sorted ascending.
+  std::vector<Slot> attempts_;
+  std::size_t next_attempt_ = 0;
+  bool transmitted_this_slot_ = false;
+  bool succeeded_ = false;
+};
+
+/// Factory adapter for the simulator.
+[[nodiscard]] sim::ProtocolFactory make_uniform_factory(Params params);
+
+}  // namespace crmd::core

@@ -1,0 +1,30 @@
+#include "sim/channel.hpp"
+
+namespace crmd::sim {
+
+const char* to_string(SlotOutcome outcome) noexcept {
+  switch (outcome) {
+    case SlotOutcome::kSilence:
+      return "silence";
+    case SlotOutcome::kSuccess:
+      return "success";
+    case SlotOutcome::kNoise:
+      return "noise";
+  }
+  return "unknown";
+}
+
+SlotFeedback resolve_slot(std::span<const Transmission> transmissions) {
+  SlotFeedback fb;
+  if (transmissions.empty()) {
+    fb.outcome = SlotOutcome::kSilence;
+  } else if (transmissions.size() == 1) {
+    fb.outcome = SlotOutcome::kSuccess;
+    fb.message = transmissions.front().message;
+  } else {
+    fb.outcome = SlotOutcome::kNoise;
+  }
+  return fb;
+}
+
+}  // namespace crmd::sim

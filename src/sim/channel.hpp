@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+/// \file channel.hpp
+/// The multiple-access channel: slot resolution and ternary feedback.
+///
+/// §1.1 of the paper: in each slot a player may transmit; the transmission
+/// succeeds only if no other player transmits in the same slot. Listening
+/// players receive ternary feedback (collision detection): the slot is
+/// silent, contains one successful broadcast (whose content is delivered),
+/// or is noisy.
+
+namespace crmd::sim {
+
+/// What every listener perceives in a slot.
+enum class SlotOutcome : std::uint8_t {
+  kSilence,  ///< nobody transmitted
+  kSuccess,  ///< exactly one transmission; content delivered to listeners
+  kNoise,    ///< two or more transmissions collided, or the slot was jammed
+};
+
+/// Human-readable name of an outcome.
+[[nodiscard]] const char* to_string(SlotOutcome outcome) noexcept;
+
+/// One job's transmission attempt in a slot.
+struct Transmission {
+  JobId job = kNoJob;
+  Message message;
+};
+
+/// Per-slot feedback delivered to every live job. `message` is engaged iff
+/// `outcome == kSuccess`. Jobs cannot tell noise-from-collision apart from
+/// noise-from-jamming — both are kNoise (the paper's adversary "creates
+/// noise").
+struct SlotFeedback {
+  SlotOutcome outcome = SlotOutcome::kSilence;
+  std::optional<Message> message;
+};
+
+/// Resolves a slot from the set of transmissions: 0 -> silence, 1 ->
+/// success carrying that message, >=2 -> noise. Pure function of the
+/// transmission multiset; jamming is applied afterwards by the simulator.
+[[nodiscard]] SlotFeedback resolve_slot(
+    std::span<const Transmission> transmissions);
+
+}  // namespace crmd::sim

@@ -1,0 +1,80 @@
+#include "sim/jammer.hpp"
+
+namespace crmd::sim {
+namespace {
+
+class BlanketJammer final : public Jammer {
+ public:
+  explicit BlanketJammer(double p) : p_(p) {}
+  bool wants_jam(Slot, SlotOutcome, const Message*) override { return true; }
+  double p_jam() const noexcept override { return p_; }
+
+ private:
+  double p_;
+};
+
+class RandomJammer final : public Jammer {
+ public:
+  RandomJammer(double attempt_rate, double p, util::Rng rng)
+      : attempt_rate_(attempt_rate), p_(p), rng_(rng) {}
+  bool wants_jam(Slot, SlotOutcome, const Message*) override {
+    return rng_.bernoulli(attempt_rate_);
+  }
+  double p_jam() const noexcept override { return p_; }
+
+ private:
+  double attempt_rate_;
+  double p_;
+  util::Rng rng_;
+};
+
+class ReactiveJammer final : public Jammer {
+ public:
+  explicit ReactiveJammer(double p) : p_(p) {}
+  bool wants_jam(Slot, SlotOutcome outcome, const Message*) override {
+    return outcome == SlotOutcome::kSuccess;
+  }
+  double p_jam() const noexcept override { return p_; }
+
+ private:
+  double p_;
+};
+
+class KindJammer final : public Jammer {
+ public:
+  KindJammer(MessageKind kind, double p) : kind_(kind), p_(p) {}
+  bool wants_jam(Slot, SlotOutcome outcome, const Message* msg) override {
+    return outcome == SlotOutcome::kSuccess && msg != nullptr &&
+           msg->kind == kind_;
+  }
+  double p_jam() const noexcept override { return p_; }
+
+ private:
+  MessageKind kind_;
+  double p_;
+};
+
+}  // namespace
+
+std::unique_ptr<Jammer> make_blanket_jammer(double p_jam) {
+  return std::make_unique<BlanketJammer>(p_jam);
+}
+
+std::unique_ptr<Jammer> make_random_jammer(double attempt_rate, double p_jam,
+                                           util::Rng rng) {
+  return std::make_unique<RandomJammer>(attempt_rate, p_jam, rng);
+}
+
+std::unique_ptr<Jammer> make_reactive_jammer(double p_jam) {
+  return std::make_unique<ReactiveJammer>(p_jam);
+}
+
+std::unique_ptr<Jammer> make_control_jammer(double p_jam) {
+  return std::make_unique<KindJammer>(MessageKind::kControl, p_jam);
+}
+
+std::unique_ptr<Jammer> make_data_jammer(double p_jam) {
+  return std::make_unique<KindJammer>(MessageKind::kData, p_jam);
+}
+
+}  // namespace crmd::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/channel.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+/// \file jammer.hpp
+/// The paper's stochastic jamming adversary (§3, "Jamming").
+///
+/// The adversary inspects each slot — including the resolved outcome and
+/// the content of a successful message — and decides whether to attempt to
+/// jam it. An attempted jam succeeds independently with probability
+/// `p_jam`, turning the slot's outcome into noise for every listener.
+/// The paper analyzes ALIGNED under p_jam <= 1/2; the policies below cover
+/// the adversaries its discussion suggests (including one that targets the
+/// estimation protocol to skew the estimate).
+
+namespace crmd::sim {
+
+/// Adversary interface. One instance observes an entire simulation run, so
+/// stateful adversaries are possible.
+class Jammer {
+ public:
+  virtual ~Jammer() = default;
+
+  /// Whether the adversary *attempts* to jam this slot. `slot` is the
+  /// global slot index (the adversary is omniscient), `outcome`/`message`
+  /// describe the slot before jamming (`message` is null unless the outcome
+  /// is a success).
+  [[nodiscard]] virtual bool wants_jam(Slot slot, SlotOutcome outcome,
+                                       const Message* message) = 0;
+
+  /// Success probability of an attempted jam.
+  [[nodiscard]] virtual double p_jam() const noexcept = 0;
+};
+
+/// Jams every slot (attempts always). With p_jam <= 1/2 this is the
+/// densest oblivious adversary the analysis tolerates.
+[[nodiscard]] std::unique_ptr<Jammer> make_blanket_jammer(double p_jam);
+
+/// Attempts to jam each slot independently with probability `attempt_rate`.
+[[nodiscard]] std::unique_ptr<Jammer> make_random_jammer(double attempt_rate,
+                                                         double p_jam,
+                                                         util::Rng rng);
+
+/// Reactive adversary: attempts to jam exactly the slots that would
+/// otherwise contain a successful broadcast — the worst case for protocols
+/// since silence/collisions are already useless.
+[[nodiscard]] std::unique_ptr<Jammer> make_reactive_jammer(double p_jam);
+
+/// Estimation-targeted adversary: jams only successful *control* messages,
+/// attempting to skew ALIGNED's size estimate (the paper notes an adversary
+/// "could conceivably skew the estimate n_l by jamming only some of the
+/// phases during the estimation protocol").
+[[nodiscard]] std::unique_ptr<Jammer> make_control_jammer(double p_jam);
+
+/// Data-targeted adversary: jams only successful *data* messages, letting
+/// estimation run clean but attacking the broadcast stage.
+[[nodiscard]] std::unique_ptr<Jammer> make_data_jammer(double p_jam);
+
+}  // namespace crmd::sim

@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+namespace crmd::sim {
+
+void SimMetrics::record(const SlotRecord& rec) {
+  ++slots_simulated;
+  contention.add(rec.contention);
+  switch (rec.outcome) {
+    case SlotOutcome::kSilence:
+      ++silent_slots;
+      break;
+    case SlotOutcome::kSuccess:
+      ++success_slots;
+      switch (rec.success_kind) {
+        case MessageKind::kData:
+          ++data_successes;
+          break;
+        case MessageKind::kControl:
+          ++control_successes;
+          break;
+        case MessageKind::kStart:
+          ++start_successes;
+          break;
+        case MessageKind::kLeaderClaim:
+          ++claim_successes;
+          break;
+        case MessageKind::kTimekeeper:
+          ++timekeeper_successes;
+          break;
+      }
+      break;
+    case SlotOutcome::kNoise:
+      ++noise_slots;
+      break;
+  }
+  if (rec.jammed) {
+    ++jammed_slots;
+  }
+}
+
+double SimMetrics::data_throughput() const noexcept {
+  return slots_simulated == 0 ? 0.0
+                              : static_cast<double>(data_successes) /
+                                    static_cast<double>(slots_simulated);
+}
+
+std::int64_t SimResult::successes() const noexcept {
+  std::int64_t count = 0;
+  for (const auto& j : jobs) {
+    count += j.success ? 1 : 0;
+  }
+  return count;
+}
+
+double SimResult::success_rate() const noexcept {
+  return jobs.empty() ? 1.0
+                      : static_cast<double>(successes()) /
+                            static_cast<double>(jobs.size());
+}
+
+}  // namespace crmd::sim

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+/// \file metrics.hpp
+/// Aggregated and per-slot measurements collected by the simulator.
+
+namespace crmd::sim {
+
+/// Snapshot of one resolved slot (recorded only when
+/// `SimConfig::record_slots` is on, or streamed to a SlotObserver).
+struct SlotRecord {
+  Slot slot = 0;
+  /// Outcome after jamming — what listeners perceived.
+  SlotOutcome outcome = SlotOutcome::kSilence;
+  /// Kind of the successful message; meaningful iff outcome == kSuccess.
+  MessageKind success_kind = MessageKind::kData;
+  /// §2.1 contention C(t): sum of the declared transmit probabilities of
+  /// all live jobs in this slot.
+  double contention = 0.0;
+  /// Number of jobs that actually transmitted.
+  std::uint32_t transmitters = 0;
+  /// Number of live jobs during the slot.
+  std::uint32_t live_jobs = 0;
+  /// True when the adversary successfully jammed this slot.
+  bool jammed = false;
+};
+
+/// Whole-run channel statistics.
+struct SimMetrics {
+  /// Slots actually resolved (live jobs present).
+  std::int64_t slots_simulated = 0;
+  /// Idle slots skipped by fast-forwarding between arrival bursts.
+  std::int64_t slots_skipped = 0;
+
+  std::int64_t silent_slots = 0;
+  std::int64_t success_slots = 0;
+  std::int64_t noise_slots = 0;
+  /// Slots turned to noise by the adversary (subset of noise_slots).
+  std::int64_t jammed_slots = 0;
+
+  /// Successful messages by kind.
+  std::int64_t data_successes = 0;
+  std::int64_t control_successes = 0;
+  std::int64_t start_successes = 0;
+  std::int64_t claim_successes = 0;
+  std::int64_t timekeeper_successes = 0;
+
+  /// Distribution of per-slot contention across simulated slots.
+  util::RunningStats contention;
+
+  /// Registers one resolved slot.
+  void record(const SlotRecord& rec);
+
+  /// Fraction of simulated slots carrying a successful data message.
+  [[nodiscard]] double data_throughput() const noexcept;
+};
+
+/// Outcome of one job.
+struct JobResult {
+  JobId id = kNoJob;
+  Slot release = 0;
+  Slot deadline = 0;
+  /// True when the job's data message was delivered inside its window.
+  bool success = false;
+  /// Slot of the successful delivery; kNoSlot when the job failed.
+  Slot success_slot = kNoSlot;
+  /// Channel accesses: slots in which the job transmitted anything. The
+  /// energy-complexity literature the paper cites measures protocols by
+  /// exactly this count.
+  std::int64_t transmissions = 0;
+  /// Slots the job spent live (transmitting or listening).
+  std::int64_t live_slots = 0;
+
+  /// Window size.
+  [[nodiscard]] Slot window() const noexcept { return deadline - release; }
+  /// Delivery latency (slots from release to success); only meaningful for
+  /// successful jobs.
+  [[nodiscard]] Slot latency() const noexcept {
+    return success ? success_slot - release + 1 : -1;
+  }
+};
+
+/// Everything a simulation run produces.
+struct SimResult {
+  std::vector<JobResult> jobs;
+  SimMetrics metrics;
+  /// Per-slot trace; empty unless recording was requested.
+  std::vector<SlotRecord> slots;
+
+  /// Number of jobs that met their deadline.
+  [[nodiscard]] std::int64_t successes() const noexcept;
+  /// Fraction of jobs that met their deadline (1.0 for empty runs).
+  [[nodiscard]] double success_rate() const noexcept;
+};
+
+}  // namespace crmd::sim

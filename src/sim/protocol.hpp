@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/channel.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+/// \file protocol.hpp
+/// The per-job protocol interface every algorithm in this library
+/// implements (UNIFORM, ALIGNED, PUNCTUAL, and the baselines).
+///
+/// Model fidelity: a protocol instance is the *local* program of one job.
+/// It sees only (a) how many slots have elapsed since its own release, (b)
+/// the channel feedback of each slot while it is live, and (c) its own
+/// window size. It has no job identifier it may act on and no global clock
+/// — with one sanctioned exception: §3's ALIGNED analysis assumes
+/// power-of-2-aligned windows whose boundaries provide implicit
+/// synchronization, which we surface as the global slot index in
+/// `SlotView::global_slot`. PUNCTUAL never reads it.
+
+namespace crmd::sim {
+
+/// Immutable facts a job knows about itself when it activates.
+struct JobInfo {
+  /// Harness bookkeeping id; also stamped into transmitted messages so the
+  /// simulator can credit successes. Never used in decisions.
+  JobId id = kNoJob;
+  /// Release slot (global): the job is live in window [release, deadline).
+  Slot release = 0;
+  /// Deadline slot (global, exclusive).
+  Slot deadline = 0;
+
+  /// Window size w_j = deadline - release.
+  [[nodiscard]] Slot window() const noexcept { return deadline - release; }
+};
+
+/// What a protocol sees about "now".
+struct SlotView {
+  /// Slots elapsed since this job's release (0 in the release slot).
+  Slot since_release = 0;
+  /// Global slot index. Only ALIGNED (and harness-side diagnostics) may use
+  /// this — see the file comment.
+  Slot global_slot = 0;
+};
+
+/// A protocol's decision for one slot.
+struct SlotAction {
+  /// Whether to transmit this slot. When false the job listens.
+  bool transmit = false;
+  /// The message to put on the channel when `transmit` is true.
+  Message message;
+  /// The probability p_j(t) with which this job decided to transmit in this
+  /// slot, *declared for metrics*: §2.1 defines the contention C(t) as the
+  /// sum of these. Deterministic transmissions declare 1, deterministic
+  /// silence declares 0. Harness-only; never visible to other jobs.
+  double declared_prob = 0.0;
+};
+
+/// Per-job protocol state machine.
+///
+/// Lifecycle: construct -> on_activate (once, in the release slot) -> for
+/// each live slot: on_slot (decide) then on_feedback (observe the resolved
+/// slot). The simulator drops the job at its deadline, when `done()`
+/// becomes true, or when its data message is delivered (whichever first).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Called once when the job becomes live.
+  virtual void on_activate(const JobInfo& info) = 0;
+
+  /// Decide this slot's action. Called once per live slot, before the
+  /// channel resolves.
+  [[nodiscard]] virtual SlotAction on_slot(const SlotView& view) = 0;
+
+  /// Observe the resolved slot (the same feedback every listener gets).
+  virtual void on_feedback(const SlotView& view, const SlotFeedback& fb) = 0;
+
+  /// True once the job will never transmit again — it succeeded, completed
+  /// its algorithm without success ("gives up", §3 Truncation), or has
+  /// nothing left to do. The simulator removes done jobs from the live set.
+  [[nodiscard]] virtual bool done() const = 0;
+
+ protected:
+  Protocol() = default;
+};
+
+/// Creates the protocol instance for one job. `rng` is that job's private,
+/// deterministically derived random stream.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(
+    const JobInfo& info, util::Rng rng)>;
+
+}  // namespace crmd::sim

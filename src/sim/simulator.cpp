@@ -1,0 +1,271 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crmd::sim {
+
+struct Simulation::Impl {
+  struct JobState {
+    JobInfo info;
+    std::unique_ptr<Protocol> protocol;
+    JobResult result;
+    bool live = false;
+    bool retired = false;
+  };
+
+  SimConfig config;
+  std::unique_ptr<Jammer> jammer;
+  util::Rng jam_rng{0};
+
+  std::vector<JobState> jobs;     // indexed by JobId, release-sorted
+  std::vector<JobId> live;        // ids of live jobs
+  std::size_t next_pending = 0;   // first job not yet activated
+  Slot now = 0;
+  Slot horizon = 0;
+  bool finished = false;
+
+  SimMetrics metrics;
+  std::vector<SlotRecord> slot_trace;
+  SlotObserver observer;
+
+  // Scratch buffers reused across slots.
+  std::vector<Transmission> transmissions;
+  std::vector<JobId> to_retire;
+
+  void retire(JobId id) {
+    JobState& js = jobs[id];
+    if (!js.live) {
+      return;
+    }
+    js.live = false;
+    js.retired = true;
+    js.protocol.reset();
+    const auto it = std::find(live.begin(), live.end(), id);
+    assert(it != live.end());
+    *it = live.back();
+    live.pop_back();
+  }
+};
+
+Simulation::Simulation(workload::Instance instance,
+                       const ProtocolFactory& factory, SimConfig config,
+                       std::unique_ptr<Jammer> jammer)
+    : impl_(std::make_unique<Impl>()) {
+  instance.normalize();
+  assert(instance.valid());
+
+  impl_->config = config;
+  impl_->jammer = std::move(jammer);
+  impl_->jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
+  impl_->horizon =
+      config.horizon > 0 ? config.horizon : instance.max_deadline();
+  impl_->now = instance.empty() ? 0 : instance.min_release();
+
+  const util::Rng master(config.seed);
+  impl_->jobs.reserve(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const auto& spec = instance.jobs[i];
+    Impl::JobState js;
+    js.info.id = static_cast<JobId>(i);
+    js.info.release = spec.release;
+    js.info.deadline = spec.deadline;
+    js.protocol = factory(js.info, master.child(static_cast<JobId>(i) + 1));
+    js.result.id = js.info.id;
+    js.result.release = spec.release;
+    js.result.deadline = spec.deadline;
+    impl_->jobs.push_back(std::move(js));
+  }
+}
+
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+Slot Simulation::now() const noexcept { return impl_->now; }
+
+bool Simulation::finished() const noexcept { return impl_->finished; }
+
+void Simulation::set_observer(SlotObserver observer) {
+  impl_->observer = std::move(observer);
+}
+
+std::vector<JobId> Simulation::live_jobs() const { return impl_->live; }
+
+Protocol* Simulation::protocol(JobId id) noexcept {
+  if (id >= impl_->jobs.size() || !impl_->jobs[id].live) {
+    return nullptr;
+  }
+  return impl_->jobs[id].protocol.get();
+}
+
+bool Simulation::step() {
+  Impl& s = *impl_;
+  if (s.finished) {
+    return false;
+  }
+
+  // Fast-forward across idle gaps: nothing can happen on the channel while
+  // no job is live.
+  if (s.live.empty()) {
+    if (s.next_pending >= s.jobs.size()) {
+      s.finished = true;
+      return false;
+    }
+    const Slot next_release = s.jobs[s.next_pending].info.release;
+    if (next_release > s.now) {
+      s.metrics.slots_skipped += next_release - s.now;
+      s.now = next_release;
+    }
+  }
+
+  if (s.now >= s.horizon) {
+    s.finished = true;
+    return false;
+  }
+
+  // Activate arrivals.
+  while (s.next_pending < s.jobs.size() &&
+         s.jobs[s.next_pending].info.release <= s.now) {
+    Impl::JobState& js = s.jobs[s.next_pending];
+    if (js.info.deadline > s.now) {
+      js.live = true;
+      s.live.push_back(js.info.id);
+      js.protocol->on_activate(js.info);
+    } else {
+      js.retired = true;  // window already over (degenerate horizon cases)
+      js.protocol.reset();
+    }
+    ++s.next_pending;
+  }
+
+  // Retire jobs whose deadline has arrived (window is [release, deadline)).
+  s.to_retire.clear();
+  for (const JobId id : s.live) {
+    if (s.jobs[id].info.deadline <= s.now) {
+      s.to_retire.push_back(id);
+    }
+  }
+  for (const JobId id : s.to_retire) {
+    s.retire(id);
+  }
+  if (s.live.empty()) {
+    // All live jobs expired this slot; loop again from the top next call.
+    return !s.finished;
+  }
+
+  // Decision phase.
+  s.transmissions.clear();
+  double contention = 0.0;
+  for (const JobId id : s.live) {
+    Impl::JobState& js = s.jobs[id];
+    SlotView view{/*since_release=*/s.now - js.info.release,
+                  /*global_slot=*/s.now};
+    const SlotAction action = js.protocol->on_slot(view);
+    contention += action.declared_prob;
+    ++js.result.live_slots;
+    if (action.transmit) {
+      s.transmissions.push_back(Transmission{id, action.message});
+      ++js.result.transmissions;
+    }
+  }
+
+  // Channel resolution + adversary.
+  SlotFeedback fb = resolve_slot(s.transmissions);
+  bool jammed = false;
+  if (s.jammer != nullptr) {
+    const Message* msg = fb.message ? &*fb.message : nullptr;
+    if (s.jammer->wants_jam(s.now, fb.outcome, msg) &&
+        s.jam_rng.bernoulli(s.jammer->p_jam())) {
+      fb.outcome = SlotOutcome::kNoise;
+      fb.message.reset();
+      jammed = true;
+    }
+  }
+
+  SlotRecord rec;
+  rec.slot = s.now;
+  rec.outcome = fb.outcome;
+  rec.success_kind = fb.message ? fb.message->kind : MessageKind::kData;
+  rec.contention = contention;
+  rec.transmitters = static_cast<std::uint32_t>(s.transmissions.size());
+  rec.live_jobs = static_cast<std::uint32_t>(s.live.size());
+  rec.jammed = jammed;
+  s.metrics.record(rec);
+  if (s.config.record_slots) {
+    s.slot_trace.push_back(rec);
+  }
+  if (s.observer) {
+    s.observer(rec, s.transmissions);
+  }
+
+  // Feedback phase.
+  if (s.config.collision_detection ||
+      fb.outcome != SlotOutcome::kNoise) {
+    for (const JobId id : s.live) {
+      Impl::JobState& js = s.jobs[id];
+      SlotView view{s.now - js.info.release, s.now};
+      js.protocol->on_feedback(view, fb);
+    }
+  } else {
+    // Model ablation: without collision detection listeners perceive noisy
+    // slots as silent; transmitters still learn their failure (ACK-style).
+    SlotFeedback listener_fb = fb;
+    listener_fb.outcome = SlotOutcome::kSilence;
+    for (const JobId id : s.live) {
+      Impl::JobState& js = s.jobs[id];
+      SlotView view{s.now - js.info.release, s.now};
+      const bool transmitted =
+          std::any_of(s.transmissions.begin(), s.transmissions.end(),
+                      [id](const Transmission& t) { return t.job == id; });
+      js.protocol->on_feedback(view, transmitted ? fb : listener_fb);
+    }
+  }
+
+  // Credit a delivered data message and retire finished jobs.
+  s.to_retire.clear();
+  if (fb.outcome == SlotOutcome::kSuccess &&
+      fb.message->kind == MessageKind::kData) {
+    const JobId winner = fb.message->sender;
+    assert(winner < s.jobs.size() && s.jobs[winner].live);
+    s.jobs[winner].result.success = true;
+    s.jobs[winner].result.success_slot = s.now;
+    s.to_retire.push_back(winner);
+  }
+  for (const JobId id : s.live) {
+    if (s.jobs[id].protocol->done() &&
+        (s.to_retire.empty() || s.to_retire.front() != id)) {
+      s.to_retire.push_back(id);
+    }
+  }
+  for (const JobId id : s.to_retire) {
+    s.retire(id);
+  }
+
+  ++s.now;
+  if (s.live.empty() && s.next_pending >= s.jobs.size()) {
+    s.finished = true;
+  }
+  return !s.finished;
+}
+
+SimResult Simulation::finish() {
+  while (step()) {
+  }
+  SimResult result;
+  result.jobs.reserve(impl_->jobs.size());
+  for (auto& js : impl_->jobs) {
+    result.jobs.push_back(js.result);
+  }
+  result.metrics = impl_->metrics;
+  result.slots = std::move(impl_->slot_trace);
+  return result;
+}
+
+SimResult run(workload::Instance instance, const ProtocolFactory& factory,
+              SimConfig config, std::unique_ptr<Jammer> jammer) {
+  Simulation sim(std::move(instance), factory, config, std::move(jammer));
+  return sim.finish();
+}
+
+}  // namespace crmd::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/jammer.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/instance.hpp"
+
+/// \file simulator.hpp
+/// Slot-driven simulation of the multiple-access channel.
+///
+/// Each slot: (1) jobs whose release time arrives become live and their
+/// protocols activate; (2) every live protocol decides its action; (3) the
+/// channel resolves (0 transmissions -> silence, 1 -> success, >=2 ->
+/// noise); (4) the jamming adversary may turn the slot into noise; (5)
+/// every live job observes the resulting feedback; (6) jobs that delivered
+/// their data message, report done(), or hit their deadline leave the live
+/// set. Idle gaps with no live jobs are skipped in O(1).
+
+namespace crmd::sim {
+
+/// Simulation parameters.
+struct SimConfig {
+  /// Master seed. Each job's protocol receives `Rng(seed).child(job id)`,
+  /// so runs are exactly reproducible and per-job randomness is stable.
+  std::uint64_t seed = 1;
+
+  /// Hard stop (exclusive). Defaults to the maximum deadline of the
+  /// instance when <= 0.
+  Slot horizon = 0;
+
+  /// When true, a SlotRecord is kept for every simulated slot (memory grows
+  /// with the horizon — meant for tests and small traces).
+  bool record_slots = false;
+
+  /// Model ablation (default on = the paper's assumption, §1.1): with
+  /// collision detection, listeners receive ternary feedback. Without it,
+  /// listeners cannot distinguish noise from silence (they receive
+  /// kSilence for noisy slots); transmitters still learn that their own
+  /// transmission failed (ACK-style). PUNCTUAL's round synchronization
+  /// depends on busy-vs-silent detection and collapses without it —
+  /// measured in bench_model_assumptions.
+  bool collision_detection = true;
+};
+
+/// Optional per-slot tap for tests and experiment harnesses: called after
+/// each slot resolves with the record and the raw transmissions.
+using SlotObserver = std::function<void(
+    const SlotRecord& record, std::span<const Transmission> transmissions)>;
+
+/// A stepping simulation. Most callers use `run()`; tests use the stepping
+/// API to inspect protocol state mid-flight (e.g. the Lemma 7 agreement
+/// invariant).
+class Simulation {
+ public:
+  /// Builds the simulation. The instance is normalized (sorted by release).
+  /// `jammer` may be null (no adversary).
+  Simulation(workload::Instance instance, const ProtocolFactory& factory,
+             SimConfig config, std::unique_ptr<Jammer> jammer = nullptr);
+
+  ~Simulation();
+  Simulation(Simulation&&) noexcept;
+  Simulation& operator=(Simulation&&) noexcept;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Simulates one slot (or fast-forwards across an idle gap to the next
+  /// release). Returns false once the run is complete — all jobs retired or
+  /// the horizon reached.
+  bool step();
+
+  /// Slot about to be simulated next.
+  [[nodiscard]] Slot now() const noexcept;
+
+  /// True when the run is complete.
+  [[nodiscard]] bool finished() const noexcept;
+
+  /// Installs a per-slot observer (replaces any previous one).
+  void set_observer(SlotObserver observer);
+
+  /// Ids of currently live jobs (release reached, not yet retired).
+  [[nodiscard]] std::vector<JobId> live_jobs() const;
+
+  /// The protocol instance driving job `id`; null when the job is not live.
+  /// Tests use this (with dynamic_cast) to check protocol invariants.
+  [[nodiscard]] Protocol* protocol(JobId id) noexcept;
+
+  /// Runs to completion and returns the collected results. May be called
+  /// after any number of step()s.
+  SimResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: build, run to completion, return results.
+SimResult run(workload::Instance instance, const ProtocolFactory& factory,
+              SimConfig config, std::unique_ptr<Jammer> jammer = nullptr);
+
+}  // namespace crmd::sim

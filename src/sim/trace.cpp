@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace crmd::sim {
+
+void write_slot_trace_csv(std::ostream& out,
+                          const std::vector<SlotRecord>& slots) {
+  out << "slot,outcome,success_kind,contention,transmitters,live_jobs,"
+         "jammed\n";
+  for (const auto& rec : slots) {
+    out << rec.slot << ',' << to_string(rec.outcome) << ','
+        << (rec.outcome == SlotOutcome::kSuccess
+                ? to_string(rec.success_kind)
+                : "")
+        << ',' << rec.contention << ',' << rec.transmitters << ','
+        << rec.live_jobs << ',' << (rec.jammed ? 1 : 0) << '\n';
+  }
+}
+
+void write_job_results_csv(std::ostream& out,
+                           const std::vector<JobResult>& jobs) {
+  out << "id,release,deadline,window,success,success_slot,latency,"
+         "transmissions,live_slots\n";
+  for (const auto& job : jobs) {
+    out << job.id << ',' << job.release << ',' << job.deadline << ','
+        << job.window() << ',' << (job.success ? 1 : 0) << ','
+        << (job.success ? job.success_slot : -1) << ',' << job.latency()
+        << ',' << job.transmissions << ',' << job.live_slots << '\n';
+  }
+}
+
+bool save_slot_trace_csv(const std::string& path,
+                         const std::vector<SlotRecord>& slots) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_slot_trace_csv(out, slots);
+  return static_cast<bool>(out);
+}
+
+bool save_job_results_csv(const std::string& path,
+                          const std::vector<JobResult>& jobs) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_job_results_csv(out, jobs);
+  return static_cast<bool>(out);
+}
+
+}  // namespace crmd::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+/// \file trace.hpp
+/// CSV export of simulation artifacts: per-slot traces and per-job
+/// outcomes. Used by the CLI driver (`--trace`, `--jobs-csv`) and handy for
+/// offline plotting of any run.
+
+namespace crmd::sim {
+
+/// Writes the slot trace as CSV: slot, outcome, success_kind, contention,
+/// transmitters, live_jobs, jammed.
+void write_slot_trace_csv(std::ostream& out,
+                          const std::vector<SlotRecord>& slots);
+
+/// Writes per-job outcomes as CSV: id, release, deadline, window, success,
+/// success_slot, latency, transmissions, live_slots.
+void write_job_results_csv(std::ostream& out,
+                           const std::vector<JobResult>& jobs);
+
+/// Convenience wrappers writing to a file path; return false on I/O error.
+bool save_slot_trace_csv(const std::string& path,
+                         const std::vector<SlotRecord>& slots);
+bool save_job_results_csv(const std::string& path,
+                          const std::vector<JobResult>& jobs);
+
+}  // namespace crmd::sim

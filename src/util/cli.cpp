@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace crmd::util {
+namespace {
+
+constexpr const char* kPresent = "\x01present";
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // Bare boolean flag. (A separate `--key value` form would be ambiguous
+    // with positionals, so only `--key=value` carries values.)
+    flags_[body] = kPresent;
+  }
+}
+
+bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || it->second == kPresent) {
+    return fallback;
+  }
+  return it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || it->second == kPresent) {
+    return fallback;
+  }
+  std::size_t used = 0;
+  const std::int64_t value = std::stoll(it->second, &used, 10);
+  if (used != it->second.size()) {
+    throw std::invalid_argument("malformed integer for --" + key + ": " +
+                                it->second);
+  }
+  return value;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end() || it->second == kPresent) {
+    return fallback;
+  }
+  std::size_t used = 0;
+  const double value = std::stod(it->second, &used);
+  if (used != it->second.size()) {
+    throw std::invalid_argument("malformed double for --" + key + ": " +
+                                it->second);
+  }
+  return value;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == kPresent || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [k, v] : flags_) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace crmd::util

@@ -1,0 +1,33 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace crmd::util {
+
+int floor_log2(std::int64_t x) noexcept {
+  assert(x >= 1);
+  return 63 - std::countl_zero(static_cast<std::uint64_t>(x));
+}
+
+int ceil_log2(std::int64_t x) noexcept {
+  assert(x >= 1);
+  const int fl = floor_log2(x);
+  return is_pow2(x) ? fl : fl + 1;
+}
+
+std::int64_t pow2_floor(std::int64_t x) noexcept {
+  return pow2(floor_log2(x));
+}
+
+std::int64_t pow2_ceil(std::int64_t x) noexcept {
+  return pow2(ceil_log2(x));
+}
+
+double log2_at_least(double x, double floor_val) noexcept {
+  const double v = std::log2(x);
+  return v > floor_val ? v : floor_val;
+}
+
+}  // namespace crmd::util

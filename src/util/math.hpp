@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+/// \file math.hpp
+/// Small integer/log helpers used throughout the window arithmetic.
+/// Windows in the paper are powers of two ("job class ℓ" has windows of
+/// size 2^ℓ aligned at multiples of 2^ℓ), so exact power-of-two arithmetic
+/// appears everywhere.
+
+namespace crmd::util {
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::int64_t x) noexcept {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] int floor_log2(std::int64_t x) noexcept;
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] int ceil_log2(std::int64_t x) noexcept;
+
+/// 2^k for 0 <= k <= 62.
+[[nodiscard]] constexpr std::int64_t pow2(int k) noexcept {
+  return std::int64_t{1} << k;
+}
+
+/// Largest power of two <= x (x >= 1).
+[[nodiscard]] std::int64_t pow2_floor(std::int64_t x) noexcept;
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] std::int64_t pow2_ceil(std::int64_t x) noexcept;
+
+/// Largest multiple of `align` that is <= x. Requires align > 0.
+[[nodiscard]] constexpr std::int64_t align_down(std::int64_t x,
+                                                std::int64_t align) noexcept {
+  std::int64_t q = x / align;
+  if (x % align != 0 && x < 0) {
+    --q;
+  }
+  return q * align;
+}
+
+/// Smallest multiple of `align` that is >= x. Requires align > 0.
+[[nodiscard]] constexpr std::int64_t align_up(std::int64_t x,
+                                              std::int64_t align) noexcept {
+  const std::int64_t down = align_down(x, align);
+  return down == x ? x : down + align;
+}
+
+/// ceil(a / b) for a >= 0, b > 0.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Natural-log-based log2 of a double (for the polylog broadcast
+/// probabilities in PUNCTUAL). Returns at least `floor_val` so that tiny
+/// windows never yield non-positive logs; log2_at_least(w, 1) is the common
+/// use (log factors in the paper are only meaningful for w >= 2).
+[[nodiscard]] double log2_at_least(double x, double floor_val) noexcept;
+
+}  // namespace crmd::util

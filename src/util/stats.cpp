@@ -1,0 +1,160 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace crmd::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ >= 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  return 1.959963984540054 * stderr_mean();
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SuccessCounter::add(bool success) noexcept {
+  ++n_;
+  if (success) {
+    ++s_;
+  }
+}
+
+void SuccessCounter::add_many(std::uint64_t successes,
+                              std::uint64_t trials) noexcept {
+  s_ += successes;
+  n_ += trials;
+}
+
+double SuccessCounter::rate() const noexcept {
+  return n_ == 0 ? 0.0
+                 : static_cast<double>(s_) / static_cast<double>(n_);
+}
+
+double SuccessCounter::failure_rate() const noexcept {
+  return n_ == 0 ? 0.0 : 1.0 - rate();
+}
+
+std::pair<double, double> SuccessCounter::wilson95() const noexcept {
+  if (n_ == 0) {
+    return {0.0, 1.0};
+  }
+  const double z = 1.959963984540054;
+  const double n = static_cast<double>(n_);
+  const double p = rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+void SuccessCounter::merge(const SuccessCounter& other) noexcept {
+  s_ += other.s_;
+  n_ += other.n_;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins >= 1 && lo < hi);
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t i) const noexcept {
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return bin_lo(i + 1);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace crmd::util

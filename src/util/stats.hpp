@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Summary statistics for experiment outputs: Welford online accumulation,
+/// percentiles, binomial confidence intervals, and simple histograms.
+
+namespace crmd::util {
+
+/// Online mean/variance accumulator (Welford). Numerically stable for long
+/// replication sweeps.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean (stddev / sqrt(n)); 0 when empty.
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counter for Bernoulli outcomes (e.g. "did job j meet its deadline").
+class SuccessCounter {
+ public:
+  /// Records one trial.
+  void add(bool success) noexcept;
+
+  /// Records `k` successes out of `n` trials at once.
+  void add_many(std::uint64_t successes, std::uint64_t trials) noexcept;
+
+  [[nodiscard]] std::uint64_t successes() const noexcept { return s_; }
+  [[nodiscard]] std::uint64_t trials() const noexcept { return n_; }
+
+  /// Empirical success rate; 0 when no trials.
+  [[nodiscard]] double rate() const noexcept;
+
+  /// Empirical failure rate; 0 when no trials.
+  [[nodiscard]] double failure_rate() const noexcept;
+
+  /// Wilson-score 95% confidence interval for the success rate.
+  [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
+
+  /// Merges another counter into this one.
+  void merge(const SuccessCounter& other) noexcept;
+
+ private:
+  std::uint64_t s_ = 0;
+  std::uint64_t n_ = 0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]. The input is copied and sorted; empty input returns 0.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for plotting estimate-ratio and latency spreads.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi). Requires bins >= 1
+  /// and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Count in bin i.
+  [[nodiscard]] std::uint64_t count(std::size_t i) const noexcept;
+
+  /// Inclusive lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+
+  /// Exclusive upper edge of bin i.
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+
+  /// Total observations.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders a compact ASCII bar chart (one line per nonempty bin).
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace crmd::util

@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crmd::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row arity mismatch: expected " +
+                                std::to_string(headers_.size()) + ", got " +
+                                std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title.empty()) {
+    out << "== " << title << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += ch;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << csv_escape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+std::string fmt(double v, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << v;
+  return out.str();
+}
+
+std::string fmt_sci(double v, int digits) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(digits) << v;
+  return out.str();
+}
+
+std::string fmt_count(std::int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string with_sep;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) {
+      with_sep += ',';
+    }
+    with_sep += digits[i];
+  }
+  return (v < 0 ? "-" : "") + with_sep;
+}
+
+}  // namespace crmd::util

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Console table rendering and CSV emission for the experiment harnesses.
+/// Every bench binary prints its table through this so that the output of
+/// `for b in build/bench/*; do $b; done` is uniform and diffable.
+
+namespace crmd::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with fixed precision. Rows must match the header arity.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a fully formed row. Throws std::invalid_argument on arity
+  /// mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns, a header rule, and a leading title line
+  /// when `title` is nonempty.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& out) const;
+
+  /// Convenience: writes CSV to `path`, creating/truncating the file.
+  /// Returns false (and leaves no partial file guarantee) on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt(double v, int digits = 4);
+
+/// Formats a double in scientific notation with `digits` significant
+/// decimals (for failure probabilities spanning many orders of magnitude).
+[[nodiscard]] std::string fmt_sci(double v, int digits = 2);
+
+/// Formats an integer with thousands separators for readability.
+[[nodiscard]] std::string fmt_count(std::int64_t v);
+
+}  // namespace crmd::util

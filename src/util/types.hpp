@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental scalar types shared by every crmd subsystem.
+
+namespace crmd {
+
+/// Index of a time slot on the multiple-access channel. Slots are the unit
+/// of time in the paper's model: synchronized, unit-length, and numbered
+/// from 0 by the simulation harness (protocols other than ALIGNED never see
+/// this global index; they only see slots-since-release).
+using Slot = std::int64_t;
+
+/// Harness-side identifier for a job. The paper's jobs have *no* IDs; this
+/// identifier exists purely for bookkeeping (metrics, message provenance in
+/// the simulator) and must never influence a protocol's decisions.
+using JobId = std::uint32_t;
+
+/// Sentinel for "no job".
+inline constexpr JobId kNoJob = std::numeric_limits<JobId>::max();
+
+/// Sentinel for "no slot" / "never".
+inline constexpr Slot kNoSlot = std::numeric_limits<Slot>::min();
+
+}  // namespace crmd

@@ -1,0 +1,147 @@
+#include "workload/feasibility.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace crmd::workload {
+
+bool edf_feasible(const Instance& instance, std::int64_t length) {
+  assert(length >= 1);
+  if (instance.empty()) {
+    return true;
+  }
+
+  // A job with window smaller than its inflated length can never fit.
+  for (const auto& j : instance.jobs) {
+    if (j.window() < length) {
+      return false;
+    }
+  }
+
+  std::vector<JobSpec> jobs = instance.jobs;
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) {
+              return a.release < b.release;
+            });
+
+  struct Pending {
+    Slot deadline;
+    std::int64_t remaining;
+    bool operator>(const Pending& other) const {
+      return deadline > other.deadline;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> ready;
+
+  std::size_t next = 0;
+  Slot t = jobs.front().release;
+  const auto n = jobs.size();
+
+  while (next < n || !ready.empty()) {
+    if (ready.empty()) {
+      t = std::max(t, jobs[next].release);
+    }
+    while (next < n && jobs[next].release <= t) {
+      ready.push(Pending{jobs[next].deadline, length});
+      ++next;
+    }
+    if (ready.empty()) {
+      continue;
+    }
+    Pending top = ready.top();
+    ready.pop();
+    if (t >= top.deadline) {
+      return false;  // work left at (or past) its deadline
+    }
+    const Slot next_release = next < n ? jobs[next].release
+                                       : std::numeric_limits<Slot>::max();
+    // Serve the earliest-deadline job until it finishes, its deadline
+    // arrives, or a new job is released (which may preempt it).
+    const std::int64_t serve =
+        std::min({top.remaining, top.deadline - t, next_release - t});
+    top.remaining -= serve;
+    t += serve;
+    if (top.remaining > 0) {
+      if (t >= top.deadline) {
+        return false;
+      }
+      ready.push(top);
+    }
+  }
+  return true;
+}
+
+bool hall_feasible(const Instance& instance, std::int64_t length) {
+  assert(length >= 1);
+  const auto n = instance.jobs.size();
+  if (n == 0) {
+    return true;
+  }
+  std::vector<Slot> releases;
+  std::vector<Slot> deadlines;
+  releases.reserve(n);
+  deadlines.reserve(n);
+  for (const auto& j : instance.jobs) {
+    releases.push_back(j.release);
+    deadlines.push_back(j.deadline);
+  }
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()),
+                 releases.end());
+  std::sort(deadlines.begin(), deadlines.end());
+  deadlines.erase(std::unique(deadlines.begin(), deadlines.end()),
+                  deadlines.end());
+
+  for (const Slot s : releases) {
+    for (const Slot t : deadlines) {
+      if (t <= s) {
+        continue;
+      }
+      std::int64_t demand = 0;
+      for (const auto& j : instance.jobs) {
+        if (j.release >= s && j.deadline <= t) {
+          demand += length;
+        }
+      }
+      if (demand > t - s) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_slack_feasible(const Instance& instance, double gamma) {
+  assert(gamma > 0.0 && gamma <= 1.0);
+  const auto length = static_cast<std::int64_t>(std::ceil(1.0 / gamma));
+  return edf_feasible(instance, length);
+}
+
+std::int64_t max_inflation(const Instance& instance) {
+  if (instance.empty()) {
+    return 0;
+  }
+  if (!edf_feasible(instance, 1)) {
+    return 0;
+  }
+  std::int64_t lo = 1;                      // feasible
+  std::int64_t hi = instance.min_window();  // first candidate that may fail
+  if (edf_feasible(instance, hi)) {
+    return hi;
+  }
+  // Invariant: feasible at lo, infeasible at hi.
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (edf_feasible(instance, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace crmd::workload

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "workload/instance.hpp"
+
+/// \file feasibility.hpp
+/// γ-slack feasibility (§1.1): an instance is γ-slack feasible when all
+/// messages could still be scheduled by their deadlines after multiplying
+/// every message length by 1/γ. Equivalently, the inflated instance — unit
+/// jobs replaced by preemptable jobs of length ceil(1/γ) — is schedulable
+/// on one machine. Preemptive single-machine schedulability is
+/// characterized both by EDF (optimal) and by Hall's interval condition;
+/// we implement both and cross-check them in tests.
+
+namespace crmd::workload {
+
+/// Preemptive EDF schedulability test: can every job receive `length` slots
+/// inside its window when the channel serves earliest-deadline-first?
+/// O(n log n). Requires length >= 1.
+[[nodiscard]] bool edf_feasible(const Instance& instance, std::int64_t length);
+
+/// Hall-condition schedulability test: for every interval [s, t), the total
+/// demand of jobs whose windows are contained in [s, t) must be at most
+/// t - s. O(n^2) over event points — reference implementation used to
+/// validate `edf_feasible` and the generators in tests.
+[[nodiscard]] bool hall_feasible(const Instance& instance,
+                                 std::int64_t length);
+
+/// γ-slack feasibility: schedulable with messages inflated to ceil(1/γ)
+/// slots. Requires 0 < gamma <= 1.
+[[nodiscard]] bool is_slack_feasible(const Instance& instance, double gamma);
+
+/// The largest integer L such that the instance remains schedulable with
+/// every message inflated to L slots (so the instance is (1/L)-slack
+/// feasible). Returns 0 for an unschedulable-at-unit-length instance and
+/// for empty instances returns min-window (trivially schedulable).
+[[nodiscard]] std::int64_t max_inflation(const Instance& instance);
+
+}  // namespace crmd::workload

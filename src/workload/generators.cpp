@@ -1,0 +1,256 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+#include "util/math.hpp"
+#include "workload/trim.hpp"
+
+namespace crmd::workload {
+namespace {
+
+/// ceil(1/gamma) — the inflated message length for slack gamma.
+std::int64_t inflation_of(double gamma) {
+  assert(gamma > 0.0 && gamma <= 1.0);
+  return static_cast<std::int64_t>(std::ceil(1.0 / gamma));
+}
+
+/// Poisson sampler: Knuth's product method for small means (cheap, uses
+/// our uniform stream directly), std::poisson_distribution for large means
+/// (where exp(-mean) would underflow and Knuth would never terminate).
+std::int64_t poisson(double mean, util::Rng& rng) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 30.0) {
+    std::poisson_distribution<std::int64_t> dist(mean);
+    return dist(rng.engine());
+  }
+  const double limit = std::exp(-mean);
+  double product = rng.next_double();
+  std::int64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.next_double();
+  }
+  return count;
+}
+
+}  // namespace
+
+DyadicBudget::DyadicBudget(int min_level, int max_level, Slot horizon,
+                           double fraction)
+    : min_level_(min_level), max_level_(max_level), fraction_(fraction) {
+  assert(0 <= min_level && min_level <= max_level && max_level < 62);
+  assert(horizon > 0 && fraction > 0.0 && fraction <= 1.0);
+  used_.resize(static_cast<std::size_t>(max_level - min_level) + 1);
+  for (int k = min_level; k <= max_level; ++k) {
+    const Slot windows = util::ceil_div(horizon, util::pow2(k));
+    used_[static_cast<std::size_t>(k - min_level)].assign(
+        static_cast<std::size_t>(windows), 0);
+  }
+}
+
+bool DyadicBudget::try_charge(Slot start, int level, std::int64_t amount) {
+  assert(level >= min_level_ && level <= max_level_);
+  assert(start % util::pow2(level) == 0);
+  // First pass: check every tracked enclosing window.
+  for (int k = level; k <= max_level_; ++k) {
+    const auto idx = static_cast<std::size_t>(start >> k);
+    const auto& row = used_[static_cast<std::size_t>(k - min_level_)];
+    if (idx >= row.size()) {
+      return false;  // window sticks out of the horizon
+    }
+    if (row[idx] + amount > capacity(k)) {
+      return false;
+    }
+  }
+  // Second pass: record the charge.
+  for (int k = level; k <= max_level_; ++k) {
+    const auto idx = static_cast<std::size_t>(start >> k);
+    used_[static_cast<std::size_t>(k - min_level_)][idx] += amount;
+  }
+  return true;
+}
+
+std::int64_t DyadicBudget::used(Slot start, int level) const {
+  assert(level >= min_level_ && level <= max_level_);
+  const auto idx = static_cast<std::size_t>(start >> level);
+  const auto& row = used_[static_cast<std::size_t>(level - min_level_)];
+  return idx < row.size() ? row[idx] : 0;
+}
+
+std::int64_t DyadicBudget::capacity(int level) const {
+  return static_cast<std::int64_t>(fraction_ *
+                                   static_cast<double>(util::pow2(level)));
+}
+
+Instance gen_aligned(const AlignedConfig& config, util::Rng& rng) {
+  assert(config.min_class >= 0 && config.min_class <= config.max_class);
+  assert(config.fill > 0.0 && config.fill <= 1.0);
+  const Slot horizon =
+      config.horizon > 0 ? config.horizon : 4 * util::pow2(config.max_class);
+  const std::int64_t L = inflation_of(config.gamma);
+  const int levels = config.max_class - config.min_class + 1;
+
+  // γ-slack feasibility lets the *inflated* jobs (length L = ceil(1/γ))
+  // fill windows completely; `fill` scales below that ceiling.
+  DyadicBudget budget(config.min_class, config.max_class, horizon,
+                      config.fill);
+  Instance out;
+  for (int k = config.min_class; k <= config.max_class; ++k) {
+    const Slot w = util::pow2(k);
+    // Split the per-window budget evenly across levels so no level hogs it.
+    const double mean = config.fill * static_cast<double>(w) /
+                        (static_cast<double>(L) * levels);
+    for (Slot start = 0; start + w <= horizon; start += w) {
+      const std::int64_t want = poisson(mean, rng);
+      for (std::int64_t i = 0; i < want; ++i) {
+        if (budget.try_charge(start, k, L)) {
+          out.jobs.push_back(JobSpec{start, start + w});
+        }
+      }
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+Instance gen_general(const GeneralConfig& config, util::Rng& rng) {
+  assert(config.min_window >= 4 && config.min_window <= config.max_window);
+  assert(config.fill > 0.0 && config.fill <= 1.0);
+  const Slot horizon =
+      config.horizon > 0 ? config.horizon : 8 * config.max_window;
+  assert(horizon >= config.max_window);
+  const std::int64_t L = inflation_of(config.gamma);
+
+  // Trimmed cores have size >= window/4, so their levels reach two below
+  // the minimum window's level.
+  const int min_level = std::max(0, util::floor_log2(config.min_window) - 2);
+  const int max_level = util::floor_log2(horizon);
+  DyadicBudget budget(min_level, max_level, horizon, config.fill);
+
+  const auto target = static_cast<std::int64_t>(
+      config.fill * static_cast<double>(horizon) / static_cast<double>(L));
+  const std::int64_t attempts = 4 * std::max<std::int64_t>(target, 1);
+
+  const int min_log = util::ceil_log2(config.min_window);
+  const int max_log = util::floor_log2(config.max_window);
+
+  Instance out;
+  for (std::int64_t a = 0; a < attempts; ++a) {
+    Slot w = 0;
+    if (config.pow2_windows) {
+      w = util::pow2(static_cast<int>(rng.range(min_log, max_log)));
+    } else {
+      // Log-uniform window size: uniform level, then uniform within it.
+      const int k = static_cast<int>(rng.range(min_log, max_log));
+      const Slot lo = std::max(config.min_window, util::pow2(k));
+      const Slot hi = std::min(config.max_window, 2 * util::pow2(k) - 1);
+      w = rng.range(lo, hi);
+    }
+    if (w > horizon) {
+      continue;
+    }
+    const Slot release = rng.range(0, horizon - w);
+    const AlignedWindow core = trimmed(release, release + w);
+    if (core.level < min_level) {
+      continue;
+    }
+    if (budget.try_charge(core.start, core.level, L)) {
+      out.jobs.push_back(JobSpec{release, release + w});
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+Instance gen_starvation(std::int64_t n, double gamma) {
+  assert(n >= 1);
+  const std::int64_t L = inflation_of(gamma);
+  Instance out;
+  out.jobs.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t j = 1; j <= n; ++j) {
+    out.jobs.push_back(JobSpec{0, j * L});
+  }
+  out.normalize();
+  return out;
+}
+
+Instance gen_batch(std::int64_t count, Slot window, Slot release) {
+  assert(count >= 0 && window >= 1 && release >= 0);
+  Instance out;
+  out.jobs.assign(static_cast<std::size_t>(count),
+                  JobSpec{release, release + window});
+  return out;
+}
+
+Instance gen_periodic(const std::vector<PeriodicFlow>& flows, Slot horizon) {
+  Instance out;
+  for (const auto& flow : flows) {
+    assert(flow.period >= 1 && flow.deadline >= 1 &&
+           flow.deadline <= flow.period && flow.offset >= 0);
+    for (Slot r = flow.offset; r + flow.deadline <= horizon;
+         r += flow.period) {
+      out.jobs.push_back(JobSpec{r, r + flow.deadline});
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+std::vector<PeriodicFlow> gen_periodic_flows(std::int64_t count,
+                                             Slot min_period, Slot max_period,
+                                             double gamma, double fill,
+                                             util::Rng& rng) {
+  assert(count >= 0 && min_period >= 1 && min_period <= max_period);
+  assert(fill > 0.0 && fill <= 1.0);
+  const std::int64_t L = inflation_of(gamma);
+  const int min_log = util::ceil_log2(min_period);
+  const int max_log = util::floor_log2(max_period);
+
+  std::vector<PeriodicFlow> flows;
+  double density = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    PeriodicFlow flow;
+    flow.period = util::pow2(static_cast<int>(rng.range(min_log, max_log)));
+    flow.deadline = flow.period;  // implicit deadlines
+    flow.offset = rng.range(0, flow.period - 1);
+    const double d =
+        static_cast<double>(L) / static_cast<double>(flow.deadline);
+    if (density + d > fill) {
+      continue;  // thin the set to keep the inflated density bounded
+    }
+    density += d;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+Instance gen_poisson(double jobs_per_slot, Slot window, Slot horizon,
+                     util::Rng& rng) {
+  assert(jobs_per_slot >= 0.0 && window >= 1 && horizon >= window);
+  const Slot span = horizon - window + 1;
+  const double mean = jobs_per_slot * static_cast<double>(span);
+  // Sample the total count, then scatter releases uniformly — equivalent
+  // to a Poisson process and cheaper than per-slot draws.
+  const std::int64_t count = poisson(mean, rng);
+  Instance out;
+  out.jobs.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const Slot r = rng.range(0, span - 1);
+    out.jobs.push_back(JobSpec{r, r + window});
+  }
+  out.normalize();
+  return out;
+}
+
+Instance merge(Instance base, const Instance& extra) {
+  base.jobs.insert(base.jobs.end(), extra.jobs.begin(), extra.jobs.end());
+  base.normalize();
+  return base;
+}
+
+}  // namespace crmd::workload

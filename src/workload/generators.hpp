@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/instance.hpp"
+
+/// \file generators.hpp
+/// Workload generators. Every generator that promises γ-slack feasibility
+/// enforces it *constructively* via a dyadic budget: a job is only admitted
+/// if, after inflating its message to L = ceil(1/γ) slots and charging it
+/// to (the trimmed core of) its window, every power-of-2-aligned window
+/// still carries nested inflated demand at most `fill` times its size
+/// (fill <= 1). Because the maximal dyadic windows inside any interval are
+/// disjoint and cover all nested jobs, this implies Hall's condition for
+/// *all* intervals, hence γ-slack feasibility; fill = 1 saturates the
+/// feasibility ceiling. Tests cross-check against the exact EDF checker.
+
+namespace crmd::workload {
+
+/// Tracks nested inflated demand per power-of-2-aligned window and admits
+/// charges only while every enclosing window stays within `fraction` of
+/// its size. Shared by the feasible-instance generators; exposed publicly
+/// so tests and custom generators can reuse it.
+class DyadicBudget {
+ public:
+  /// Tracks windows of size 2^min_level .. 2^max_level over [0, horizon).
+  /// `fraction` is the per-window capacity fraction (1.0 = the window may
+  /// be completely full of inflated demand, the γ-slack-feasibility
+  /// ceiling).
+  DyadicBudget(int min_level, int max_level, Slot horizon, double fraction);
+
+  /// Attempts to charge `amount` slots of demand to the aligned window of
+  /// size 2^level starting at `start` (start must be level-aligned and
+  /// inside the horizon). Returns true and records the charge when the
+  /// window and all tracked ancestors have room; returns false (recording
+  /// nothing) otherwise.
+  bool try_charge(Slot start, int level, std::int64_t amount);
+
+  /// Demand currently charged against the window (size 2^level at `start`).
+  [[nodiscard]] std::int64_t used(Slot start, int level) const;
+
+  /// Capacity of a window of size 2^level.
+  [[nodiscard]] std::int64_t capacity(int level) const;
+
+ private:
+  int min_level_;
+  int max_level_;
+  double fraction_;
+  std::vector<std::vector<std::int64_t>> used_;  // [level - min_level][index]
+};
+
+/// Configuration for the power-of-2-aligned laminar generator (§3's special
+/// case).
+struct AlignedConfig {
+  /// Smallest job class: windows of size 2^min_class.
+  int min_class = 10;
+  /// Largest job class: windows of size 2^max_class.
+  int max_class = 13;
+  /// Total slots; 0 means 4 * 2^max_class.
+  Slot horizon = 0;
+  /// Slack guarantee: the instance is gamma-slack feasible by construction
+  /// (messages inflated to ceil(1/gamma) slots still fit).
+  double gamma = 1.0 / 8;
+  /// Fraction of the feasibility ceiling the generator fills: 1.0 saturates
+  /// γ-slack feasibility (inflated demand may fill whole windows), smaller
+  /// values thin the arrivals.
+  double fill = 1.0;
+};
+
+/// Random aligned instance: for each aligned window, a Poisson number of
+/// jobs is drawn and admitted subject to the dyadic budget.
+[[nodiscard]] Instance gen_aligned(const AlignedConfig& config,
+                                   util::Rng& rng);
+
+/// Configuration for the general (unaligned, arbitrary-window) generator
+/// (§4's setting).
+struct GeneralConfig {
+  /// Smallest window size.
+  Slot min_window = 1 << 10;
+  /// Largest window size.
+  Slot max_window = 1 << 13;
+  /// Total slots; 0 means 8 * max_window.
+  Slot horizon = 0;
+  /// Slack guarantee (via trimmed-window charging).
+  double gamma = 1.0 / 8;
+  /// Fraction of the feasibility ceiling to fill, in (0, 1].
+  double fill = 1.0;
+  /// Restrict window sizes to powers of two (arrival times stay arbitrary).
+  bool pow2_windows = false;
+};
+
+/// Random general instance: arbitrary releases and window sizes, admitted
+/// subject to the dyadic budget applied to each window's trimmed core.
+[[nodiscard]] Instance gen_general(const GeneralConfig& config,
+                                   util::Rng& rng);
+
+/// The Lemma 5 starvation instance: n jobs all released at slot 0, job j
+/// (1-based) having window size j * ceil(1/γ). γ-slack feasible (EDF gives
+/// job j the slots ((j-1)/γ, j/γ]) yet UNIFORM starves the early jobs.
+[[nodiscard]] Instance gen_starvation(std::int64_t n, double gamma);
+
+/// A batch: `count` jobs sharing the window [release, release + window).
+[[nodiscard]] Instance gen_batch(std::int64_t count, Slot window,
+                                 Slot release = 0);
+
+/// One periodic flow: jobs released every `period` slots starting at
+/// `offset`, each with relative deadline `deadline` (<= period).
+struct PeriodicFlow {
+  Slot period = 0;
+  Slot deadline = 0;
+  Slot offset = 0;
+};
+
+/// Periodic real-time traffic (the industrial/WirelessHART-style workload
+/// from the paper's motivation): the union of the given flows over
+/// [0, horizon). Feasibility is governed by the density test
+/// sum(ceil(1/γ)/deadline_i) <= 1; `gen_periodic_flows` below generates
+/// flow sets satisfying it.
+[[nodiscard]] Instance gen_periodic(const std::vector<PeriodicFlow>& flows,
+                                    Slot horizon);
+
+/// Draws `count` random flows with power-of-two periods in
+/// [min_period, max_period], implicit deadlines (= period), and random
+/// offsets, thinned until the inflated density sum(L/period) <= fill, with
+/// L = ceil(1/γ) — guaranteeing γ-slack feasibility.
+[[nodiscard]] std::vector<PeriodicFlow> gen_periodic_flows(
+    std::int64_t count, Slot min_period, Slot max_period, double gamma,
+    double fill, util::Rng& rng);
+
+/// Stochastic sustained load: jobs arrive as a Poisson process at
+/// `jobs_per_slot` expected arrivals per slot, each with window size
+/// `window` (releases anywhere in [0, horizon - window]). Unlike the
+/// dyadic-budget generators this makes *no* feasibility promise — it is
+/// the workload for stability/capacity experiments (what arrival rates a
+/// protocol sustains), in the spirit of the queuing-theory work the paper
+/// cites.
+[[nodiscard]] Instance gen_poisson(double jobs_per_slot, Slot window,
+                                   Slot horizon, util::Rng& rng);
+
+/// Appends the jobs of `extra` to `base` and renormalizes.
+[[nodiscard]] Instance merge(Instance base, const Instance& extra);
+
+}  // namespace crmd::workload

@@ -1,0 +1,67 @@
+#include "workload/instance.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace crmd::workload {
+
+Slot Instance::min_release() const noexcept {
+  Slot best = 0;
+  bool first = true;
+  for (const auto& j : jobs) {
+    best = first ? j.release : std::min(best, j.release);
+    first = false;
+  }
+  return best;
+}
+
+Slot Instance::max_deadline() const noexcept {
+  Slot best = 0;
+  for (const auto& j : jobs) {
+    best = std::max(best, j.deadline);
+  }
+  return best;
+}
+
+Slot Instance::min_window() const noexcept {
+  Slot best = 0;
+  bool first = true;
+  for (const auto& j : jobs) {
+    best = first ? j.window() : std::min(best, j.window());
+    first = false;
+  }
+  return best;
+}
+
+Slot Instance::max_window() const noexcept {
+  Slot best = 0;
+  for (const auto& j : jobs) {
+    best = std::max(best, j.window());
+  }
+  return best;
+}
+
+void Instance::normalize() {
+  std::sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    if (a.release != b.release) {
+      return a.release < b.release;
+    }
+    return a.deadline < b.deadline;
+  });
+}
+
+bool Instance::valid() const noexcept {
+  return std::all_of(jobs.begin(), jobs.end(), [](const JobSpec& j) {
+    return j.release >= 0 && j.window() >= 1;
+  });
+}
+
+bool Instance::is_aligned() const noexcept {
+  return std::all_of(jobs.begin(), jobs.end(), [](const JobSpec& j) {
+    const Slot w = j.window();
+    return util::is_pow2(w) && j.release % w == 0;
+  });
+}
+
+}  // namespace crmd::workload

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file instance.hpp
+/// Problem instances: sets of jobs with release times and deadlines.
+///
+/// §1.1 of the paper: an instance is a set of n jobs; job j has release
+/// time r_j, deadline d_j, and one unit-length message. The job's *window*
+/// is [r_j, d_j) with size w_j = d_j - r_j (we use the half-open reading so
+/// that w_j equals the number of usable slots).
+
+namespace crmd::workload {
+
+/// One job's timing facts.
+struct JobSpec {
+  /// First slot the job may use.
+  Slot release = 0;
+  /// One past the last slot the job may use.
+  Slot deadline = 0;
+
+  /// Window size w_j.
+  [[nodiscard]] Slot window() const noexcept { return deadline - release; }
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// A full problem instance. Jobs are kept in release order (ties broken by
+/// deadline) by `normalize()`; generators always return normalized
+/// instances.
+struct Instance {
+  std::vector<JobSpec> jobs;
+
+  /// Number of jobs.
+  [[nodiscard]] std::size_t size() const noexcept { return jobs.size(); }
+
+  /// True when there are no jobs.
+  [[nodiscard]] bool empty() const noexcept { return jobs.empty(); }
+
+  /// Earliest release; 0 when empty.
+  [[nodiscard]] Slot min_release() const noexcept;
+
+  /// Latest deadline; 0 when empty.
+  [[nodiscard]] Slot max_deadline() const noexcept;
+
+  /// Smallest window size; 0 when empty.
+  [[nodiscard]] Slot min_window() const noexcept;
+
+  /// Largest window size; 0 when empty.
+  [[nodiscard]] Slot max_window() const noexcept;
+
+  /// Sorts jobs by (release, deadline) — the canonical order assumed by the
+  /// simulator's arrival sweep.
+  void normalize();
+
+  /// Validates basic sanity: every job has release >= 0 and window >= 1.
+  /// Returns false otherwise.
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// True when every window size is a power of two and every window starts
+  /// at a multiple of its size (§3's power-of-2-aligned special case).
+  [[nodiscard]] bool is_aligned() const noexcept;
+};
+
+}  // namespace crmd::workload

@@ -1,0 +1,33 @@
+#include "workload/trim.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace crmd::workload {
+
+AlignedWindow trimmed(Slot release, Slot deadline) noexcept {
+  assert(deadline > release);
+  const Slot w = deadline - release;
+  for (int k = util::floor_log2(w); k >= 0; --k) {
+    const Slot start = util::align_up(release, util::pow2(k));
+    if (start + util::pow2(k) <= deadline) {
+      return AlignedWindow{start, k};
+    }
+  }
+  // Unreachable: k == 0 always fits because w >= 1.
+  return AlignedWindow{release, 0};
+}
+
+Instance trimmed(const Instance& instance) {
+  Instance out;
+  out.jobs.reserve(instance.size());
+  for (const auto& j : instance.jobs) {
+    const AlignedWindow t = trimmed(j.release, j.deadline);
+    out.jobs.push_back(JobSpec{t.start, t.end()});
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace crmd::workload

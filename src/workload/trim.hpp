@@ -1,0 +1,35 @@
+#pragma once
+
+#include "util/types.hpp"
+#include "workload/instance.hpp"
+
+/// \file trim.hpp
+/// Window trimming (§4): `trimmed(W)` is a largest power-of-2-aligned
+/// window contained in W. The paper proves |trimmed(W)| >= |W|/4 and uses
+/// Lemma 15 ([11, 12]): a 4γ-slack feasible instance stays γ-slack feasible
+/// after trimming. PUNCTUAL followers trim their windows (in the leader's
+/// round clock) before running ALIGNED inside them.
+
+namespace crmd::workload {
+
+/// An aligned window [start, start + 2^level).
+struct AlignedWindow {
+  Slot start = 0;
+  int level = 0;
+
+  [[nodiscard]] Slot size() const noexcept { return Slot{1} << level; }
+  [[nodiscard]] Slot end() const noexcept { return start + size(); }
+
+  friend bool operator==(const AlignedWindow&, const AlignedWindow&) = default;
+};
+
+/// Largest power-of-2-aligned window inside [release, deadline). Requires
+/// deadline > release. When several candidates of the largest size exist,
+/// returns the earliest (a fixed deterministic choice — the paper allows an
+/// arbitrary one). The result always has size >= (deadline - release) / 4.
+[[nodiscard]] AlignedWindow trimmed(Slot release, Slot deadline) noexcept;
+
+/// Applies `trimmed` to every job of an instance (the paper's trimmed(J)).
+[[nodiscard]] Instance trimmed(const Instance& instance);
+
+}  // namespace crmd::workload

@@ -1,0 +1,175 @@
+// Tests for the baseline protocols: BEB, sawtooth, ALOHA, and the
+// centralized EDF reference scheduler.
+
+#include <gtest/gtest.h>
+
+#include "baselines/aloha.hpp"
+#include "baselines/beb.hpp"
+#include "baselines/edf.hpp"
+#include "baselines/sawtooth.hpp"
+#include "sim/simulator.hpp"
+#include "workload/feasibility.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::baselines {
+namespace {
+
+TEST(Beb, LoneJobSucceedsQuickly) {
+  const auto instance = workload::gen_batch(1, 256, 0);
+  sim::SimConfig config;
+  config.seed = 1;
+  const auto result =
+      sim::run(instance, make_beb_factory(BebConfig{8, 1 << 12}), config);
+  ASSERT_EQ(result.successes(), 1);
+  EXPECT_LT(result.jobs[0].success_slot, 8) << "first attempt lands in the "
+                                               "initial window";
+}
+
+TEST(Beb, BatchEventuallyDrains) {
+  const auto instance = workload::gen_batch(16, 1 << 13, 0);
+  sim::SimConfig config;
+  config.seed = 3;
+  const auto result = sim::run(instance, make_beb_factory(), config);
+  EXPECT_GE(result.success_rate(), 0.9);
+}
+
+TEST(Beb, WindowDoublesOnCollision) {
+  // Two jobs with the same rng would collide; instead verify the failure
+  // counter moves via a crafted pair that always collides initially.
+  const auto instance = workload::gen_batch(2, 1 << 10, 0);
+  sim::SimConfig config;
+  config.seed = 7;
+  sim::Simulation sim(instance, make_beb_factory(BebConfig{1, 1 << 8}),
+                      config);
+  // cw_min=1 forces both jobs to attempt slot 0 -> guaranteed collision.
+  sim.step();
+  auto* a = dynamic_cast<BebProtocol*>(sim.protocol(0));
+  auto* b = dynamic_cast<BebProtocol*>(sim.protocol(1));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->failures(), 1);
+  EXPECT_EQ(b->failures(), 1);
+  const auto result = sim.finish();
+  EXPECT_EQ(result.successes(), 2) << "backoff separates them eventually";
+}
+
+TEST(Beb, IgnoresDeadlines) {
+  // BEB has no deadline awareness: an overloaded short window leaves many
+  // jobs undelivered.
+  const auto instance = workload::gen_batch(64, 128, 0);
+  sim::SimConfig config;
+  config.seed = 9;
+  const auto result = sim::run(instance, make_beb_factory(), config);
+  EXPECT_LT(result.success_rate(), 0.9);
+}
+
+TEST(Sawtooth, PhasesSweepDown) {
+  SawtoothProtocol proto(util::Rng(1));
+  sim::JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 1 << 20;
+  proto.on_activate(info);
+  EXPECT_EQ(proto.epoch(), 1);
+  EXPECT_EQ(proto.phase(), 1);
+
+  // Drive silent slots; epochs sweep phase i..1 with 2^j slots per phase.
+  sim::SlotView view{0, 0};
+  sim::SlotFeedback silent;
+  // Epoch 1: phase 1, 2 slots. Then epoch 2: phases 2 (4 slots), 1 (2).
+  for (int s = 0; s < 2; ++s) {
+    (void)proto.on_slot(view);
+    proto.on_feedback(view, silent);
+  }
+  EXPECT_EQ(proto.epoch(), 2);
+  EXPECT_EQ(proto.phase(), 2);
+  for (int s = 0; s < 4; ++s) {
+    (void)proto.on_slot(view);
+    proto.on_feedback(view, silent);
+  }
+  EXPECT_EQ(proto.epoch(), 2);
+  EXPECT_EQ(proto.phase(), 1);
+}
+
+TEST(Sawtooth, BatchDrains) {
+  const auto instance = workload::gen_batch(32, 1 << 12, 0);
+  sim::SimConfig config;
+  config.seed = 11;
+  const auto result = sim::run(instance, make_sawtooth_factory(), config);
+  EXPECT_GE(result.success_rate(), 0.9);
+}
+
+TEST(Aloha, FixedProbabilityLoneJob) {
+  const auto instance = workload::gen_batch(1, 512, 0);
+  sim::SimConfig config;
+  config.seed = 13;
+  const auto result = sim::run(instance, make_aloha_factory(0.1), config);
+  EXPECT_EQ(result.successes(), 1);
+}
+
+TEST(Aloha, WindowScaledFactoryCapsAtHalf) {
+  const auto instance = workload::gen_batch(1, 4, 0);
+  sim::SimConfig config;
+  config.seed = 17;
+  // scale/window = 16/4 = 4 -> capped at 0.5; job transmits ~ every other
+  // slot and succeeds alone.
+  const auto result =
+      sim::run(instance, make_aloha_window_factory(16.0), config);
+  EXPECT_EQ(result.successes(), 1);
+}
+
+TEST(Edf, DeliversEverythingOnFeasibleInstances) {
+  util::Rng rng(19);
+  workload::GeneralConfig config;
+  config.min_window = 1 << 6;
+  config.max_window = 1 << 9;
+  config.gamma = 1.0 / 4;
+  config.horizon = 1 << 12;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto instance = workload::gen_general(config, rng);
+    ASSERT_TRUE(workload::edf_feasible(instance, 1));
+    EXPECT_EQ(edf_successes(instance),
+              static_cast<std::int64_t>(instance.size()));
+  }
+}
+
+TEST(Edf, PrefersEarlierDeadlines) {
+  workload::Instance inst;
+  inst.jobs = {{0, 2}, {0, 10}};
+  const auto results = edf_schedule(inst);
+  ASSERT_EQ(results.size(), 2u);
+  // Job with deadline 2 (id 0 after normalize) transmits first.
+  EXPECT_TRUE(results[0].success);
+  EXPECT_EQ(results[0].success_slot, 0);
+  EXPECT_TRUE(results[1].success);
+  EXPECT_EQ(results[1].success_slot, 1);
+}
+
+TEST(Edf, DropsOnlyWhatMustBeDropped) {
+  // Three jobs fighting for two slots: exactly one is dropped.
+  workload::Instance inst;
+  inst.jobs = {{0, 2}, {0, 2}, {0, 2}};
+  const auto results = edf_schedule(inst);
+  int delivered = 0;
+  for (const auto& r : results) {
+    delivered += r.success ? 1 : 0;
+  }
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Edf, IdleGapsAreSkipped) {
+  workload::Instance inst;
+  inst.jobs = {{0, 4}, {1000, 1004}};
+  const auto results = edf_schedule(inst);
+  EXPECT_TRUE(results[0].success);
+  EXPECT_TRUE(results[1].success);
+  EXPECT_EQ(results[1].success_slot, 1000);
+}
+
+TEST(Edf, EmptyInstance) {
+  EXPECT_TRUE(edf_schedule(workload::Instance{}).empty());
+  EXPECT_EQ(edf_successes(workload::Instance{}), 0);
+}
+
+}  // namespace
+}  // namespace crmd::baselines

@@ -1,0 +1,94 @@
+// Tests for the Lemma 2 contention-bound calculators: envelope shapes, the
+// exact success-probability formula, and a Monte-Carlo cross-check that
+// empirical slot outcomes respect the bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "util/rng.hpp"
+
+namespace crmd::analysis {
+namespace {
+
+TEST(Bounds, EnvelopeValues) {
+  // C = 1: lower = e^-2, upper = 2/e.
+  EXPECT_NEAR(success_prob_lower(1.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(success_prob_upper(1.0), 2.0 / std::exp(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(success_prob_lower(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(success_prob_upper(0.0), 0.0);
+}
+
+TEST(Bounds, LowerNeverExceedsUpper) {
+  for (double c = 0.01; c < 20.0; c += 0.07) {
+    EXPECT_LE(success_prob_lower(c), success_prob_upper(c)) << "C=" << c;
+  }
+}
+
+TEST(Bounds, HighContentionKillsSuccess) {
+  // Corollary 3: C = Ω(1) implies exponentially small success.
+  EXPECT_LT(success_prob_upper(20.0), 1e-6);
+}
+
+TEST(Bounds, ExactFormulaSimpleCases) {
+  // One transmitter with p: success prob p.
+  const std::vector<double> one{0.3};
+  EXPECT_NEAR(success_prob_exact(one), 0.3, 1e-12);
+  // Two with p, q: p(1-q) + q(1-p).
+  const std::vector<double> two{0.3, 0.5};
+  EXPECT_NEAR(success_prob_exact(two), 0.3 * 0.5 + 0.5 * 0.7, 1e-12);
+  // Degenerate p = 1 transmitter: success iff everyone else silent.
+  const std::vector<double> with_one{1.0, 0.25};
+  EXPECT_NEAR(success_prob_exact(with_one), 0.75, 1e-12);
+  // Two certain transmitters always collide.
+  const std::vector<double> both_one{1.0, 1.0};
+  EXPECT_NEAR(success_prob_exact(both_one), 0.0, 1e-12);
+  EXPECT_NEAR(success_prob_exact(std::vector<double>{}), 0.0, 1e-12);
+}
+
+TEST(Bounds, SilenceFormula) {
+  const std::vector<double> probs{0.5, 0.5};
+  EXPECT_NEAR(silence_prob_exact(probs), 0.25, 1e-12);
+  EXPECT_NEAR(silence_prob_exact(std::vector<double>{}), 1.0, 1e-12);
+}
+
+TEST(Bounds, ExactRespectsEnvelopesWhenProbsAtMostHalf) {
+  // Lemma 2's hypothesis: all p_i <= 1/2. Check random profiles.
+  util::Rng rng(246);
+  for (int rep = 0; rep < 500; ++rep) {
+    const int n = static_cast<int>(rng.range(1, 30));
+    std::vector<double> probs;
+    double contention = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double p = rng.next_double() * 0.5;
+      probs.push_back(p);
+      contention += p;
+    }
+    const double exact = success_prob_exact(probs);
+    EXPECT_GE(exact, success_prob_lower(contention) - 1e-12)
+        << "rep " << rep;
+    EXPECT_LE(exact, success_prob_upper(contention) + 1e-12)
+        << "rep " << rep;
+  }
+}
+
+TEST(Bounds, MonteCarloMatchesExact) {
+  const std::vector<double> probs{0.1, 0.25, 0.4, 0.05};
+  const double exact = success_prob_exact(probs);
+  util::Rng rng(135);
+  int successes = 0;
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int tx = 0;
+    for (const double p : probs) {
+      tx += rng.bernoulli(p) ? 1 : 0;
+    }
+    successes += (tx == 1) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(successes) / kTrials, exact, 0.005);
+}
+
+}  // namespace
+}  // namespace crmd::analysis

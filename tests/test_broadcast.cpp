@@ -1,0 +1,123 @@
+// Tests for the broadcast-stage schedule: Lemma 6's active-step count and
+// the step -> (phase, subphase, offset) geometry.
+
+#include <gtest/gtest.h>
+
+#include "core/aligned/broadcast.hpp"
+#include "core/params.hpp"
+#include "util/math.hpp"
+
+namespace crmd::core::aligned {
+namespace {
+
+Params test_params(int lambda = 2) {
+  Params p;
+  p.lambda = lambda;
+  return p;
+}
+
+TEST(BroadcastSchedule, Lemma6TotalSteps) {
+  // Lemma 6: estimation λℓ² plus broadcast gives 2λ(ℓ² + n − 1) in total,
+  // i.e. broadcast alone is λ(2n − 2 + ℓ²), for estimates n >= 2.
+  for (const int lambda : {1, 2, 3}) {
+    const Params p = test_params(lambda);
+    for (const int level : {2, 5, 10, 16}) {
+      for (const std::int64_t n : {2LL, 8LL, 128LL, 4096LL}) {
+        const BroadcastSchedule sched(p, level, n);
+        EXPECT_EQ(sched.total_steps(), lambda * (2 * n - 2 + level * level));
+        EXPECT_EQ(p.total_steps(level, n),
+                  2LL * lambda * (level * level + n - 1))
+            << "λ=" << lambda << " ℓ=" << level << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BroadcastSchedule, EmptyEstimateHasNoSteps) {
+  const Params p = test_params();
+  const BroadcastSchedule sched(p, 6, 0);
+  EXPECT_EQ(sched.total_steps(), 0);
+  EXPECT_EQ(sched.phases(), 0u);
+}
+
+TEST(BroadcastSchedule, EstimateOneIsEqualPhasesOnly) {
+  const Params p = test_params();
+  const int level = 6;
+  const BroadcastSchedule sched(p, level, 1);
+  EXPECT_EQ(sched.total_steps(), p.lambda * level * level);
+  EXPECT_EQ(sched.phases(), static_cast<std::size_t>(level));
+  for (std::size_t i = 0; i < sched.phases(); ++i) {
+    EXPECT_EQ(sched.phase_subphase_len(i), level);
+  }
+}
+
+TEST(BroadcastSchedule, PhaseLayoutDecaysThenEqualizes) {
+  const Params p = test_params();
+  const int level = 4;
+  const std::int64_t n = 16;
+  const BroadcastSchedule sched(p, level, n);
+  // Decay phases: 16, 8, 4, 2; then 4 equal phases of 4.
+  ASSERT_EQ(sched.phases(), 8u);
+  EXPECT_EQ(sched.phase_subphase_len(0), 16);
+  EXPECT_EQ(sched.phase_subphase_len(1), 8);
+  EXPECT_EQ(sched.phase_subphase_len(2), 4);
+  EXPECT_EQ(sched.phase_subphase_len(3), 2);
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(sched.phase_subphase_len(i), level);
+  }
+}
+
+TEST(BroadcastSchedule, PositionWalksSubphasesMonotonically) {
+  const Params p = test_params(3);
+  const BroadcastSchedule sched(p, 3, 8);
+  std::int64_t last_subphase = -1;
+  std::int64_t steps_in_subphase = 0;
+  for (std::int64_t step = 0; step < sched.total_steps(); ++step) {
+    const auto pos = sched.position(step);
+    ASSERT_GE(pos.subphase_len, 2);
+    ASSERT_GE(pos.offset, 0);
+    ASSERT_LT(pos.offset, pos.subphase_len);
+    if (pos.subphase_id != last_subphase) {
+      // A new subphase must start at offset 0 and follow the previous one.
+      EXPECT_EQ(pos.offset, 0);
+      EXPECT_EQ(pos.subphase_id, last_subphase + 1);
+      if (last_subphase >= 0) {
+        EXPECT_GT(steps_in_subphase, 0);
+      }
+      last_subphase = pos.subphase_id;
+      steps_in_subphase = 0;
+    } else {
+      // Offsets advance by one inside a subphase.
+      EXPECT_EQ(pos.offset, steps_in_subphase);
+    }
+    ++steps_in_subphase;
+  }
+}
+
+TEST(BroadcastSchedule, SubphaseCountIsLambdaPerPhase) {
+  const Params p = test_params(2);
+  const BroadcastSchedule sched(p, 5, 4);
+  // Phases: 4, 2, then five equal phases of 5 -> 7 phases, λ=2 subphases
+  // each -> subphase ids 0..13.
+  const auto last = sched.position(sched.total_steps() - 1);
+  EXPECT_EQ(last.subphase_id, 13);
+}
+
+TEST(BroadcastSchedule, CoversEveryStepExactlyOnce) {
+  const Params p = test_params(2);
+  const BroadcastSchedule sched(p, 4, 32);
+  std::int64_t covered = 0;
+  std::int64_t expected_id = 0;
+  for (std::int64_t step = 0; step < sched.total_steps();) {
+    const auto pos = sched.position(step);
+    EXPECT_EQ(pos.subphase_id, expected_id);
+    EXPECT_EQ(pos.offset, 0);
+    covered += pos.subphase_len;
+    step += pos.subphase_len;
+    ++expected_id;
+  }
+  EXPECT_EQ(covered, sched.total_steps());
+}
+
+}  // namespace
+}  // namespace crmd::core::aligned

@@ -1,0 +1,126 @@
+// Unit tests for channel resolution, message builders, and jammer policies.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/jammer.hpp"
+#include "sim/message.hpp"
+
+namespace crmd::sim {
+namespace {
+
+TEST(Channel, EmptySlotIsSilent) {
+  const std::vector<Transmission> none;
+  const SlotFeedback fb = resolve_slot(none);
+  EXPECT_EQ(fb.outcome, SlotOutcome::kSilence);
+  EXPECT_FALSE(fb.message.has_value());
+}
+
+TEST(Channel, SingleTransmissionSucceedsAndDeliversContent) {
+  std::vector<Transmission> tx{{/*job=*/3, make_leader_claim(3, 99)}};
+  const SlotFeedback fb = resolve_slot(tx);
+  ASSERT_EQ(fb.outcome, SlotOutcome::kSuccess);
+  ASSERT_TRUE(fb.message.has_value());
+  EXPECT_EQ(fb.message->kind, MessageKind::kLeaderClaim);
+  EXPECT_EQ(fb.message->sender, 3u);
+  EXPECT_EQ(fb.message->deadline_in, 99);
+}
+
+TEST(Channel, TwoTransmissionsCollide) {
+  std::vector<Transmission> tx{{1, make_data(1)}, {2, make_data(2)}};
+  const SlotFeedback fb = resolve_slot(tx);
+  EXPECT_EQ(fb.outcome, SlotOutcome::kNoise);
+  EXPECT_FALSE(fb.message.has_value());
+}
+
+TEST(Channel, ManyTransmissionsCollide) {
+  std::vector<Transmission> tx;
+  for (JobId j = 0; j < 50; ++j) {
+    tx.push_back({j, make_control(j)});
+  }
+  EXPECT_EQ(resolve_slot(tx).outcome, SlotOutcome::kNoise);
+}
+
+TEST(Message, BuildersSetFields) {
+  const Message d = make_data(7);
+  EXPECT_EQ(d.kind, MessageKind::kData);
+  EXPECT_EQ(d.sender, 7u);
+  EXPECT_FALSE(d.abdicating);
+
+  const Message c = make_control(8);
+  EXPECT_EQ(c.kind, MessageKind::kControl);
+
+  const Message s = make_start(9);
+  EXPECT_EQ(s.kind, MessageKind::kStart);
+
+  const Message tk = make_timekeeper(10, 1234, 55, true);
+  EXPECT_EQ(tk.kind, MessageKind::kTimekeeper);
+  EXPECT_EQ(tk.time, 1234);
+  EXPECT_EQ(tk.deadline_in, 55);
+  EXPECT_TRUE(tk.abdicating);
+}
+
+TEST(Message, KindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kData), "data");
+  EXPECT_STREQ(to_string(MessageKind::kControl), "control");
+  EXPECT_STREQ(to_string(MessageKind::kStart), "start");
+  EXPECT_STREQ(to_string(MessageKind::kLeaderClaim), "leader-claim");
+  EXPECT_STREQ(to_string(MessageKind::kTimekeeper), "timekeeper");
+}
+
+TEST(Channel, OutcomeNames) {
+  EXPECT_STREQ(to_string(SlotOutcome::kSilence), "silence");
+  EXPECT_STREQ(to_string(SlotOutcome::kSuccess), "success");
+  EXPECT_STREQ(to_string(SlotOutcome::kNoise), "noise");
+}
+
+// ------------------------------------------------------------- jammers -----
+
+TEST(Jammer, BlanketAlwaysWants) {
+  auto j = make_blanket_jammer(0.5);
+  EXPECT_TRUE(j->wants_jam(0, SlotOutcome::kSilence, nullptr));
+  EXPECT_TRUE(j->wants_jam(1, SlotOutcome::kNoise, nullptr));
+  const Message m = make_data(0);
+  EXPECT_TRUE(j->wants_jam(2, SlotOutcome::kSuccess, &m));
+  EXPECT_DOUBLE_EQ(j->p_jam(), 0.5);
+}
+
+TEST(Jammer, ReactiveOnlyWantsSuccesses) {
+  auto j = make_reactive_jammer(0.4);
+  EXPECT_FALSE(j->wants_jam(0, SlotOutcome::kSilence, nullptr));
+  EXPECT_FALSE(j->wants_jam(0, SlotOutcome::kNoise, nullptr));
+  const Message m = make_data(0);
+  EXPECT_TRUE(j->wants_jam(0, SlotOutcome::kSuccess, &m));
+}
+
+TEST(Jammer, ControlTargetedFiltersKind) {
+  auto j = make_control_jammer(0.5);
+  const Message ctrl = make_control(0);
+  const Message data = make_data(0);
+  EXPECT_TRUE(j->wants_jam(0, SlotOutcome::kSuccess, &ctrl));
+  EXPECT_FALSE(j->wants_jam(0, SlotOutcome::kSuccess, &data));
+  EXPECT_FALSE(j->wants_jam(0, SlotOutcome::kSilence, nullptr));
+}
+
+TEST(Jammer, DataTargetedFiltersKind) {
+  auto j = make_data_jammer(0.5);
+  const Message ctrl = make_control(0);
+  const Message data = make_data(0);
+  EXPECT_FALSE(j->wants_jam(0, SlotOutcome::kSuccess, &ctrl));
+  EXPECT_TRUE(j->wants_jam(0, SlotOutcome::kSuccess, &data));
+}
+
+TEST(Jammer, RandomAttemptRateIsHonored) {
+  auto j = make_random_jammer(0.25, 0.5, util::Rng(99));
+  int wants = 0;
+  constexpr int kSlots = 20000;
+  for (int i = 0; i < kSlots; ++i) {
+    wants += j->wants_jam(i, SlotOutcome::kSilence, nullptr) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(wants) / kSlots, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace crmd::sim

@@ -1,0 +1,85 @@
+// Tests for per-job channel-access accounting (the energy metric): the
+// simulator counts each job's transmissions and live slots; the aggregator
+// rolls them up.
+
+#include <gtest/gtest.h>
+
+#include "analysis/outcomes.hpp"
+#include "baselines/aloha.hpp"
+#include "core/uniform.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::sim {
+namespace {
+
+TEST(Energy, ScriptedJobCountsExactTransmissions) {
+  auto instance = test::instance_of({{0, 20}});
+  // Scripted attempts at offsets 3, 7, 11 — but success at 3 retires it.
+  const auto result =
+      run(instance, test::script_factory({3, 7, 11}), SimConfig{});
+  ASSERT_TRUE(result.jobs[0].success);
+  EXPECT_EQ(result.jobs[0].transmissions, 1);
+  EXPECT_EQ(result.jobs[0].live_slots, 4);  // slots 0..3
+}
+
+TEST(Energy, FailedJobCountsAllAttempts) {
+  auto instance = test::instance_of({{0, 20}, {0, 20}});
+  // Both jobs transmit at the same offsets: all attempts collide.
+  const auto result =
+      run(instance, test::script_factory({2, 5}), SimConfig{});
+  for (const auto& job : result.jobs) {
+    EXPECT_FALSE(job.success);
+    EXPECT_EQ(job.transmissions, 2);
+  }
+}
+
+TEST(Energy, UniformUsesAtMostConfiguredAttempts) {
+  core::Params params;
+  params.uniform_attempts = 3;
+  const auto instance = workload::gen_batch(10, 256, 0);
+  SimConfig config;
+  config.seed = 3;
+  const auto result =
+      run(instance, core::make_uniform_factory(params), config);
+  for (const auto& job : result.jobs) {
+    EXPECT_LE(job.transmissions, 3);
+    EXPECT_GE(job.transmissions, 1);
+  }
+}
+
+TEST(Energy, AlohaAccessCountMatchesProbabilityScale) {
+  // A lone ALOHA job at p = 0.25 over a 4000-slot window transmits ~1000
+  // times if it never succeeded — but it succeeds almost immediately; to
+  // measure the rate, use two jobs that always collide... simpler: jam
+  // everything so no success ever happens.
+  const auto instance = workload::gen_batch(1, 4000, 0);
+  SimConfig config;
+  config.seed = 9;
+  const auto result = run(instance, baselines::make_aloha_factory(0.25),
+                          config, make_blanket_jammer(1.0));
+  EXPECT_FALSE(result.jobs[0].success);
+  EXPECT_NEAR(static_cast<double>(result.jobs[0].transmissions), 1000.0,
+              120.0);
+  EXPECT_EQ(result.jobs[0].live_slots, 4000);
+}
+
+TEST(Energy, AggregatorRollsUpAccesses) {
+  analysis::OutcomeAggregator agg;
+  JobResult a;
+  a.release = 0;
+  a.deadline = 64;
+  a.transmissions = 4;
+  JobResult b;
+  b.release = 0;
+  b.deadline = 64;
+  b.transmissions = 10;
+  agg.add_job(a);
+  agg.add_job(b);
+  EXPECT_DOUBLE_EQ(agg.accesses().mean(), 7.0);
+  EXPECT_DOUBLE_EQ(agg.by_window().at(64).accesses.mean(), 7.0);
+}
+
+}  // namespace
+}  // namespace crmd::sim

@@ -1,0 +1,125 @@
+// Tests for the γ-slack feasibility checkers: EDF vs Hall cross-validation
+// (parameterized property sweep) plus hand-built cases.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/feasibility.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::workload {
+namespace {
+
+TEST(Feasibility, EmptyInstanceIsFeasible) {
+  const Instance inst;
+  EXPECT_TRUE(edf_feasible(inst, 1));
+  EXPECT_TRUE(hall_feasible(inst, 1));
+}
+
+TEST(Feasibility, SingleJobExactFit) {
+  Instance inst;
+  inst.jobs = {{0, 4}};
+  EXPECT_TRUE(edf_feasible(inst, 4));
+  EXPECT_FALSE(edf_feasible(inst, 5));
+  EXPECT_TRUE(hall_feasible(inst, 4));
+  EXPECT_FALSE(hall_feasible(inst, 5));
+}
+
+TEST(Feasibility, TwoJobsSharedWindow) {
+  Instance inst;
+  inst.jobs = {{0, 8}, {0, 8}};
+  EXPECT_TRUE(edf_feasible(inst, 4));
+  EXPECT_FALSE(edf_feasible(inst, 5));
+}
+
+TEST(Feasibility, OverloadedIntervalDetected) {
+  // Three unit jobs squeezed into two slots.
+  Instance inst;
+  inst.jobs = {{0, 2}, {0, 2}, {0, 2}};
+  EXPECT_FALSE(edf_feasible(inst, 1));
+  EXPECT_FALSE(hall_feasible(inst, 1));
+}
+
+TEST(Feasibility, StaggeredReleasesNeedEdfOrder) {
+  // Classic EDF case: later-released job with earlier deadline must preempt.
+  Instance inst;
+  inst.jobs = {{0, 10}, {2, 4}};
+  EXPECT_TRUE(edf_feasible(inst, 2));
+  EXPECT_TRUE(hall_feasible(inst, 2));
+}
+
+TEST(Feasibility, WindowSmallerThanLengthInfeasible) {
+  Instance inst;
+  inst.jobs = {{0, 3}};
+  EXPECT_FALSE(edf_feasible(inst, 4));
+}
+
+TEST(Feasibility, SlackWrapsInflation) {
+  Instance inst;
+  inst.jobs = {{0, 8}, {0, 8}};
+  EXPECT_TRUE(is_slack_feasible(inst, 0.5));        // L=2, demand 4 <= 8
+  EXPECT_FALSE(is_slack_feasible(inst, 1.0 / 5));   // L=5, demand 10 > 8
+}
+
+TEST(Feasibility, MaxInflationBinarySearch) {
+  Instance inst;
+  inst.jobs = {{0, 12}, {0, 12}, {0, 12}};
+  // Three jobs in 12 slots: max length 4.
+  EXPECT_EQ(max_inflation(inst), 4);
+
+  Instance single;
+  single.jobs = {{0, 7}};
+  EXPECT_EQ(max_inflation(single), 7);
+
+  Instance overloaded;
+  overloaded.jobs = {{0, 1}, {0, 1}};
+  EXPECT_EQ(max_inflation(overloaded), 0);
+
+  EXPECT_EQ(max_inflation(Instance{}), 0);
+}
+
+// Property sweep: EDF and Hall must agree on random instances for several
+// inflation lengths.
+class FeasibilityAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeasibilityAgreement, EdfMatchesHallOnRandomInstances) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int rep = 0; rep < 30; ++rep) {
+    Instance inst;
+    const int n = static_cast<int>(rng.range(1, 12));
+    for (int i = 0; i < n; ++i) {
+      const Slot r = rng.range(0, 30);
+      const Slot w = rng.range(1, 20);
+      inst.jobs.push_back(JobSpec{r, r + w});
+    }
+    for (const std::int64_t len : {1, 2, 3, 5}) {
+      EXPECT_EQ(edf_feasible(inst, len), hall_feasible(inst, len))
+          << "seed=" << seed << " rep=" << rep << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeasibilityAgreement,
+                         ::testing::Range(1, 9));
+
+TEST(Feasibility, GeneratorInstancesPassBothCheckers) {
+  util::Rng rng(2024);
+  AlignedConfig config;
+  config.min_class = 5;
+  config.max_class = 8;
+  config.gamma = 1.0 / 4;
+  config.horizon = 1 << 10;
+  for (int rep = 0; rep < 5; ++rep) {
+    const Instance inst = gen_aligned(config, rng);
+    if (inst.size() > 60) {
+      continue;  // keep the O(n^3) Hall check cheap
+    }
+    const auto len = static_cast<std::int64_t>(1.0 / config.gamma);
+    EXPECT_TRUE(edf_feasible(inst, len));
+    EXPECT_TRUE(hall_feasible(inst, len));
+  }
+}
+
+}  // namespace
+}  // namespace crmd::workload

@@ -1,0 +1,122 @@
+// Executable check of Lemma 11: for a window W of size w, the sum of the
+// size estimates produced by W and all windows nested inside it is at most
+// 2τ²·N̂_W + 2w/w₀ (w.h.p.), where N̂_W counts the jobs in those windows
+// and w₀ is the smallest window size.
+//
+// The harness steps ALIGNED over laminar instances, captures every class
+// window's estimate the moment its estimation completes (via the
+// own_estimate hook of a job in that window), and compares the nested sums
+// against the bound.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/aligned/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/math.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::core::aligned {
+namespace {
+
+class Lemma11Sums : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma11Sums, NestedEstimateSumsRespectTheBound) {
+  const std::uint64_t seed = GetParam();
+  Params p;
+  p.lambda = 2;
+  p.tau = 8;
+  p.min_class = 9;
+
+  workload::AlignedConfig config;
+  config.min_class = 9;
+  config.max_class = 12;
+  config.gamma = 1.0 / 32;
+  config.fill = 0.5;
+  config.horizon = 1 << 14;
+  util::Rng rng(seed);
+  const workload::Instance instance = workload::gen_aligned(config, rng);
+  if (instance.empty()) {
+    GTEST_SKIP();
+  }
+
+  // True job counts per (level, window start).
+  std::map<std::pair<int, Slot>, std::int64_t> true_counts;
+  for (const auto& job : instance.jobs) {
+    const int level = util::floor_log2(job.window());
+    ++true_counts[{level, job.release}];
+  }
+
+  // Observed estimates per (level, window start): sample own_estimate from
+  // any live job of that window once it becomes known.
+  std::map<std::pair<int, Slot>, std::int64_t> estimates;
+  sim::SimConfig sc;
+  sc.seed = seed;
+  sim::Simulation sim(instance, make_aligned_factory(p), sc);
+  std::vector<Slot> releases;
+  for (const auto& j : instance.jobs) {
+    releases.push_back(j.release);
+  }
+  while (!sim.finished()) {
+    for (const JobId id : sim.live_jobs()) {
+      auto* proto = dynamic_cast<AlignedProtocol*>(sim.protocol(id));
+      if (proto == nullptr) {
+        continue;
+      }
+      const std::int64_t est = proto->own_estimate();
+      if (est >= 0) {
+        estimates.emplace(
+            std::make_pair(proto->level(), releases[id]), est);
+      }
+    }
+    if (!sim.step()) {
+      break;
+    }
+  }
+  sim.finish();
+  ASSERT_FALSE(estimates.empty());
+
+  // Every observed estimate must respect Lemma 8's per-window bracket
+  // (this is the w.h.p. event the sums build on).
+  for (const auto& [key, est] : estimates) {
+    const auto it = true_counts.find(key);
+    const std::int64_t n_hat = it == true_counts.end() ? 0 : it->second;
+    ASSERT_GT(n_hat, 0) << "an estimate was produced for an empty window";
+    EXPECT_GE(est, 2 * n_hat) << "level " << key.first;
+    EXPECT_LE(est, p.tau * p.tau * n_hat) << "level " << key.first;
+  }
+
+  // Lemma 11's aggregated form for each top-level window W.
+  const Slot w0 = util::pow2(config.min_class);
+  const Slot w_top = util::pow2(config.max_class);
+  for (Slot start = 0; start + w_top <= config.horizon; start += w_top) {
+    std::int64_t sum_estimates = 0;
+    std::int64_t n_nested = 0;
+    for (const auto& [key, est] : estimates) {
+      const Slot wstart = key.second;
+      const Slot wsize = util::pow2(key.first);
+      if (wstart >= start && wstart + wsize <= start + w_top) {
+        sum_estimates += est;
+      }
+    }
+    for (const auto& [key, count] : true_counts) {
+      const Slot wstart = key.second;
+      const Slot wsize = util::pow2(key.first);
+      if (wstart >= start && wstart + wsize <= start + w_top) {
+        n_nested += count;
+      }
+    }
+    const std::int64_t bound =
+        2 * p.tau * p.tau * n_nested + 2 * w_top / w0;
+    EXPECT_LE(sum_estimates, bound)
+        << "window [" << start << ", " << start + w_top << ") with "
+        << n_nested << " nested jobs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma11Sums,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace crmd::core::aligned

@@ -1,0 +1,141 @@
+// Executable invariants for PUNCTUAL, checked while stepping random general
+// instances (parameterized by seed):
+//
+//  * grid agreement — every pair of synced live jobs computes the same
+//    round offset for the current slot;
+//  * frame agreement — every pair of frame-knowing jobs computes the same
+//    leader round for the current slot;
+//  * guard silence — nobody transmits in guard slots;
+//  * busy pairs — two consecutive busy slots occur only at round starts
+//    (the synchronization invariant the 11-slot round restores);
+//  * timekeeper uniqueness — at most one transmitter in timekeeper slots;
+//  * deliveries land inside windows.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/punctual/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::core::punctual {
+namespace {
+
+class PunctualInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PunctualInvariants, AllInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  Params p;
+  p.lambda = 2;
+  p.tau = 4;
+  p.min_class = 8;
+  // Mix of regimes: moderate claim scale so some runs elect leaders.
+  p.pullback_prob_log_exp = 1.0;
+  p.pullback_prob_scale = (seed % 2 == 0) ? 1.0 : 64.0;
+
+  workload::GeneralConfig config;
+  config.min_window = 1 << 10;
+  config.max_window = 1 << 12;
+  config.gamma = 1.0 / 16;
+  config.fill = 0.5;
+  config.horizon = 1 << 14;
+  util::Rng rng(seed);
+  const workload::Instance instance = workload::gen_general(config, rng);
+  if (instance.empty()) {
+    GTEST_SKIP() << "empty instance for this seed";
+  }
+  std::vector<Slot> releases;
+  for (const auto& j : instance.jobs) {
+    releases.push_back(j.release);
+  }
+
+  sim::SimConfig sc;
+  sc.seed = seed;
+  sim::Simulation sim(instance, make_punctual_factory(p), sc);
+
+  std::optional<Slot> anchor;  // global slot of a round start
+  bool prev_busy = false;
+  Slot prev_slot = kNoSlot;
+  std::int64_t grid_checks = 0;
+
+  sim.set_observer([&](const sim::SlotRecord& rec,
+                       std::span<const sim::Transmission> tx) {
+    const bool busy = rec.outcome != sim::SlotOutcome::kSilence;
+    if (anchor.has_value()) {
+      const std::int64_t off = (rec.slot - *anchor) % kRoundLength;
+      const SlotType type = slot_type(off);
+      // Guard silence.
+      if (type == SlotType::kGuard) {
+        EXPECT_TRUE(tx.empty()) << "guard transmission at slot " << rec.slot;
+      }
+      // Timekeeper uniqueness.
+      if (type == SlotType::kTimekeeper) {
+        EXPECT_LE(tx.size(), 1u)
+            << "competing timekeepers at slot " << rec.slot;
+      }
+      // Busy pairs only at round start: if this and the previous slot are
+      // both busy, this slot must have offset 1.
+      if (busy && prev_busy && prev_slot == rec.slot - 1) {
+        EXPECT_EQ(off, 1) << "mid-round busy pair at slot " << rec.slot;
+      }
+    }
+    prev_busy = busy;
+    prev_slot = rec.slot;
+  });
+
+  while (!sim.finished()) {
+    const Slot now = sim.now();
+    // Grid + frame agreement across live jobs.
+    std::optional<std::int64_t> grid_offset;
+    std::optional<std::int64_t> leader_round;
+    for (const JobId id : sim.live_jobs()) {
+      auto* proto = dynamic_cast<PunctualProtocol*>(sim.protocol(id));
+      if (proto == nullptr || !proto->clock().synced()) {
+        continue;
+      }
+      const Slot t = now - releases[id];
+      if (t < 0) {
+        continue;
+      }
+      const std::int64_t off = proto->clock().offset(t);
+      if (!grid_offset.has_value()) {
+        grid_offset = off;
+        if (!anchor.has_value()) {
+          anchor = now - off;
+        }
+      } else {
+        EXPECT_EQ(off, *grid_offset) << "grid disagreement at slot " << now;
+        ++grid_checks;
+      }
+      if (proto->clock().frame_known()) {
+        const std::int64_t lr = proto->clock().leader_round(t);
+        if (!leader_round.has_value()) {
+          leader_round = lr;
+        } else {
+          EXPECT_EQ(lr, *leader_round)
+              << "leader-frame disagreement at slot " << now;
+        }
+      }
+    }
+    if (!sim.step()) {
+      break;
+    }
+  }
+  EXPECT_GT(grid_checks, 0) << "the invariant was never exercised";
+
+  const auto result = sim.finish();
+  for (const auto& job : result.jobs) {
+    if (job.success) {
+      EXPECT_GE(job.success_slot, job.release);
+      EXPECT_LT(job.success_slot, job.deadline);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PunctualInvariants,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace crmd::core::punctual

@@ -1,0 +1,56 @@
+// Tests for the name-based protocol registry.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::core {
+namespace {
+
+TEST(Registry, ListsAllProtocols) {
+  const auto names = protocol_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(is_protocol(name)) << name;
+  }
+  EXPECT_FALSE(is_protocol("bogus"));
+  EXPECT_FALSE(is_protocol(""));
+  EXPECT_FALSE(is_protocol("ALIGNED")) << "names are case-sensitive";
+}
+
+TEST(Registry, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(make_protocol("nope", Params{}).has_value());
+}
+
+TEST(Registry, EveryProtocolRunsOnAnAlignedBatch) {
+  // Aligned windows satisfy every protocol's contract (ALIGNED requires
+  // them; the rest don't care).
+  Params params;
+  params.lambda = 2;
+  params.tau = 4;
+  params.min_class = 12;
+  const auto instance = workload::gen_batch(4, 1 << 12, 0);
+  for (const auto& name : protocol_names()) {
+    const auto factory = make_protocol(name, params);
+    ASSERT_TRUE(factory.has_value()) << name;
+    sim::SimConfig config;
+    config.seed = 5;
+    const auto result = sim::run(instance, *factory, config);
+    EXPECT_EQ(result.jobs.size(), 4u) << name;
+    EXPECT_GE(result.successes(), 1) << name;
+  }
+}
+
+TEST(Registry, InvalidParamsRejectedForCoreProtocols) {
+  Params bad;
+  bad.lambda = 0;
+  for (const auto& name : {"uniform", "aligned", "punctual"}) {
+    EXPECT_THROW((void)make_protocol(name, bad), std::invalid_argument)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace crmd::core

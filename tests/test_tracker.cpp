@@ -1,0 +1,197 @@
+// Tests for the replicated pecking-order tracker: boundary resets, the
+// smallest-incomplete-class priority rule, empty-class bookkeeping, and
+// completion accounting.
+//
+// Class levels in these tests respect the schedulability constraint the
+// paper's Lemma 12 encodes: a class ℓ can only make progress if its
+// estimation cost λℓ² (plus nested smaller classes) fits inside its window
+// 2^ℓ. With λ=1 that means ℓ >= 5 for the class itself and ℓ >= 8 for
+// healthy multi-class progressions.
+
+#include <gtest/gtest.h>
+
+#include "core/aligned/tracker.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace crmd::core::aligned {
+namespace {
+
+Params test_params(int lambda = 1) {
+  Params p;
+  p.lambda = lambda;
+  p.tau = 64;
+  return p;
+}
+
+// Drives a tracker over silent slots [from, from+count).
+void run_silent(Tracker& tracker, Slot from, Slot count) {
+  for (Slot t = from; t < from + count; ++t) {
+    tracker.begin_slot(t);
+    tracker.end_slot(sim::SlotOutcome::kSilence);
+  }
+}
+
+TEST(Tracker, SmallestClassIsActiveFirst) {
+  const Params p = test_params();
+  Tracker tracker(p, /*min_class=*/2, /*own_class=*/4);
+  tracker.begin_slot(0);
+  EXPECT_EQ(tracker.active_class(), 2);
+}
+
+TEST(Tracker, EmptyClassConsumesEstimationThenCompletes) {
+  const Params p = test_params();
+  Tracker tracker(p, /*min_class=*/5, /*own_class=*/6);
+  // Class 5's estimation is λℓ² = 25 silent steps; estimate resolves to 0
+  // and the (empty) class completes with no broadcast stage.
+  run_silent(tracker, 0, 25);
+  tracker.begin_slot(25);
+  EXPECT_TRUE(tracker.view(5).complete);
+  EXPECT_EQ(tracker.view(5).estimate, 0);
+  EXPECT_EQ(tracker.active_class(), 6);
+}
+
+TEST(Tracker, WindowBoundaryResetsCompletedClass) {
+  const Params p = test_params();
+  Tracker tracker(p, 5, 6);
+  run_silent(tracker, 0, 32);  // class 5 completes at step 25, class 6 runs
+  // t=32 is a class-5 boundary: its next window starts fresh and takes
+  // priority again.
+  tracker.begin_slot(32);
+  EXPECT_EQ(tracker.active_class(), 5);
+  EXPECT_FALSE(tracker.view(5).complete);
+}
+
+TEST(Tracker, StarvedClassNeverRuns) {
+  // With λ=1 a class-4 window (16 slots) is exactly consumed by its own
+  // estimation (16 steps): every boundary restarts it, so class 5 never
+  // gets an active step. This is the degenerate regime Lemma 12's "small
+  // enough γ" assumption excludes.
+  const Params p = test_params();
+  Tracker tracker(p, 4, 5);
+  for (Slot t = 0; t < 64; ++t) {
+    tracker.begin_slot(t);
+    EXPECT_EQ(tracker.active_class(), 4) << "slot " << t;
+    tracker.end_slot(sim::SlotOutcome::kSilence);
+  }
+}
+
+TEST(Tracker, ClassesCompleteInPeckingOrder) {
+  // Classes 8, 9, 10 with λ=1 (empty, all-silent): class 8 completes its 64
+  // estimation steps first, class 9 (81 steps) runs t=64..144, class 10
+  // starts at t=145.
+  const Params p = test_params();
+  Tracker tracker(p, 8, 10);
+  Slot first_active_9 = -1;
+  Slot first_active_10 = -1;
+  for (Slot t = 0; t < 250; ++t) {
+    tracker.begin_slot(t);
+    const int active = tracker.active_class();
+    if (active == 9 && first_active_9 < 0) {
+      first_active_9 = t;
+    }
+    if (active == 10 && first_active_10 < 0) {
+      first_active_10 = t;
+    }
+    tracker.end_slot(sim::SlotOutcome::kSilence);
+  }
+  EXPECT_EQ(first_active_9, 64);
+  EXPECT_EQ(first_active_10, 64 + 81);
+}
+
+TEST(Tracker, SuccessesFeedTheActiveClassEstimate) {
+  // Single class 7 with τ=2 so estimation+broadcast fit inside the window:
+  // estimation 49 steps; a phase-1 success yields estimate τ·2 = 4 and a
+  // broadcast stage of λ(2·4−2) + λ·7² = 55 steps; total 104 < 128.
+  Params p = test_params();
+  p.tau = 2;
+  Tracker tracker(p, 7, 7);
+  const std::int64_t est_steps = p.estimation_steps(7);
+  Slot t = 0;
+  for (; t < est_steps; ++t) {
+    tracker.begin_slot(t);
+    EXPECT_EQ(tracker.active_class(), 7);
+    tracker.end_slot(t == 0 ? sim::SlotOutcome::kSuccess
+                            : sim::SlotOutcome::kSilence);
+  }
+  // Estimation finished; the broadcast layout is now known.
+  tracker.begin_slot(t);
+  const auto view = tracker.view(7);
+  EXPECT_FALSE(view.estimating);
+  EXPECT_EQ(view.estimate, 4);
+  EXPECT_FALSE(view.complete);
+  ASSERT_NE(view.broadcast, nullptr);
+  EXPECT_EQ(view.broadcast->total_steps(), 55);
+  tracker.end_slot(sim::SlotOutcome::kSilence);
+  ++t;
+
+  // Drive the remaining broadcast steps to completion.
+  for (std::int64_t step = 1; step < 55; ++step, ++t) {
+    tracker.begin_slot(t);
+    EXPECT_EQ(tracker.active_class(), 7);
+    tracker.end_slot(sim::SlotOutcome::kSilence);
+  }
+  tracker.begin_slot(t);
+  EXPECT_TRUE(tracker.view(7).complete);
+  EXPECT_EQ(tracker.active_class(), -1);
+  EXPECT_EQ(t, 104) << "total active steps must match Lemma 6's count";
+}
+
+TEST(Tracker, NoiseCountsAsStepButNotSuccess) {
+  Params p = test_params();
+  p.tau = 2;
+  Tracker tracker(p, 7, 7);
+  for (Slot t = 0; t < p.estimation_steps(7); ++t) {
+    tracker.begin_slot(t);
+    tracker.end_slot(sim::SlotOutcome::kNoise);
+  }
+  tracker.begin_slot(p.estimation_steps(7));
+  EXPECT_EQ(tracker.view(7).estimate, 0);
+  EXPECT_TRUE(tracker.view(7).complete);
+}
+
+TEST(Tracker, TwoReplicasAgreeUnderIdenticalObservations) {
+  const Params p = test_params(2);
+  Tracker a(p, 2, 5);
+  Tracker b(p, 2, 5);
+  util::Rng rng(555);
+  for (Slot t = 0; t < 200; ++t) {
+    a.begin_slot(t);
+    b.begin_slot(t);
+    ASSERT_EQ(a.active_class(), b.active_class()) << "slot " << t;
+    const double roll = rng.next_double();
+    const sim::SlotOutcome outcome =
+        roll < 0.2   ? sim::SlotOutcome::kSuccess
+        : roll < 0.5 ? sim::SlotOutcome::kNoise
+                     : sim::SlotOutcome::kSilence;
+    a.end_slot(outcome);
+    b.end_slot(outcome);
+  }
+}
+
+TEST(Tracker, LateArrivalAgreesWithEarlierReplica) {
+  // Replica `early` tracks from t=0 (own class 5). Replica `late` joins at
+  // t=32 (a class-5 boundary). From t=32 on they must agree on every
+  // class's activity — the crux of Lemma 7.
+  const Params p = test_params();
+  Tracker early(p, 2, 5);
+  Tracker late(p, 2, 5);
+  util::Rng rng(77);
+  for (Slot t = 0; t < 96; ++t) {
+    early.begin_slot(t);
+    if (t >= 32) {
+      late.begin_slot(t);
+      ASSERT_EQ(early.active_class(), late.active_class()) << "slot " << t;
+    }
+    const sim::SlotOutcome outcome = rng.bernoulli(0.3)
+                                         ? sim::SlotOutcome::kSuccess
+                                         : sim::SlotOutcome::kSilence;
+    early.end_slot(outcome);
+    if (t >= 32) {
+      late.end_slot(outcome);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crmd::core::aligned

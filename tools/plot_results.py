@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Plot a crmd bench CSV (any harness run with --csv=out.csv).
+
+Usage:
+    bench_punctual_success --csv=e12.csv
+    tools/plot_results.py e12.csv --x=window --y="failure rate" \
+        --series=gamma --logx --logy --out=e12.png
+
+The script is intentionally generic: pick the x column, the y column, and
+optionally a series column; everything else is matplotlib defaults. Values
+with thousands separators ("16,384") are parsed.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def parse_number(text):
+    text = text.strip().replace(",", "")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--x", required=True, help="x-axis column name")
+    parser.add_argument("--y", required=True, help="y-axis column name")
+    parser.add_argument("--series", default=None,
+                        help="optional column to split lines by")
+    parser.add_argument("--logx", action="store_true")
+    parser.add_argument("--logy", action="store_true")
+    parser.add_argument("--out", default=None,
+                        help="output image path (default: show window)")
+    args = parser.parse_args()
+
+    with open(args.csv_path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit("empty csv")
+    for col in (args.x, args.y):
+        if col not in rows[0]:
+            sys.exit(f"column {col!r} not in {list(rows[0])}")
+
+    series = {}
+    for row in rows:
+        key = row[args.series] if args.series else ""
+        x = parse_number(row[args.x])
+        y = parse_number(row[args.y])
+        if x is None or y is None:
+            continue
+        series.setdefault(key, []).append((x, y))
+
+    import matplotlib
+    matplotlib.use("Agg" if args.out else matplotlib.get_backend())
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for key in sorted(series):
+        pts = sorted(series[key])
+        ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                marker="o", label=str(key) if key else None)
+    ax.set_xlabel(args.x)
+    ax.set_ylabel(args.y)
+    if args.logx:
+        ax.set_xscale("log", base=2)
+    if args.logy:
+        ax.set_yscale("log")
+    if args.series:
+        ax.legend(title=args.series)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if args.out:
+        fig.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+    else:
+        plt.show()
+
+
+if __name__ == "__main__":
+    main()
