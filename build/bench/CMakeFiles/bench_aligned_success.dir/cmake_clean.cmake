@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aligned_success.dir/bench_aligned_success.cpp.o"
+  "CMakeFiles/bench_aligned_success.dir/bench_aligned_success.cpp.o.d"
+  "bench_aligned_success"
+  "bench_aligned_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aligned_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anarchists.dir/bench_anarchists.cpp.o"
+  "CMakeFiles/bench_anarchists.dir/bench_anarchists.cpp.o.d"
+  "bench_anarchists"
+  "bench_anarchists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anarchists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

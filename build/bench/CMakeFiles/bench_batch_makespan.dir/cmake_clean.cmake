@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_makespan.dir/bench_batch_makespan.cpp.o"
+  "CMakeFiles/bench_batch_makespan.dir/bench_batch_makespan.cpp.o.d"
+  "bench_batch_makespan"
+  "bench_batch_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

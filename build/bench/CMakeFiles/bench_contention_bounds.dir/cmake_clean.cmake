@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contention_bounds.dir/bench_contention_bounds.cpp.o"
+  "CMakeFiles/bench_contention_bounds.dir/bench_contention_bounds.cpp.o.d"
+  "bench_contention_bounds"
+  "bench_contention_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contention_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

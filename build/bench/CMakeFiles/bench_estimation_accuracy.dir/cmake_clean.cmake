@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimation_accuracy.dir/bench_estimation_accuracy.cpp.o"
+  "CMakeFiles/bench_estimation_accuracy.dir/bench_estimation_accuracy.cpp.o.d"
+  "bench_estimation_accuracy"
+  "bench_estimation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

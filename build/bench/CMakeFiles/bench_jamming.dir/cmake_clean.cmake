@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jamming.dir/bench_jamming.cpp.o"
+  "CMakeFiles/bench_jamming.dir/bench_jamming.cpp.o.d"
+  "bench_jamming"
+  "bench_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

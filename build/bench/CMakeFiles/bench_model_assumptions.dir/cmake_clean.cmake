@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_assumptions.dir/bench_model_assumptions.cpp.o"
+  "CMakeFiles/bench_model_assumptions.dir/bench_model_assumptions.cpp.o.d"
+  "bench_model_assumptions"
+  "bench_model_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_punctual_success.dir/bench_punctual_success.cpp.o"
+  "CMakeFiles/bench_punctual_success.dir/bench_punctual_success.cpp.o.d"
+  "bench_punctual_success"
+  "bench_punctual_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_punctual_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

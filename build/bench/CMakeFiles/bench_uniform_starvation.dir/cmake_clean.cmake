@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uniform_starvation.dir/bench_uniform_starvation.cpp.o"
+  "CMakeFiles/bench_uniform_starvation.dir/bench_uniform_starvation.cpp.o.d"
+  "bench_uniform_starvation"
+  "bench_uniform_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniform_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

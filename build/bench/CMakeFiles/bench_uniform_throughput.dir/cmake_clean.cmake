@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uniform_throughput.dir/bench_uniform_throughput.cpp.o"
+  "CMakeFiles/bench_uniform_throughput.dir/bench_uniform_throughput.cpp.o.d"
+  "bench_uniform_throughput"
+  "bench_uniform_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniform_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crmd_cli.dir/crmd_cli.cpp.o"
+  "CMakeFiles/crmd_cli.dir/crmd_cli.cpp.o.d"
+  "crmd_cli"
+  "crmd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crmd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

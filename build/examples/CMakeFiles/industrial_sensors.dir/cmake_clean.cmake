@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_sensors.dir/industrial_sensors.cpp.o"
+  "CMakeFiles/industrial_sensors.dir/industrial_sensors.cpp.o.d"
+  "industrial_sensors"
+  "industrial_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_priorities.dir/qos_priorities.cpp.o"
+  "CMakeFiles/qos_priorities.dir/qos_priorities.cpp.o.d"
+  "qos_priorities"
+  "qos_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[smoke_example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[smoke_example_quickstart]=] PROPERTIES  LABELS "smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;crmd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_example_industrial_sensors]=] "/root/repo/build/examples/industrial_sensors")
+set_tests_properties([=[smoke_example_industrial_sensors]=] PROPERTIES  LABELS "smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;crmd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_example_qos_priorities]=] "/root/repo/build/examples/qos_priorities")
+set_tests_properties([=[smoke_example_qos_priorities]=] PROPERTIES  LABELS "smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;crmd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_example_jamming_resilience]=] "/root/repo/build/examples/jamming_resilience")
+set_tests_properties([=[smoke_example_jamming_resilience]=] PROPERTIES  LABELS "smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;crmd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_example_crmd_cli]=] "/root/repo/build/examples/crmd_cli" "--protocol=beb" "--workload=batch" "--n=4" "--window=1024" "--reps=1")
+set_tests_properties([=[smoke_example_crmd_cli]=] PROPERTIES  LABELS "smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/crmd.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/outcomes.cpp" "src/CMakeFiles/crmd.dir/analysis/outcomes.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/analysis/outcomes.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "src/CMakeFiles/crmd.dir/analysis/runner.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/analysis/runner.cpp.o.d"
+  "/root/repo/src/baselines/aloha.cpp" "src/CMakeFiles/crmd.dir/baselines/aloha.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/baselines/aloha.cpp.o.d"
+  "/root/repo/src/baselines/beb.cpp" "src/CMakeFiles/crmd.dir/baselines/beb.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/baselines/beb.cpp.o.d"
+  "/root/repo/src/baselines/edf.cpp" "src/CMakeFiles/crmd.dir/baselines/edf.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/baselines/edf.cpp.o.d"
+  "/root/repo/src/baselines/sawtooth.cpp" "src/CMakeFiles/crmd.dir/baselines/sawtooth.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/baselines/sawtooth.cpp.o.d"
+  "/root/repo/src/core/aligned/broadcast.cpp" "src/CMakeFiles/crmd.dir/core/aligned/broadcast.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/aligned/broadcast.cpp.o.d"
+  "/root/repo/src/core/aligned/estimation.cpp" "src/CMakeFiles/crmd.dir/core/aligned/estimation.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/aligned/estimation.cpp.o.d"
+  "/root/repo/src/core/aligned/protocol.cpp" "src/CMakeFiles/crmd.dir/core/aligned/protocol.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/aligned/protocol.cpp.o.d"
+  "/root/repo/src/core/aligned/tracker.cpp" "src/CMakeFiles/crmd.dir/core/aligned/tracker.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/aligned/tracker.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/crmd.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/punctual/clock.cpp" "src/CMakeFiles/crmd.dir/core/punctual/clock.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/punctual/clock.cpp.o.d"
+  "/root/repo/src/core/punctual/protocol.cpp" "src/CMakeFiles/crmd.dir/core/punctual/protocol.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/punctual/protocol.cpp.o.d"
+  "/root/repo/src/core/punctual/round.cpp" "src/CMakeFiles/crmd.dir/core/punctual/round.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/punctual/round.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/crmd.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/uniform.cpp" "src/CMakeFiles/crmd.dir/core/uniform.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/core/uniform.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/crmd.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/jammer.cpp" "src/CMakeFiles/crmd.dir/sim/jammer.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/jammer.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/crmd.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/crmd.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/crmd.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/crmd.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/crmd.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/crmd.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/crmd.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/crmd.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/crmd.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/feasibility.cpp" "src/CMakeFiles/crmd.dir/workload/feasibility.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/workload/feasibility.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/crmd.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/instance.cpp" "src/CMakeFiles/crmd.dir/workload/instance.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/workload/instance.cpp.o.d"
+  "/root/repo/src/workload/trim.cpp" "src/CMakeFiles/crmd.dir/workload/trim.cpp.o" "gcc" "src/CMakeFiles/crmd.dir/workload/trim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

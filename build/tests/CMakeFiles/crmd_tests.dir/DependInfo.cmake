@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aligned.cpp" "tests/CMakeFiles/crmd_tests.dir/test_aligned.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_aligned.cpp.o.d"
+  "/root/repo/tests/test_aligned_edges.cpp" "tests/CMakeFiles/crmd_tests.dir/test_aligned_edges.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_aligned_edges.cpp.o.d"
+  "/root/repo/tests/test_aligned_invariants.cpp" "tests/CMakeFiles/crmd_tests.dir/test_aligned_invariants.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_aligned_invariants.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/crmd_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/crmd_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_broadcast.cpp" "tests/CMakeFiles/crmd_tests.dir/test_broadcast.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_broadcast.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/crmd_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/crmd_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_estimation.cpp" "tests/CMakeFiles/crmd_tests.dir/test_estimation.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_estimation.cpp.o.d"
+  "/root/repo/tests/test_feasibility.cpp" "tests/CMakeFiles/crmd_tests.dir/test_feasibility.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_feasibility.cpp.o.d"
+  "/root/repo/tests/test_generators_property.cpp" "tests/CMakeFiles/crmd_tests.dir/test_generators_property.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_generators_property.cpp.o.d"
+  "/root/repo/tests/test_lemma11_sums.cpp" "tests/CMakeFiles/crmd_tests.dir/test_lemma11_sums.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_lemma11_sums.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/crmd_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_model_variants.cpp" "tests/CMakeFiles/crmd_tests.dir/test_model_variants.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_model_variants.cpp.o.d"
+  "/root/repo/tests/test_punctual.cpp" "tests/CMakeFiles/crmd_tests.dir/test_punctual.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_punctual.cpp.o.d"
+  "/root/repo/tests/test_punctual_edges.cpp" "tests/CMakeFiles/crmd_tests.dir/test_punctual_edges.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_punctual_edges.cpp.o.d"
+  "/root/repo/tests/test_punctual_invariants.cpp" "tests/CMakeFiles/crmd_tests.dir/test_punctual_invariants.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_punctual_invariants.cpp.o.d"
+  "/root/repo/tests/test_punctual_stages.cpp" "tests/CMakeFiles/crmd_tests.dir/test_punctual_stages.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_punctual_stages.cpp.o.d"
+  "/root/repo/tests/test_punctual_units.cpp" "tests/CMakeFiles/crmd_tests.dir/test_punctual_units.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_punctual_units.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/crmd_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/crmd_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/crmd_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_sim_contract.cpp" "tests/CMakeFiles/crmd_tests.dir/test_sim_contract.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_sim_contract.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/crmd_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/crmd_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_tracker.cpp" "tests/CMakeFiles/crmd_tests.dir/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_tracker.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/crmd_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_util_more.cpp" "tests/CMakeFiles/crmd_tests.dir/test_util_more.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_util_more.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/crmd_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/crmd_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crmd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
