@@ -6,7 +6,7 @@
 // of `for b in build/bench/*; do $b; done` is uniform and diffable.
 //
 // Common flags (every harness): --reps=N, --seed=S, --csv=path.csv,
-// --quick (shrink the sweep for smoke runs).
+// --json=path.json, --quick (shrink the sweep for smoke runs).
 
 #include <iostream>
 #include <string>
@@ -21,6 +21,7 @@ struct CommonArgs {
   int reps;
   std::uint64_t seed;
   std::string csv;
+  std::string json;
   bool quick;
 };
 
@@ -35,6 +36,7 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   }
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", default_seed));
   c.csv = args.get("csv", "");
+  c.json = args.get("json", "");
   return c;
 }
 
@@ -48,6 +50,13 @@ inline void emit(const util::Table& table, const std::string& header,
       std::cout << "(csv written to " << common.csv << ")\n";
     } else {
       std::cout << "(FAILED to write csv to " << common.csv << ")\n";
+    }
+  }
+  if (!common.json.empty()) {
+    if (table.save_json(common.json)) {
+      std::cout << "(json written to " << common.json << ")\n";
+    } else {
+      std::cout << "(FAILED to write json to " << common.json << ")\n";
     }
   }
   std::cout << "\n";

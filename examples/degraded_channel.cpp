@@ -1,0 +1,81 @@
+// Degraded channel: PUNCTUAL under clock skew + feedback loss (faults.hpp).
+//
+// PUNCTUAL's round grid assumes perfectly synchronized slots and exact
+// ternary feedback. This example injects both kinds of damage at growing
+// intensity and shows (a) delivery degrading gracefully rather than
+// collapsing, and (b) how the desync fallback (Params::desync_tolerance)
+// lets jobs that detect an untrustworthy grid abandon it for the clock-free
+// anarchist path instead of following a broken schedule to their deadline.
+//
+// Expected output (exact numbers vary with the toolchain's libm, shape does
+// not): the fault-free row matches with and without the fallback — the
+// detector only reacts to physically impossible observations, which never
+// occur on a clean channel. As intensity grows, the no-fallback column
+// decays faster; with the fallback enabled, degraded jobs keep a fighting
+// chance and the delivery gap widens in the fallback's favor.
+
+#include <iostream>
+#include <vector>
+
+#include "core/punctual/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace crmd;
+
+  const int level = 13;
+  const std::int64_t batch = 24;
+  const int reps = 10;
+
+  const std::vector<double> intensities{0.0, 0.005, 0.02, 0.05};
+
+  auto delivery = [&](int desync_tolerance, double intensity) {
+    core::Params params;
+    params.lambda = 2;
+    params.tau = 8;
+    params.min_class = level;
+    params.desync_tolerance = desync_tolerance;
+    const auto factory = core::punctual::make_punctual_factory(params);
+
+    std::int64_t ok = 0;
+    std::int64_t total = 0;
+    std::int64_t fault_count = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      sim::SimConfig config;
+      config.seed = 100 + static_cast<std::uint64_t>(rep);
+      config.faults.clock_skew_rate = intensity;
+      config.faults.feedback_loss_rate = intensity;
+      const auto result =
+          sim::run(workload::gen_batch(batch, Slot{1} << level, 0), factory,
+                   config);
+      ok += result.successes();
+      total += static_cast<std::int64_t>(result.jobs.size());
+      fault_count += result.metrics.faults_injected;
+    }
+    return std::pair{static_cast<double>(ok) / static_cast<double>(total),
+                     fault_count / reps};
+  };
+
+  util::Table table({"skew+loss rate", "faults/run", "no fallback",
+                     "fallback (tol=8)"});
+  for (const double x : intensities) {
+    const auto [plain, faults_plain] = delivery(/*desync_tolerance=*/0, x);
+    const auto [resilient, faults_res] = delivery(/*desync_tolerance=*/8, x);
+    (void)faults_res;
+    table.add_row({util::fmt(x, 3), std::to_string(faults_plain),
+                   util::fmt(plain, 3), util::fmt(resilient, 3)});
+  }
+  table.print(std::cout,
+              "PUNCTUAL delivery under clock skew + feedback loss "
+              "(batch 24, window 2^13)");
+  std::cout
+      << "\nEach listener independently loses feedback and slips its clock "
+         "at the given\nper-slot rate. Desynchronized jobs see a round grid "
+         "that no longer matches the\nchannel; with desync_tolerance=8 a "
+         "job that witnesses 8 impossible observations\n(own transmission "
+         "heard as silence, busy guard slots) stops trusting the grid\nand "
+         "transmits anarchist-style for the rest of its window.\n";
+  return 0;
+}

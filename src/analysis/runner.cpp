@@ -5,7 +5,8 @@ namespace crmd::analysis {
 ReplicationReport run_replications(const InstanceGen& gen,
                                    const sim::ProtocolFactory& factory,
                                    int reps, std::uint64_t base_seed,
-                                   const JammerGen& jammer_gen) {
+                                   const JammerGen& jammer_gen,
+                                   const sim::FaultPlan& faults) {
   ReplicationReport report;
   const util::Rng master(base_seed);
   for (int rep = 0; rep < reps; ++rep) {
@@ -19,6 +20,7 @@ ReplicationReport run_replications(const InstanceGen& gen,
     }
     sim::SimConfig config;
     config.seed = rep_rng.next_u64();
+    config.faults = faults;
     std::unique_ptr<sim::Jammer> jammer;
     if (jammer_gen) {
       jammer = jammer_gen(rep_rng.child(0x4A414DULL /* "JAM" */));
@@ -44,6 +46,13 @@ void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from) {
   into.start_successes += from.start_successes;
   into.claim_successes += from.claim_successes;
   into.timekeeper_successes += from.timekeeper_successes;
+  into.faults_injected += from.faults_injected;
+  into.feedback_corruptions += from.feedback_corruptions;
+  into.feedback_losses += from.feedback_losses;
+  into.clock_skew_events += from.clock_skew_events;
+  into.crashes += from.crashes;
+  into.restarts += from.restarts;
+  into.dark_job_slots += from.dark_job_slots;
   into.contention.merge(from.contention);
 }
 

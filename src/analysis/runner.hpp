@@ -35,10 +35,13 @@ struct ReplicationReport {
 
 /// Runs `reps` replications of (generate instance, simulate, aggregate).
 /// Replication r uses the deterministic seed child(base_seed, r) for both
-/// generation and simulation, so reports are exactly reproducible.
+/// generation and simulation, so reports are exactly reproducible. The
+/// optional `faults` plan applies identically to every replication (default:
+/// none — a provable no-op, see faults.hpp).
 [[nodiscard]] ReplicationReport run_replications(
     const InstanceGen& gen, const sim::ProtocolFactory& factory, int reps,
-    std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr);
+    std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr,
+    const sim::FaultPlan& faults = {});
 
 /// Merges channel metrics (helper for custom harness loops).
 void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from);

@@ -32,18 +32,23 @@ void Tracker::reset_class(int cls) {
 }
 
 void Tracker::begin_slot(Slot t) {
-  if (!started_) {
-    // The owning job activates at its window start — simultaneously a
-    // boundary for every tracked (smaller) class.
-    assert(t % util::pow2(own_class_) == 0);
-    started_ = true;
-  } else {
-    assert(t == last_slot_ + 1);
-  }
+  // Slots may arrive with gaps (clock skew slips the perceived index ahead;
+  // crash/stall faults make a job miss slots entirely), but never backwards.
+  assert(t >= 0);
+  assert(!started_ || t > last_slot_);
+  const bool first = !started_;
+  started_ = true;
+  const Slot prev = last_slot_;
   last_slot_ = t;
 
   for (int cls = min_class_; cls <= own_class_; ++cls) {
-    if (t % util::pow2(cls) == 0) {
+    // Reset iff a window boundary (multiple of 2^cls) lies in (prev, t].
+    // On the first call every tracked class starts fresh; fault-free, the
+    // first slot is the owning job's window start — a boundary for every
+    // tracked (smaller) class — and later slots are consecutive, so this
+    // reduces exactly to the textbook "reset when t % 2^cls == 0" rule.
+    const Slot w = util::pow2(cls);
+    if (first || t / w > prev / w) {
       reset_class(cls);
     }
   }

@@ -39,9 +39,13 @@ class Tracker {
   Tracker(const Params& params, int min_class, int own_class);
 
   /// Starts slot `t`: applies window-boundary resets, then fixes the active
-  /// class for this slot. The first call must be at a multiple of
-  /// 2^own_class (the owning job's window start). Calls must use strictly
-  /// increasing consecutive values of `t`.
+  /// class for this slot. Calls must use strictly increasing (not
+  /// necessarily consecutive) values of `t` — fault injection (clock skew,
+  /// crash stalls) can make the perceived slot index jump ahead. Every
+  /// class whose dyadic boundary was crossed since the previous call is
+  /// reset; on the first call all tracked classes start fresh. Fault-free
+  /// (first call at the owning job's window start, consecutive slots) this
+  /// is exactly the §3 "reset at critical times" rule.
   void begin_slot(Slot t);
 
   /// The class taking an active step this slot, or -1 when every tracked

@@ -94,6 +94,9 @@ void Params::validate() const {
   if (punctual_min_window < 1) {
     throw std::invalid_argument("Params: punctual_min_window must be >= 1");
   }
+  if (desync_tolerance < 0) {
+    throw std::invalid_argument("Params: desync_tolerance must be >= 0");
+  }
 }
 
 }  // namespace crmd::core

@@ -91,6 +91,17 @@ struct Params {
   /// its window instead of giving up.
   bool anarchist_fallback_on_truncation = false;
 
+  /// Graceful-degradation extension (0 = off = paper-faithful): number of
+  /// physically impossible observations (transmitted yet heard silence;
+  /// busy believed-guard slot) a PUNCTUAL job tolerates before concluding
+  /// its round grid or feedback can no longer be trusted and falling back
+  /// to the clock-free desperate/anarchist path for the rest of its window.
+  /// Meaningful under fault injection (clock skew, feedback loss); keep 0
+  /// for fault-free runs — mixed workloads produce rare benign guard-slot
+  /// noise (desperate tiny-window jobs), and a small tolerance would
+  /// needlessly demote healthy followers.
+  int desync_tolerance = 0;
+
   // --- derived quantities ---------------------------------------------------
 
   /// T_ℓ = λℓ²: total steps of the size-estimation protocol for class ℓ.

@@ -215,6 +215,18 @@ void PunctualProtocol::on_feedback(const sim::SlotView& view,
     }
   }
 
+  // Desync evidence: we transmitted, yet heard silence. On a correct
+  // channel our own transmission makes the slot at least busy, so this
+  // observation proves the feedback path is unreliable (lost or corrupted
+  // feedback — never happens fault-free).
+  if (transmitted_ && fb.outcome == sim::SlotOutcome::kSilence &&
+      stage_ != Stage::kDesperate) {
+    note_desync_evidence();
+    if (desync_fallback_ && stage_ == Stage::kDesperate) {
+      return;
+    }
+  }
+
   switch (stage_) {
     case Stage::kDesperate:
     case Stage::kSucceeded:
@@ -268,6 +280,19 @@ void PunctualProtocol::handle_sync_listen(Slot t, bool busy) {
 void PunctualProtocol::handle_synced_feedback(Slot t,
                                               const sim::SlotFeedback& fb) {
   const SlotType type = clock_.type(t);
+
+  // Desync evidence: a busy slot where we believe the frame keeps a guard.
+  // Under a correct, shared round grid guard slots stay silent, so noise
+  // here means our grid disagrees with the jobs actually transmitting
+  // (clock skew), or our feedback is corrupted. (Rare benign cause in
+  // fault-free mixed workloads: desperate tiny-window jobs transmit in
+  // every slot type — why the fallback is gated on desync_tolerance > 0.)
+  if (type == SlotType::kGuard && fb.outcome != sim::SlotOutcome::kSilence) {
+    note_desync_evidence();
+    if (desync_fallback_) {
+      return;
+    }
+  }
 
   // ---- central leadership bookkeeping (all synced stages) ----------------
   if (type == SlotType::kTimekeeper) {
@@ -447,6 +472,20 @@ void PunctualProtocol::restart_follow(Slot t) {
 void PunctualProtocol::enter_anarchist() {
   stage_ = Stage::kAnarchist;
   was_anarchist_ = true;
+}
+
+void PunctualProtocol::note_desync_evidence() {
+  ++desync_evidence_;
+  if (params_.desync_tolerance > 0 && !desync_fallback_ &&
+      desync_evidence_ >= params_.desync_tolerance) {
+    // The round grid (or the feedback it is built from) can no longer be
+    // trusted. Fall back to the clock-free desperate path — the only stage
+    // that makes no use of the grid — rather than kAnarchist, whose anarchy
+    // slots are themselves located via the (untrusted) grid.
+    desync_fallback_ = true;
+    stage_ = Stage::kDesperate;
+    was_anarchist_ = true;
+  }
 }
 
 void PunctualProtocol::become_leader(Slot t) {

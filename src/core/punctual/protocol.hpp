@@ -84,6 +84,15 @@ class PunctualProtocol final : public sim::Protocol {
   }
   /// True when this job ever entered the anarchist release stage.
   [[nodiscard]] bool was_anarchist() const noexcept { return was_anarchist_; }
+  /// Physically impossible observations seen so far (desync evidence).
+  [[nodiscard]] std::int64_t desync_evidence() const noexcept {
+    return desync_evidence_;
+  }
+  /// True when the job abandoned the round grid after accumulating
+  /// `Params::desync_tolerance` pieces of desync evidence.
+  [[nodiscard]] bool desync_fallback() const noexcept {
+    return desync_fallback_;
+  }
 
  private:
   [[nodiscard]] sim::SlotAction act_synced(Slot t);
@@ -98,6 +107,7 @@ class PunctualProtocol final : public sim::Protocol {
   void enter_anarchist();
   void become_leader(Slot t);
   void truncate_follow();
+  void note_desync_evidence();
   [[nodiscard]] Slot effective_deadline() const noexcept {
     return effective_window_;  // since-release units
   }
@@ -140,6 +150,10 @@ class PunctualProtocol final : public sim::Protocol {
   std::int64_t lead_start_round_ = 0;  // local rounds
 
   bool was_anarchist_ = false;
+
+  // Graceful degradation (see Params::desync_tolerance).
+  std::int64_t desync_evidence_ = 0;
+  bool desync_fallback_ = false;
 };
 
 /// Human-readable stage name.

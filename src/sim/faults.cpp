@@ -1,0 +1,150 @@
+#include "sim/faults.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace crmd::sim {
+
+namespace {
+
+void check_rate(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be in [0, 1], got " +
+                                std::to_string(value));
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kFeedbackCorrupt:
+      return "feedback-corrupt";
+    case FaultKind::kFeedbackLoss:
+      return "feedback-loss";
+    case FaultKind::kClockSkew:
+      return "clock-skew";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::any() const noexcept {
+  return feedback_corrupt_rate > 0.0 || feedback_loss_rate > 0.0 ||
+         clock_skew_rate > 0.0 || crash_rate > 0.0;
+}
+
+void FaultPlan::validate() const {
+  check_rate(feedback_corrupt_rate, "feedback_corrupt_rate");
+  check_rate(feedback_loss_rate, "feedback_loss_rate");
+  check_rate(clock_skew_rate, "clock_skew_rate");
+  check_rate(crash_rate, "crash_rate");
+  check_rate(crash_permanent_frac, "crash_permanent_frac");
+  if (stall_min < 1 || stall_max < stall_min) {
+    throw std::invalid_argument(
+        "FaultPlan: require 1 <= stall_min <= stall_max, got [" +
+        std::to_string(stall_min) + ", " + std::to_string(stall_max) + "]");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan),
+      master_(util::Rng(seed).child(0x4641554C54ULL /* "FAULT" */)) {
+  plan_.validate();
+}
+
+FaultInjector::JobState& FaultInjector::state_for(JobId id) {
+  if (id >= jobs_.size()) {
+    jobs_.resize(id + 1);
+  }
+  JobState& js = jobs_[id];
+  if (!js.initialized) {
+    // Per-job child stream: stable regardless of how many other jobs exist
+    // or in which order they are visited.
+    js.rng = master_.child(static_cast<std::uint64_t>(id) + 1);
+    js.initialized = true;
+  }
+  return js;
+}
+
+void FaultInjector::record(Slot slot, FaultKind kind, JobId job) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  ++total_;
+  if (record_events_) {
+    events_.push_back(FaultEvent{slot, kind, job});
+  }
+}
+
+std::int64_t FaultInjector::count(FaultKind kind) const noexcept {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+FaultInjector::JobHealth FaultInjector::tick(JobId id, Slot slot) {
+  JobState& js = state_for(id);
+  if (js.dead) {
+    return JobHealth::kDead;
+  }
+  if (js.dark_until != kNoSlot) {
+    if (slot < js.dark_until) {
+      return JobHealth::kDark;
+    }
+    js.dark_until = kNoSlot;
+    record(slot, FaultKind::kRestart, id);
+  }
+  // Draw order is fixed (crash, then skew) so replays are exact.
+  if (plan_.crash_rate > 0.0 && js.rng.bernoulli(plan_.crash_rate)) {
+    record(slot, FaultKind::kCrash, id);
+    if (js.rng.bernoulli(plan_.crash_permanent_frac)) {
+      js.dead = true;
+      return JobHealth::kDead;
+    }
+    js.dark_until = slot + js.rng.range(plan_.stall_min, plan_.stall_max);
+    return JobHealth::kDark;
+  }
+  if (plan_.clock_skew_rate > 0.0 && js.rng.bernoulli(plan_.clock_skew_rate)) {
+    ++js.skew;
+    record(slot, FaultKind::kClockSkew, id);
+  }
+  return JobHealth::kHealthy;
+}
+
+Slot FaultInjector::skew(JobId id) const noexcept {
+  return id < jobs_.size() ? jobs_[id].skew : 0;
+}
+
+SlotFeedback FaultInjector::perceive(JobId id, Slot slot,
+                                     const SlotFeedback& truth) {
+  JobState& js = state_for(id);
+  // Draw order is fixed (loss, then corruption) so replays are exact.
+  if (plan_.feedback_loss_rate > 0.0 &&
+      js.rng.bernoulli(plan_.feedback_loss_rate)) {
+    record(slot, FaultKind::kFeedbackLoss, id);
+    return SlotFeedback{};  // heard nothing: silence, no message
+  }
+  if (plan_.feedback_corrupt_rate > 0.0 &&
+      js.rng.bernoulli(plan_.feedback_corrupt_rate)) {
+    record(slot, FaultKind::kFeedbackCorrupt, id);
+    SlotFeedback degraded;
+    switch (truth.outcome) {
+      case SlotOutcome::kSuccess:
+        // The delivery is garbled for this listener; no content is ever
+        // fabricated, so a corrupted success degrades to noise.
+        degraded.outcome = SlotOutcome::kNoise;
+        break;
+      case SlotOutcome::kNoise:
+        degraded.outcome = SlotOutcome::kSilence;
+        break;
+      case SlotOutcome::kSilence:
+        degraded.outcome = SlotOutcome::kNoise;
+        break;
+    }
+    return degraded;
+  }
+  return truth;
+}
+
+}  // namespace crmd::sim

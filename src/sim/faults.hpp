@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+/// \file faults.hpp
+/// Composable fault injection: seeded, deterministic perturbations applied
+/// *between* channel resolution and protocol observation.
+///
+/// The paper's model (§1.1) assumes perfect ternary feedback, perfectly
+/// synchronized slots, and jobs that never die; its only stress is the §3
+/// stochastic jammer. Related work weakens exactly these assumptions
+/// (unreliable feedback channels in Jiang–Zheng, weakened collision models
+/// in Biswas–Chakraborty–Young), and a production system must know how each
+/// protocol *degrades* when they crack. A `FaultPlan` describes per-run
+/// fault rates; the `FaultInjector` turns the plan into per-job, per-slot
+/// perturbations drawn from dedicated RNG streams so that
+///   (a) a run replays bit-identically from `(seed, FaultPlan)`, and
+///   (b) an all-zero plan is a provable no-op: no stream is ever advanced,
+///       so results are bit-identical to a fault-free run.
+///
+/// Fault taxonomy (each maps to one paper assumption):
+///   feedback corruption — ternary feedback is exact. A corrupted listener
+///       perceives a *degraded* outcome (success→noise, noise↔silence);
+///       faults never fabricate message content.
+///   feedback loss — listeners hear every slot. A lossy listener perceives
+///       silence regardless of the true outcome (its radio missed the slot).
+///   clock skew — slots are perfectly synchronized. A skewed job's
+///       perceived slot index slips one slot *ahead* per skew event and the
+///       lead accumulates, directly stressing PUNCTUAL's round grid and
+///       ALIGNED's phase alignment (relative misalignment is what matters,
+///       so forward-only drift loses no generality and keeps perceived
+///       time monotone).
+///   crash/stall/restart — jobs live until their deadline. A crashed job
+///       goes dark — neither transmits nor hears feedback — for a bounded
+///       stall or permanently.
+///
+/// Budgeted/adaptive *jamming* adversaries stay in jammer.hpp (they perturb
+/// the channel itself, not a listener's perception).
+
+namespace crmd::sim {
+
+/// Kinds of injected fault events (recorded for traces and metrics).
+enum class FaultKind : std::uint8_t {
+  kFeedbackCorrupt,  ///< a listener perceived a degraded outcome
+  kFeedbackLoss,     ///< a listener heard silence instead of the truth
+  kClockSkew,        ///< a job's perceived slot index slipped one ahead
+  kCrash,            ///< a job went dark (stall or permanent)
+  kRestart,          ///< a stalled job came back
+};
+
+/// Human-readable fault-kind name.
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// One injected fault occurrence (kept when slot recording is on, so a
+/// trace shows exactly which perturbations produced it).
+struct FaultEvent {
+  Slot slot = 0;
+  FaultKind kind = FaultKind::kFeedbackCorrupt;
+  JobId job = kNoJob;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Declarative description of every fault source in a run. All rates are
+/// per live job per slot; 0 disables the source. The default plan injects
+/// nothing.
+struct FaultPlan {
+  /// ε: probability a listener's perceived outcome is degraded
+  /// (success→noise, noise→silence, silence→noise).
+  double feedback_corrupt_rate = 0.0;
+
+  /// Probability a listener hears nothing for a slot (perceives silence).
+  double feedback_loss_rate = 0.0;
+
+  /// Probability a job's perceived clock slips one slot ahead (the lead
+  /// accumulates for the rest of its window).
+  double clock_skew_rate = 0.0;
+
+  /// Probability a live job crashes this slot.
+  double crash_rate = 0.0;
+
+  /// Fraction of crashes that are permanent (the job never restarts);
+  /// the rest stall for a uniform duration in [stall_min, stall_max].
+  double crash_permanent_frac = 0.0;
+
+  /// Stall-duration bounds (slots) for non-permanent crashes.
+  Slot stall_min = 8;
+  Slot stall_max = 64;
+
+  /// True when any fault source is enabled.
+  [[nodiscard]] bool any() const noexcept;
+
+  /// Throws std::invalid_argument (with the offending field named) when a
+  /// rate is outside [0, 1] or the stall bounds are invalid.
+  void validate() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Executes a FaultPlan for one simulation. Each job draws from its own
+/// child stream (derived from the simulation seed), so per-job fault
+/// randomness is stable under changes to the number of jobs, and replays
+/// from `(seed, plan)` are exact.
+class FaultInjector {
+ public:
+  /// A job's fault status for the current slot.
+  enum class JobHealth : std::uint8_t {
+    kHealthy,  ///< participates normally
+    kDark,     ///< stalled: neither transmits nor hears feedback this slot
+    kDead,     ///< permanently crashed: the simulator retires it
+  };
+
+  /// `seed` is the simulation master seed; the injector derives its own
+  /// stream family from it (never shared with protocol or jammer streams).
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed);
+
+  /// Advances job `id`'s crash/stall/skew state for `slot`. Called exactly
+  /// once per live job per simulated slot, before the decision phase.
+  JobHealth tick(JobId id, Slot slot);
+
+  /// Accumulated perceived-clock lead of job `id` (slots). Stable within a
+  /// slot once tick() ran.
+  [[nodiscard]] Slot skew(JobId id) const noexcept;
+
+  /// Filters the feedback job `id` is about to observe; applies loss and
+  /// corruption draws. Called once per *hearing* (non-dark) job per slot.
+  [[nodiscard]] SlotFeedback perceive(JobId id, Slot slot,
+                                      const SlotFeedback& truth);
+
+  /// The plan this injector executes.
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Total faults injected so far (all kinds).
+  [[nodiscard]] std::int64_t total_injected() const noexcept {
+    return total_;
+  }
+
+  /// Per-kind counters.
+  [[nodiscard]] std::int64_t count(FaultKind kind) const noexcept;
+
+  /// When enabled, every fault is kept as a FaultEvent (memory grows with
+  /// the fault count — meant for tests and small traces, mirroring
+  /// SimConfig::record_slots).
+  void set_record_events(bool record) noexcept { record_events_ = record; }
+
+  /// The recorded events (empty unless recording was enabled).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Moves the recorded events out (used by Simulation::finish).
+  [[nodiscard]] std::vector<FaultEvent> take_events() noexcept {
+    return std::move(events_);
+  }
+
+ private:
+  struct JobState {
+    util::Rng rng{0};
+    bool initialized = false;
+    Slot skew = 0;
+    bool dead = false;
+    /// Dark while the current slot < dark_until; kNoSlot means not stalled.
+    Slot dark_until = kNoSlot;
+  };
+
+  JobState& state_for(JobId id);
+  void record(Slot slot, FaultKind kind, JobId job);
+
+  FaultPlan plan_;
+  util::Rng master_;
+  std::vector<JobState> jobs_;
+  std::vector<FaultEvent> events_;
+  std::int64_t counts_[5] = {0, 0, 0, 0, 0};
+  std::int64_t total_ = 0;
+  bool record_events_ = false;
+};
+
+}  // namespace crmd::sim

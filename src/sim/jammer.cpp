@@ -1,7 +1,20 @@
 #include "sim/jammer.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
 namespace crmd::sim {
 namespace {
+
+void check_prob(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("Jammer: ") + name +
+                                " must be in [0, 1], got " +
+                                std::to_string(value));
+  }
+}
 
 class BlanketJammer final : public Jammer {
  public:
@@ -54,27 +67,132 @@ class KindJammer final : public Jammer {
   double p_;
 };
 
+/// Budget wrapper around an arbitrary policy jammer.
+class PolicyBudgetedJammer final : public BudgetedJammer {
+ public:
+  PolicyBudgetedJammer(std::unique_ptr<Jammer> policy, std::int64_t budget,
+                       Slot window_length)
+      : BudgetedJammer(budget, window_length), policy_(std::move(policy)) {
+    if (policy_ == nullptr) {
+      throw std::invalid_argument("make_budgeted_jammer: null policy");
+    }
+  }
+  double p_jam() const noexcept override { return policy_->p_jam(); }
+
+ protected:
+  bool want(Slot slot, SlotOutcome outcome, const Message* msg) override {
+    return policy_->wants_jam(slot, outcome, msg);
+  }
+
+ private:
+  std::unique_ptr<Jammer> policy_;
+};
+
+/// Value-aware budget spender: the fuller the purse, the wider the target
+/// set (see make_adaptive_jammer's doc comment for the thresholds).
+class AdaptiveBudgetJammer final : public BudgetedJammer {
+ public:
+  AdaptiveBudgetJammer(std::int64_t budget, Slot window_length, double p)
+      : BudgetedJammer(budget, window_length), p_(p) {}
+  double p_jam() const noexcept override { return p_; }
+
+ protected:
+  bool want(Slot, SlotOutcome outcome, const Message* msg) override {
+    if (outcome != SlotOutcome::kSuccess || msg == nullptr) {
+      return false;  // collisions/silence are never worth energy
+    }
+    const std::int64_t left = remaining();
+    switch (msg->kind) {
+      case MessageKind::kData:
+        return true;
+      case MessageKind::kLeaderClaim:
+      case MessageKind::kTimekeeper:
+        return left * 4 > budget();
+      case MessageKind::kControl:
+        return left * 2 > budget();
+      case MessageKind::kStart:
+        return left * 4 > budget() * 3;
+    }
+    return false;
+  }
+
+ private:
+  double p_;
+};
+
 }  // namespace
 
+BudgetedJammer::BudgetedJammer(std::int64_t budget, Slot window_length)
+    : budget_(budget), window_(window_length) {
+  if (budget < 0) {
+    throw std::invalid_argument("BudgetedJammer: budget must be >= 0, got " +
+                                std::to_string(budget));
+  }
+  if (window_length < 1) {
+    throw std::invalid_argument(
+        "BudgetedJammer: window_length must be >= 1, got " +
+        std::to_string(window_length));
+  }
+}
+
+bool BudgetedJammer::wants_jam(Slot slot, SlotOutcome outcome,
+                               const Message* message) {
+  const std::int64_t window_index =
+      slot >= 0 ? slot / window_ : (slot - (window_ - 1)) / window_;
+  if (window_index != window_index_) {
+    window_index_ = window_index;
+    window_attempts_ = 0;
+  }
+  if (window_attempts_ >= budget_) {
+    return false;  // purse empty: want() is not even consulted
+  }
+  if (!want(slot, outcome, message)) {
+    return false;
+  }
+  ++window_attempts_;
+  ++attempts_total_;
+  max_window_attempts_ = std::max(max_window_attempts_, window_attempts_);
+  return true;
+}
+
 std::unique_ptr<Jammer> make_blanket_jammer(double p_jam) {
+  check_prob(p_jam, "p_jam");
   return std::make_unique<BlanketJammer>(p_jam);
 }
 
 std::unique_ptr<Jammer> make_random_jammer(double attempt_rate, double p_jam,
                                            util::Rng rng) {
+  check_prob(attempt_rate, "attempt_rate");
+  check_prob(p_jam, "p_jam");
   return std::make_unique<RandomJammer>(attempt_rate, p_jam, rng);
 }
 
 std::unique_ptr<Jammer> make_reactive_jammer(double p_jam) {
+  check_prob(p_jam, "p_jam");
   return std::make_unique<ReactiveJammer>(p_jam);
 }
 
 std::unique_ptr<Jammer> make_control_jammer(double p_jam) {
+  check_prob(p_jam, "p_jam");
   return std::make_unique<KindJammer>(MessageKind::kControl, p_jam);
 }
 
 std::unique_ptr<Jammer> make_data_jammer(double p_jam) {
+  check_prob(p_jam, "p_jam");
   return std::make_unique<KindJammer>(MessageKind::kData, p_jam);
+}
+
+std::unique_ptr<Jammer> make_budgeted_jammer(std::unique_ptr<Jammer> policy,
+                                             std::int64_t budget,
+                                             Slot window_length) {
+  return std::make_unique<PolicyBudgetedJammer>(std::move(policy), budget,
+                                                window_length);
+}
+
+std::unique_ptr<Jammer> make_adaptive_jammer(std::int64_t budget,
+                                             Slot window_length, double p_jam) {
+  check_prob(p_jam, "p_jam");
+  return std::make_unique<AdaptiveBudgetJammer>(budget, window_length, p_jam);
 }
 
 }  // namespace crmd::sim

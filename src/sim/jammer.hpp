@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "sim/channel.hpp"
@@ -36,6 +37,60 @@ class Jammer {
   [[nodiscard]] virtual double p_jam() const noexcept = 0;
 };
 
+/// Energy-constrained adversary: at most `budget` jam *attempts* per window
+/// of `window_length` consecutive slots ([0,W), [W,2W), ...). Subclasses
+/// implement want() — the policy deciding which slots are worth spending
+/// budget on; the final wants_jam() enforces the budget, so no policy can
+/// exceed it. Models the related-work resource-competitive adversaries
+/// (Bender et al.): real jammers pay energy per jammed slot and cannot
+/// blanket the channel forever.
+class BudgetedJammer : public Jammer {
+ public:
+  /// `budget` >= 0 attempts per window; `window_length` >= 1 slots.
+  /// Throws std::invalid_argument otherwise. A zero budget never attempts
+  /// and (by wants_jam short-circuit) leaves the run bit-identical to an
+  /// adversary-free one.
+  BudgetedJammer(std::int64_t budget, Slot window_length);
+
+  /// Final: charges the budget and delegates the decision to want().
+  [[nodiscard]] bool wants_jam(Slot slot, SlotOutcome outcome,
+                               const Message* message) final;
+
+  [[nodiscard]] std::int64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] Slot window_length() const noexcept { return window_; }
+  /// Attempts charged in the window containing the last observed slot.
+  [[nodiscard]] std::int64_t window_attempts() const noexcept {
+    return window_attempts_;
+  }
+  /// Budget left in the window containing the last observed slot.
+  [[nodiscard]] std::int64_t remaining() const noexcept {
+    return budget_ - window_attempts_;
+  }
+  /// Total attempts charged over the whole run.
+  [[nodiscard]] std::int64_t attempts_total() const noexcept {
+    return attempts_total_;
+  }
+  /// Largest number of attempts charged in any single window (tests assert
+  /// this never exceeds budget()).
+  [[nodiscard]] std::int64_t max_window_attempts() const noexcept {
+    return max_window_attempts_;
+  }
+
+ protected:
+  /// Policy hook: would the adversary jam this slot if budget allowed?
+  /// Called only while budget remains in the current window.
+  [[nodiscard]] virtual bool want(Slot slot, SlotOutcome outcome,
+                                  const Message* message) = 0;
+
+ private:
+  std::int64_t budget_;
+  Slot window_;
+  std::int64_t window_index_ = -1;
+  std::int64_t window_attempts_ = 0;
+  std::int64_t attempts_total_ = 0;
+  std::int64_t max_window_attempts_ = 0;
+};
+
 /// Jams every slot (attempts always). With p_jam <= 1/2 this is the
 /// densest oblivious adversary the analysis tolerates.
 [[nodiscard]] std::unique_ptr<Jammer> make_blanket_jammer(double p_jam);
@@ -59,5 +114,19 @@ class Jammer {
 /// Data-targeted adversary: jams only successful *data* messages, letting
 /// estimation run clean but attacking the broadcast stage.
 [[nodiscard]] std::unique_ptr<Jammer> make_data_jammer(double p_jam);
+
+/// Wraps any jammer policy in a per-window budget: the wrapped policy's
+/// wants_jam decides *desire*; the wrapper only charges (and forwards) it
+/// while budget remains in the current window. p_jam is the policy's.
+[[nodiscard]] std::unique_ptr<Jammer> make_budgeted_jammer(
+    std::unique_ptr<Jammer> policy, std::int64_t budget, Slot window_length);
+
+/// Budgeted *adaptive* adversary: spends its per-window budget by message
+/// value, becoming pickier as the budget drains. Data successes are always
+/// worth an attempt; timekeeper beacons when > 1/4 of the budget remains;
+/// control (estimation) when > 1/2 remains; start announcements when > 3/4
+/// remains. Collisions and silence are never worth energy.
+[[nodiscard]] std::unique_ptr<Jammer> make_adaptive_jammer(
+    std::int64_t budget, Slot window_length, double p_jam);
 
 }  // namespace crmd::sim

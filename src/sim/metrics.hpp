@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sim/channel.hpp"
+#include "sim/faults.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
@@ -29,6 +30,9 @@ struct SlotRecord {
   std::uint32_t live_jobs = 0;
   /// True when the adversary successfully jammed this slot.
   bool jammed = false;
+  /// Number of fault events injected during this slot (crashes, skews,
+  /// per-listener corruptions/losses — see faults.hpp).
+  std::uint32_t faults = 0;
 };
 
 /// Whole-run channel statistics.
@@ -50,6 +54,16 @@ struct SimMetrics {
   std::int64_t start_successes = 0;
   std::int64_t claim_successes = 0;
   std::int64_t timekeeper_successes = 0;
+
+  /// Injected faults by kind (see faults.hpp; zero in fault-free runs).
+  std::int64_t faults_injected = 0;
+  std::int64_t feedback_corruptions = 0;
+  std::int64_t feedback_losses = 0;
+  std::int64_t clock_skew_events = 0;
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  /// Job-slots spent dark (crashed/stalled jobs that were live but deaf).
+  std::int64_t dark_job_slots = 0;
 
   /// Distribution of per-slot contention across simulated slots.
   util::RunningStats contention;
@@ -76,6 +90,8 @@ struct JobResult {
   std::int64_t transmissions = 0;
   /// Slots the job spent live (transmitting or listening).
   std::int64_t live_slots = 0;
+  /// Live slots the job spent dark (crashed/stalled; subset of live_slots).
+  std::int64_t dark_slots = 0;
 
   /// Window size.
   [[nodiscard]] Slot window() const noexcept { return deadline - release; }
@@ -92,6 +108,9 @@ struct SimResult {
   SimMetrics metrics;
   /// Per-slot trace; empty unless recording was requested.
   std::vector<SlotRecord> slots;
+  /// Every injected fault, in order; empty unless recording was requested
+  /// (or no faults were configured).
+  std::vector<FaultEvent> fault_events;
 
   /// Number of jobs that met their deadline.
   [[nodiscard]] std::int64_t successes() const noexcept;

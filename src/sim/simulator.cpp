@@ -17,6 +17,7 @@ struct Simulation::Impl {
   SimConfig config;
   std::unique_ptr<Jammer> jammer;
   util::Rng jam_rng{0};
+  std::unique_ptr<FaultInjector> injector;  // null when the plan is empty
 
   std::vector<JobState> jobs;     // indexed by JobId, release-sorted
   std::vector<JobId> live;        // ids of live jobs
@@ -32,6 +33,7 @@ struct Simulation::Impl {
   // Scratch buffers reused across slots.
   std::vector<Transmission> transmissions;
   std::vector<JobId> to_retire;
+  std::vector<std::uint8_t> dark;  // per-job "dark this slot" (faulted runs)
 
   void retire(JobId id) {
     JobState& js = jobs[id];
@@ -52,12 +54,18 @@ Simulation::Simulation(workload::Instance instance,
                        const ProtocolFactory& factory, SimConfig config,
                        std::unique_ptr<Jammer> jammer)
     : impl_(std::make_unique<Impl>()) {
+  config.validate();
   instance.normalize();
-  assert(instance.valid());
+  instance.validate();
 
   impl_->config = config;
   impl_->jammer = std::move(jammer);
   impl_->jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
+  if (config.faults.any()) {
+    impl_->injector =
+        std::make_unique<FaultInjector>(config.faults, config.seed);
+    impl_->injector->set_record_events(config.record_slots);
+  }
   impl_->horizon =
       config.horizon > 0 ? config.horizon : instance.max_deadline();
   impl_->now = instance.empty() ? 0 : instance.min_release();
@@ -154,16 +162,50 @@ bool Simulation::step() {
     return !s.finished;
   }
 
-  // Decision phase.
+  // Fault phase: advance each live job's crash/stall/skew state. Dead jobs
+  // retire immediately (the channel cannot tell a dead job from an absent
+  // one); dark jobs stay live but neither transmit nor listen this slot.
+  const std::int64_t faults_before =
+      s.injector ? s.injector->total_injected() : 0;
+  if (s.injector != nullptr) {
+    s.dark.assign(s.jobs.size(), 0);
+    s.to_retire.clear();
+    for (const JobId id : s.live) {
+      switch (s.injector->tick(id, s.now)) {
+        case FaultInjector::JobHealth::kHealthy:
+          break;
+        case FaultInjector::JobHealth::kDark:
+          s.dark[id] = 1;
+          break;
+        case FaultInjector::JobHealth::kDead:
+          s.to_retire.push_back(id);
+          break;
+      }
+    }
+    for (const JobId id : s.to_retire) {
+      s.retire(id);
+    }
+    if (s.live.empty()) {
+      return !s.finished;
+    }
+  }
+
+  // Decision phase. A skewed job sees its perceived (slipped-ahead) slot
+  // indices; a dark job is skipped entirely (no on_slot, no feedback).
   s.transmissions.clear();
   double contention = 0.0;
   for (const JobId id : s.live) {
     Impl::JobState& js = s.jobs[id];
-    SlotView view{/*since_release=*/s.now - js.info.release,
-                  /*global_slot=*/s.now};
+    ++js.result.live_slots;
+    if (s.injector != nullptr && s.dark[id] != 0) {
+      ++js.result.dark_slots;
+      continue;
+    }
+    const Slot skew = s.injector ? s.injector->skew(id) : 0;
+    SlotView view{/*since_release=*/s.now - js.info.release + skew,
+                  /*global_slot=*/s.now + skew};
     const SlotAction action = js.protocol->on_slot(view);
     contention += action.declared_prob;
-    ++js.result.live_slots;
     if (action.transmit) {
       s.transmissions.push_back(Transmission{id, action.message});
       ++js.result.transmissions;
@@ -183,6 +225,35 @@ bool Simulation::step() {
     }
   }
 
+  // Feedback phase. Faults perturb only what each listener perceives; the
+  // true outcome `fb` stays authoritative for crediting below.
+  const bool ack_only =
+      !s.config.collision_detection && fb.outcome == SlotOutcome::kNoise;
+  // Model ablation: without collision detection listeners perceive noisy
+  // slots as silent; transmitters still learn their failure (ACK-style).
+  SlotFeedback listener_fb = fb;
+  if (ack_only) {
+    listener_fb.outcome = SlotOutcome::kSilence;
+    listener_fb.message.reset();
+  }
+  for (const JobId id : s.live) {
+    Impl::JobState& js = s.jobs[id];
+    if (s.injector != nullptr && s.dark[id] != 0) {
+      continue;
+    }
+    const bool transmitted =
+        ack_only &&
+        std::any_of(s.transmissions.begin(), s.transmissions.end(),
+                    [id](const Transmission& t) { return t.job == id; });
+    SlotFeedback perceived = transmitted ? fb : listener_fb;
+    if (s.injector != nullptr) {
+      perceived = s.injector->perceive(id, s.now, perceived);
+    }
+    const Slot skew = s.injector ? s.injector->skew(id) : 0;
+    SlotView view{s.now - js.info.release + skew, s.now + skew};
+    js.protocol->on_feedback(view, perceived);
+  }
+
   SlotRecord rec;
   rec.slot = s.now;
   rec.outcome = fb.outcome;
@@ -191,35 +262,18 @@ bool Simulation::step() {
   rec.transmitters = static_cast<std::uint32_t>(s.transmissions.size());
   rec.live_jobs = static_cast<std::uint32_t>(s.live.size());
   rec.jammed = jammed;
+  if (s.injector != nullptr) {
+    rec.faults = static_cast<std::uint32_t>(s.injector->total_injected() -
+                                            faults_before);
+    s.metrics.dark_job_slots +=
+        std::count(s.dark.begin(), s.dark.end(), std::uint8_t{1});
+  }
   s.metrics.record(rec);
   if (s.config.record_slots) {
     s.slot_trace.push_back(rec);
   }
   if (s.observer) {
     s.observer(rec, s.transmissions);
-  }
-
-  // Feedback phase.
-  if (s.config.collision_detection ||
-      fb.outcome != SlotOutcome::kNoise) {
-    for (const JobId id : s.live) {
-      Impl::JobState& js = s.jobs[id];
-      SlotView view{s.now - js.info.release, s.now};
-      js.protocol->on_feedback(view, fb);
-    }
-  } else {
-    // Model ablation: without collision detection listeners perceive noisy
-    // slots as silent; transmitters still learn their failure (ACK-style).
-    SlotFeedback listener_fb = fb;
-    listener_fb.outcome = SlotOutcome::kSilence;
-    for (const JobId id : s.live) {
-      Impl::JobState& js = s.jobs[id];
-      SlotView view{s.now - js.info.release, s.now};
-      const bool transmitted =
-          std::any_of(s.transmissions.begin(), s.transmissions.end(),
-                      [id](const Transmission& t) { return t.job == id; });
-      js.protocol->on_feedback(view, transmitted ? fb : listener_fb);
-    }
   }
 
   // Credit a delivered data message and retire finished jobs.
@@ -258,6 +312,16 @@ SimResult Simulation::finish() {
     result.jobs.push_back(js.result);
   }
   result.metrics = impl_->metrics;
+  if (impl_->injector != nullptr) {
+    const FaultInjector& inj = *impl_->injector;
+    result.metrics.faults_injected = inj.total_injected();
+    result.metrics.feedback_corruptions = inj.count(FaultKind::kFeedbackCorrupt);
+    result.metrics.feedback_losses = inj.count(FaultKind::kFeedbackLoss);
+    result.metrics.clock_skew_events = inj.count(FaultKind::kClockSkew);
+    result.metrics.crashes = inj.count(FaultKind::kCrash);
+    result.metrics.restarts = inj.count(FaultKind::kRestart);
+    result.fault_events = impl_->injector->take_events();
+  }
   result.slots = std::move(impl_->slot_trace);
   return result;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/channel.hpp"
+#include "sim/faults.hpp"
 #include "sim/jammer.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
@@ -17,12 +18,16 @@
 /// Slot-driven simulation of the multiple-access channel.
 ///
 /// Each slot: (1) jobs whose release time arrives become live and their
-/// protocols activate; (2) every live protocol decides its action; (3) the
-/// channel resolves (0 transmissions -> silence, 1 -> success, >=2 ->
-/// noise); (4) the jamming adversary may turn the slot into noise; (5)
-/// every live job observes the resulting feedback; (6) jobs that delivered
-/// their data message, report done(), or hit their deadline leave the live
-/// set. Idle gaps with no live jobs are skipped in O(1).
+/// protocols activate; (2) the fault injector (when configured) advances
+/// each live job's crash/stall/skew state; (3) every live, non-dark
+/// protocol decides its action; (4) the channel resolves (0 transmissions
+/// -> silence, 1 -> success, >=2 -> noise); (5) the jamming adversary may
+/// turn the slot into noise; (6) every live, non-dark job observes the
+/// feedback — filtered per listener through the fault injector; (7) jobs
+/// that delivered their data message, report done(), or hit their deadline
+/// leave the live set. Idle gaps with no live jobs are skipped in O(1).
+/// Success crediting always uses the *true* channel outcome; faults perturb
+/// only what protocols perceive.
 
 namespace crmd::sim {
 
@@ -48,6 +53,15 @@ struct SimConfig {
   /// depends on busy-vs-silent detection and collapses without it —
   /// measured in bench_model_assumptions.
   bool collision_detection = true;
+
+  /// Fault injection between channel resolution and protocol observation
+  /// (see faults.hpp). The default plan injects nothing and is a provable
+  /// no-op: results are bit-identical to a fault-free build of the run.
+  FaultPlan faults;
+
+  /// Throws std::invalid_argument when any field is out of range (currently
+  /// delegates to FaultPlan::validate). Called by the Simulation ctor.
+  void validate() const { faults.validate(); }
 };
 
 /// Optional per-slot tap for tests and experiment harnesses: called after

@@ -8,26 +8,36 @@ namespace crmd::sim {
 void write_slot_trace_csv(std::ostream& out,
                           const std::vector<SlotRecord>& slots) {
   out << "slot,outcome,success_kind,contention,transmitters,live_jobs,"
-         "jammed\n";
+         "jammed,faults\n";
   for (const auto& rec : slots) {
     out << rec.slot << ',' << to_string(rec.outcome) << ','
         << (rec.outcome == SlotOutcome::kSuccess
                 ? to_string(rec.success_kind)
                 : "")
         << ',' << rec.contention << ',' << rec.transmitters << ','
-        << rec.live_jobs << ',' << (rec.jammed ? 1 : 0) << '\n';
+        << rec.live_jobs << ',' << (rec.jammed ? 1 : 0) << ',' << rec.faults
+        << '\n';
   }
 }
 
 void write_job_results_csv(std::ostream& out,
                            const std::vector<JobResult>& jobs) {
   out << "id,release,deadline,window,success,success_slot,latency,"
-         "transmissions,live_slots\n";
+         "transmissions,live_slots,dark_slots\n";
   for (const auto& job : jobs) {
     out << job.id << ',' << job.release << ',' << job.deadline << ','
         << job.window() << ',' << (job.success ? 1 : 0) << ','
         << (job.success ? job.success_slot : -1) << ',' << job.latency()
-        << ',' << job.transmissions << ',' << job.live_slots << '\n';
+        << ',' << job.transmissions << ',' << job.live_slots << ','
+        << job.dark_slots << '\n';
+  }
+}
+
+void write_fault_events_csv(std::ostream& out,
+                            const std::vector<FaultEvent>& events) {
+  out << "slot,kind,job\n";
+  for (const auto& ev : events) {
+    out << ev.slot << ',' << to_string(ev.kind) << ',' << ev.job << '\n';
   }
 }
 

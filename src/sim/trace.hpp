@@ -14,14 +14,19 @@
 namespace crmd::sim {
 
 /// Writes the slot trace as CSV: slot, outcome, success_kind, contention,
-/// transmitters, live_jobs, jammed.
+/// transmitters, live_jobs, jammed, faults.
 void write_slot_trace_csv(std::ostream& out,
                           const std::vector<SlotRecord>& slots);
 
 /// Writes per-job outcomes as CSV: id, release, deadline, window, success,
-/// success_slot, latency, transmissions, live_slots.
+/// success_slot, latency, transmissions, live_slots, dark_slots.
 void write_job_results_csv(std::ostream& out,
                            const std::vector<JobResult>& jobs);
+
+/// Writes injected fault events as CSV: slot, kind, job (see faults.hpp;
+/// populated when the run recorded slots and had a non-empty FaultPlan).
+void write_fault_events_csv(std::ostream& out,
+                            const std::vector<FaultEvent>& events);
 
 /// Convenience wrappers writing to a file path; return false on I/O error.
 bool save_slot_trace_csv(const std::string& path,

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -95,6 +96,62 @@ bool Table::save_csv(const std::string& path) const {
     return false;
   }
   write_csv(out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string json_escape(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size() + 2);
+  for (const char ch : cell) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& out) const {
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "" : ", ") << '"' << json_escape(headers_[c])
+          << "\": \"" << json_escape(rows_[r][c]) << '"';
+    }
+    out << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+bool Table::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_json(out);
   return static_cast<bool>(out);
 }
 

@@ -37,6 +37,15 @@ class Table {
   /// Returns false (and leaves no partial file guarantee) on I/O failure.
   bool save_csv(const std::string& path) const;
 
+  /// Writes the table as a JSON array of objects, one per row, keyed by the
+  /// column headers. All values are emitted as JSON strings (the table
+  /// stores formatted cells, not raw numbers); tools/plot_results.py
+  /// coerces numerics back on load.
+  void write_json(std::ostream& out) const;
+
+  /// Convenience: writes JSON to `path`. Returns false on I/O failure.
+  bool save_json(const std::string& path) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

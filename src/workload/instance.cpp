@@ -1,6 +1,8 @@
 #include "workload/instance.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "util/math.hpp"
 
@@ -55,6 +57,23 @@ bool Instance::valid() const noexcept {
   return std::all_of(jobs.begin(), jobs.end(), [](const JobSpec& j) {
     return j.release >= 0 && j.window() >= 1;
   });
+}
+
+void Instance::validate() const {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobSpec& j = jobs[i];
+    if (j.release < 0) {
+      throw std::invalid_argument(
+          "Instance: job " + std::to_string(i) + " has negative release " +
+          std::to_string(j.release));
+    }
+    if (j.window() < 1) {
+      throw std::invalid_argument(
+          "Instance: job " + std::to_string(i) + " has empty window [" +
+          std::to_string(j.release) + ", " + std::to_string(j.deadline) +
+          ") — require d_j > r_j");
+    }
+  }
 }
 
 bool Instance::is_aligned() const noexcept {

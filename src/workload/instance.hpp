@@ -60,6 +60,12 @@ struct Instance {
   /// Returns false otherwise.
   [[nodiscard]] bool valid() const noexcept;
 
+  /// Throwing form of valid(): raises std::invalid_argument naming the
+  /// first offending job (negative release, or d_j <= r_j). Called by the
+  /// Simulation ctor so malformed instances fail loudly instead of
+  /// producing silent nonsense (e.g. jobs that can never run).
+  void validate() const;
+
   /// True when every window size is a power of two and every window starts
   /// at a multiple of its size (§3's power-of-2-aligned special case).
   [[nodiscard]] bool is_aligned() const noexcept;

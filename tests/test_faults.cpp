@@ -1,0 +1,409 @@
+// Tests for the fault-injection subsystem (faults.hpp): deterministic
+// replay, the all-zero no-op property, budgeted adversaries, input
+// validation, and PUNCTUAL's desync fallback.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/punctual/protocol.hpp"
+#include "core/registry.hpp"
+#include "sim/faults.hpp"
+#include "sim/jammer.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::sim {
+namespace {
+
+bool same_record(const SlotRecord& a, const SlotRecord& b) {
+  return a.slot == b.slot && a.outcome == b.outcome &&
+         a.success_kind == b.success_kind && a.contention == b.contention &&
+         a.transmitters == b.transmitters && a.live_jobs == b.live_jobs &&
+         a.jammed == b.jammed && a.faults == b.faults;
+}
+
+bool same_trace(const SimResult& a, const SimResult& b) {
+  if (a.slots.size() != b.slots.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    if (!same_record(a.slots[i], b.slots[i])) {
+      return false;
+    }
+  }
+  if (a.jobs.size() != b.jobs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobResult& x = a.jobs[i];
+    const JobResult& y = b.jobs[i];
+    if (x.success != y.success || x.success_slot != y.success_slot ||
+        x.transmissions != y.transmissions || x.live_slots != y.live_slots ||
+        x.dark_slots != y.dark_slots) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ProtocolFactory beb_factory() {
+  core::Params params;
+  auto factory = core::make_protocol("beb", params);
+  EXPECT_TRUE(factory.has_value());
+  return *factory;
+}
+
+FaultPlan full_plan() {
+  FaultPlan plan;
+  plan.feedback_corrupt_rate = 0.05;
+  plan.feedback_loss_rate = 0.05;
+  plan.clock_skew_rate = 0.02;
+  plan.crash_rate = 0.002;
+  plan.crash_permanent_frac = 0.25;
+  plan.stall_min = 4;
+  plan.stall_max = 16;
+  return plan;
+}
+
+SimResult run_with(const FaultPlan& plan, std::uint64_t seed) {
+  SimConfig config;
+  config.seed = seed;
+  config.record_slots = true;
+  config.faults = plan;
+  return run(workload::gen_batch(8, 1024, 0), beb_factory(), config);
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(Faults, SameSeedAndPlanReplayBitIdentically) {
+  const auto a = run_with(full_plan(), 7);
+  const auto b = run_with(full_plan(), 7);
+  EXPECT_TRUE(same_trace(a, b));
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.metrics.faults_injected, b.metrics.faults_injected);
+  EXPECT_GT(a.metrics.faults_injected, 0) << "the plan should fire at all";
+}
+
+TEST(Faults, DifferentSeedsDiverge) {
+  const auto a = run_with(full_plan(), 7);
+  const auto b = run_with(full_plan(), 8);
+  EXPECT_FALSE(same_trace(a, b));
+}
+
+// --- the no-op property ---------------------------------------------------
+
+TEST(Faults, AllZeroPlanIsBitIdenticalToFaultFree) {
+  SimConfig clean;
+  clean.seed = 11;
+  clean.record_slots = true;
+  const auto baseline =
+      run(workload::gen_batch(8, 1024, 0), beb_factory(), clean);
+
+  // Explicit all-zero plan (including nonzero knobs that are gated on the
+  // rates, like crash_permanent_frac): still a no-op.
+  FaultPlan zero;
+  zero.crash_permanent_frac = 1.0;
+  zero.stall_min = 2;
+  zero.stall_max = 3;
+  EXPECT_FALSE(zero.any());
+  const auto zeroed = run_with(zero, 11);
+
+  EXPECT_TRUE(same_trace(baseline, zeroed));
+  EXPECT_EQ(zeroed.metrics.faults_injected, 0);
+  EXPECT_EQ(zeroed.metrics.dark_job_slots, 0);
+  EXPECT_TRUE(zeroed.fault_events.empty());
+}
+
+TEST(Faults, ZeroBudgetJammerIsBitIdenticalToNoJammer) {
+  SimConfig config;
+  config.seed = 13;
+  config.record_slots = true;
+  const auto instance = workload::gen_batch(8, 1024, 0);
+  const auto clean = run(instance, beb_factory(), config);
+  const auto budgeted = run(instance, beb_factory(), config,
+                            make_adaptive_jammer(0, 128, 0.9));
+  EXPECT_TRUE(same_trace(clean, budgeted));
+  EXPECT_EQ(budgeted.metrics.jammed_slots, 0);
+}
+
+// --- fault semantics ------------------------------------------------------
+
+TEST(Faults, PerceiveDegradesNeverFabricates) {
+  FaultPlan plan;
+  plan.feedback_corrupt_rate = 1.0;
+  FaultInjector inj(plan, 1);
+
+  SlotFeedback success;
+  success.outcome = SlotOutcome::kSuccess;
+  success.message = make_data(3);
+  EXPECT_EQ(inj.perceive(0, 0, success).outcome, SlotOutcome::kNoise);
+  EXPECT_FALSE(inj.perceive(0, 1, success).message.has_value());
+
+  SlotFeedback noise;
+  noise.outcome = SlotOutcome::kNoise;
+  EXPECT_EQ(inj.perceive(0, 2, noise).outcome, SlotOutcome::kSilence);
+
+  SlotFeedback silence;
+  EXPECT_EQ(inj.perceive(0, 3, silence).outcome, SlotOutcome::kNoise);
+  EXPECT_EQ(inj.count(FaultKind::kFeedbackCorrupt), 4);
+}
+
+TEST(Faults, LossAlwaysHearsSilence) {
+  FaultPlan plan;
+  plan.feedback_loss_rate = 1.0;
+  FaultInjector inj(plan, 1);
+  SlotFeedback success;
+  success.outcome = SlotOutcome::kSuccess;
+  success.message = make_data(3);
+  const SlotFeedback heard = inj.perceive(5, 0, success);
+  EXPECT_EQ(heard.outcome, SlotOutcome::kSilence);
+  EXPECT_FALSE(heard.message.has_value());
+  EXPECT_EQ(inj.count(FaultKind::kFeedbackLoss), 1);
+}
+
+TEST(Faults, PermanentCrashRetiresForever) {
+  FaultPlan plan;
+  plan.crash_rate = 1.0;
+  plan.crash_permanent_frac = 1.0;
+  FaultInjector inj(plan, 1);
+  EXPECT_EQ(inj.tick(0, 0), FaultInjector::JobHealth::kDead);
+  EXPECT_EQ(inj.tick(0, 1), FaultInjector::JobHealth::kDead);
+  EXPECT_EQ(inj.count(FaultKind::kCrash), 1) << "dead jobs stop drawing";
+}
+
+TEST(Faults, StallGoesDarkThenRestarts) {
+  FaultPlan plan;
+  plan.crash_rate = 1.0;  // crashes immediately...
+  plan.crash_permanent_frac = 0.0;
+  plan.stall_min = 3;
+  plan.stall_max = 3;  // ...for exactly 3 slots
+  FaultInjector inj(plan, 1);
+  EXPECT_EQ(inj.tick(0, 0), FaultInjector::JobHealth::kDark);
+  EXPECT_EQ(inj.tick(0, 1), FaultInjector::JobHealth::kDark);
+  EXPECT_EQ(inj.tick(0, 2), FaultInjector::JobHealth::kDark);
+  // Slot 3: the stall ends; with crash_rate=1 it immediately re-crashes,
+  // but the restart must have been recorded.
+  (void)inj.tick(0, 3);
+  EXPECT_EQ(inj.count(FaultKind::kRestart), 1);
+  EXPECT_EQ(inj.count(FaultKind::kCrash), 2);
+}
+
+TEST(Faults, SkewAccumulatesForwardOnly) {
+  FaultPlan plan;
+  plan.clock_skew_rate = 1.0;
+  FaultInjector inj(plan, 1);
+  EXPECT_EQ(inj.skew(0), 0);
+  (void)inj.tick(0, 0);
+  EXPECT_EQ(inj.skew(0), 1);
+  (void)inj.tick(0, 1);
+  EXPECT_EQ(inj.skew(0), 2);
+  EXPECT_EQ(inj.skew(1), 0) << "per-job state is independent";
+}
+
+TEST(Faults, CrashedJobsGoDarkInTheSimulator) {
+  FaultPlan plan;
+  plan.crash_rate = 0.05;
+  plan.crash_permanent_frac = 0.0;
+  plan.stall_min = 4;
+  plan.stall_max = 8;
+  const auto result = run_with(plan, 3);
+  EXPECT_GT(result.metrics.crashes, 0);
+  EXPECT_GT(result.metrics.dark_job_slots, 0);
+  std::int64_t job_dark = 0;
+  for (const auto& job : result.jobs) {
+    job_dark += job.dark_slots;
+    EXPECT_LE(job.dark_slots, job.live_slots);
+  }
+  EXPECT_EQ(job_dark, result.metrics.dark_job_slots)
+      << "per-job and channel dark accounting must agree";
+}
+
+TEST(Faults, EventsAreRecordedInSlotOrder) {
+  const auto result = run_with(full_plan(), 21);
+  ASSERT_FALSE(result.fault_events.empty());
+  std::int64_t by_kind = 0;
+  for (std::size_t i = 1; i < result.fault_events.size(); ++i) {
+    EXPECT_LE(result.fault_events[i - 1].slot, result.fault_events[i].slot);
+  }
+  for (const auto& ev : result.fault_events) {
+    by_kind += 1;
+    EXPECT_NE(to_string(ev.kind), std::string("unknown"));
+  }
+  EXPECT_EQ(by_kind, result.metrics.faults_injected);
+}
+
+// --- budgeted adversaries -------------------------------------------------
+
+TEST(BudgetedJammer, NeverExceedsBudgetPerWindow) {
+  auto jammer = make_budgeted_jammer(make_blanket_jammer(1.0), /*budget=*/2,
+                                     /*window_length=*/10);
+  auto* budgeted = dynamic_cast<BudgetedJammer*>(jammer.get());
+  ASSERT_NE(budgeted, nullptr);
+  int granted = 0;
+  for (Slot t = 0; t < 30; ++t) {
+    granted += budgeted->wants_jam(t, SlotOutcome::kSilence, nullptr) ? 1 : 0;
+  }
+  EXPECT_EQ(granted, 6) << "2 attempts in each of 3 windows";
+  EXPECT_EQ(budgeted->attempts_total(), 6);
+  EXPECT_EQ(budgeted->max_window_attempts(), 2);
+  EXPECT_LE(budgeted->max_window_attempts(), budgeted->budget());
+}
+
+TEST(BudgetedJammer, BudgetEnforcedAcrossFullSimulation) {
+  SimConfig config;
+  config.seed = 5;
+  auto jammer = make_budgeted_jammer(make_reactive_jammer(1.0), 3, 64);
+  // The jammer outlives finish() inside the Simulation object, so the raw
+  // pointer stays valid for the post-run assertions.
+  auto* budgeted = dynamic_cast<BudgetedJammer*>(jammer.get());
+  ASSERT_NE(budgeted, nullptr);
+  Simulation sim(workload::gen_batch(12, 1024, 0), beb_factory(), config,
+                 std::move(jammer));
+  const auto result = sim.finish();
+  EXPECT_GT(budgeted->attempts_total(), 0);
+  EXPECT_LE(budgeted->max_window_attempts(), 3);
+  EXPECT_GT(result.metrics.jammed_slots, 0);
+}
+
+TEST(BudgetedJammer, AdaptivePolicySpendsOnData) {
+  auto jammer = make_adaptive_jammer(/*budget=*/4, /*window_length=*/100,
+                                     /*p_jam=*/1.0);
+  auto* budgeted = dynamic_cast<BudgetedJammer*>(jammer.get());
+  ASSERT_NE(budgeted, nullptr);
+  const Message data = make_data(1);
+  // Data is always worth an attempt while budget remains.
+  EXPECT_TRUE(budgeted->wants_jam(0, SlotOutcome::kSuccess, &data));
+  // Collisions and silence never are.
+  EXPECT_FALSE(budgeted->wants_jam(1, SlotOutcome::kNoise, nullptr));
+  EXPECT_FALSE(budgeted->wants_jam(2, SlotOutcome::kSilence, nullptr));
+  EXPECT_EQ(budgeted->attempts_total(), 1);
+}
+
+// --- validation -----------------------------------------------------------
+
+TEST(Validation, FaultPlanRejectsOutOfRangeRates) {
+  FaultPlan plan;
+  plan.feedback_corrupt_rate = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = FaultPlan{};
+  plan.crash_rate = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = FaultPlan{};
+  plan.stall_min = 8;
+  plan.stall_max = 4;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(FaultPlan{}.validate());
+}
+
+TEST(Validation, SimulationRejectsBadFaultPlan) {
+  SimConfig config;
+  config.faults.feedback_loss_rate = 2.0;
+  EXPECT_THROW(Simulation(workload::gen_batch(2, 64, 0), beb_factory(),
+                          config, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Validation, JammerFactoriesRejectBadProbabilities) {
+  EXPECT_THROW(make_blanket_jammer(1.5), std::invalid_argument);
+  EXPECT_THROW(make_reactive_jammer(-0.5), std::invalid_argument);
+  EXPECT_THROW(make_control_jammer(2.0), std::invalid_argument);
+  EXPECT_THROW(make_data_jammer(-1.0), std::invalid_argument);
+  EXPECT_THROW(make_random_jammer(1.5, 0.5, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_random_jammer(0.5, -0.1, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_adaptive_jammer(-1, 10, 0.5), std::invalid_argument);
+  EXPECT_THROW(make_adaptive_jammer(5, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(make_budgeted_jammer(nullptr, 1, 1), std::invalid_argument);
+  EXPECT_NO_THROW(make_adaptive_jammer(0, 1, 1.0));
+}
+
+TEST(Validation, InstanceRejectsEmptyWindowsAndNegativeReleases) {
+  workload::Instance bad;
+  bad.jobs.push_back(workload::JobSpec{10, 10});  // d_j == r_j
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.jobs[0] = workload::JobSpec{10, 5};  // d_j < r_j
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.jobs[0] = workload::JobSpec{-1, 5};  // negative release
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.jobs[0] = workload::JobSpec{0, 1};
+  EXPECT_NO_THROW(bad.validate());
+
+  // The simulator refuses malformed instances at construction.
+  EXPECT_THROW(Simulation(test::instance_of({{4, 4}}), beb_factory(),
+                          SimConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+// --- PUNCTUAL graceful degradation ---------------------------------------
+
+TEST(DesyncFallback, ImpossibleObservationsTriggerDesperateFallback) {
+  core::Params params;
+  params.desync_tolerance = 2;
+  params.validate();
+  core::punctual::PunctualProtocol proto(params, util::Rng(1));
+  JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 1024;
+  proto.on_activate(info);
+
+  // Silence for a full round makes the job announce its own frame...
+  Slot t = 0;
+  while (proto.stage() == core::punctual::PunctualProtocol::Stage::kSyncListen) {
+    ASSERT_LT(t, 100) << "sync-listen should end";
+    (void)proto.on_slot(SlotView{t, t});
+    proto.on_feedback(SlotView{t, t}, SlotFeedback{});
+    ++t;
+  }
+  ASSERT_EQ(proto.stage(),
+            core::punctual::PunctualProtocol::Stage::kSyncAnnounce);
+
+  // ...and its two announce transmissions each come back as *silence* —
+  // physically impossible, so after tolerance=2 observations the job
+  // abandons the grid.
+  for (int i = 0; i < 2; ++i) {
+    const SlotAction a = proto.on_slot(SlotView{t, t});
+    EXPECT_TRUE(a.transmit);
+    proto.on_feedback(SlotView{t, t}, SlotFeedback{});  // lost feedback
+    ++t;
+  }
+  EXPECT_TRUE(proto.desync_fallback());
+  EXPECT_EQ(proto.desync_evidence(), 2);
+  EXPECT_EQ(proto.stage(),
+            core::punctual::PunctualProtocol::Stage::kDesperate);
+  EXPECT_TRUE(proto.was_anarchist());
+}
+
+TEST(DesyncFallback, DisabledByDefaultAndNeverFiresFaultFree) {
+  core::Params params;
+  EXPECT_EQ(params.desync_tolerance, 0) << "off = paper-faithful default";
+  params.desync_tolerance = -1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+
+  // A fault-free PUNCTUAL run with the fallback enabled behaves exactly as
+  // with it disabled: the evidence signals are physically impossible on a
+  // clean channel.
+  const auto instance = workload::gen_batch(8, 8192, 0);
+  core::Params on;
+  on.tau = 8;
+  on.min_class = 13;
+  on.desync_tolerance = 1;
+  core::Params off = on;
+  off.desync_tolerance = 0;
+  SimConfig config;
+  config.seed = 9;
+  config.record_slots = true;
+  const auto with_fallback =
+      run(instance, core::punctual::make_punctual_factory(on), config);
+  const auto without =
+      run(instance, core::punctual::make_punctual_factory(off), config);
+  EXPECT_TRUE(same_trace(with_fallback, without));
+}
+
+}  // namespace
+}  // namespace crmd::sim

@@ -58,7 +58,7 @@ TEST(Trace, SaveToFileRoundTrips) {
   std::getline(in, header);
   EXPECT_EQ(header,
             "slot,outcome,success_kind,contention,transmitters,live_jobs,"
-            "jammed");
+            "jammed,faults");
 }
 
 TEST(Trace, SaveFailsOnBadPath) {

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Plot a crmd bench CSV (any harness run with --csv=out.csv).
+"""Plot a crmd bench table (any harness run with --csv=out.csv or
+--json=out.json).
 
 Usage:
     bench_punctual_success --csv=e12.csv
     tools/plot_results.py e12.csv --x=window --y="failure rate" \
         --series=gamma --logx --logy --out=e12.png
 
+    bench_fault_matrix --json=faults.json
+    tools/plot_results.py faults.json --x=intensity --y="delivery rate" \
+        --series=fault --out=faults.png
+
 The script is intentionally generic: pick the x column, the y column, and
 optionally a series column; everything else is matplotlib defaults. Values
-with thousands separators ("16,384") are parsed.
+with thousands separators ("16,384") are parsed. The input format is picked
+by extension: .json expects the Table::write_json array-of-objects shape,
+anything else is read as CSV.
 """
 
 import argparse
 import csv
+import json
 import sys
 
 
@@ -24,9 +32,21 @@ def parse_number(text):
         return None
 
 
+def load_rows(path):
+    """Returns a list of {column: string-value} dicts from CSV or JSON."""
+    if path.endswith(".json"):
+        with open(path) as f:
+            data = json.load(f)
+        if not isinstance(data, list):
+            sys.exit("json input must be an array of row objects")
+        return [{str(k): str(v) for k, v in row.items()} for row in data]
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("csv_path")
+    parser.add_argument("table_path", help="bench output (.csv or .json)")
     parser.add_argument("--x", required=True, help="x-axis column name")
     parser.add_argument("--y", required=True, help="y-axis column name")
     parser.add_argument("--series", default=None,
@@ -37,10 +57,9 @@ def main():
                         help="output image path (default: show window)")
     args = parser.parse_args()
 
-    with open(args.csv_path, newline="") as f:
-        rows = list(csv.DictReader(f))
+    rows = load_rows(args.table_path)
     if not rows:
-        sys.exit("empty csv")
+        sys.exit("empty table")
     for col in (args.x, args.y):
         if col not in rows[0]:
             sys.exit(f"column {col!r} not in {list(rows[0])}")
