@@ -6,11 +6,21 @@
 // of `for b in build/bench/*; do $b; done` is uniform and diffable.
 //
 // Common flags (every harness): --reps=N, --seed=S, --csv=path.csv,
-// --json=path.json, --quick (shrink the sweep for smoke runs).
+// --json=path.json, --quick (shrink the sweep for smoke runs),
+// --trace-events=path.json (Chrome trace-event export of every simulated
+// run; open in chrome://tracing or Perfetto).
+//
+// JSON outputs carry a "meta" object with run-profiler timings (wall_ms,
+// slots_per_sec, per-phase breakdown). Timings never appear in the console
+// table or CSV, so those artifacts stay byte-stable across runs.
 
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -22,6 +32,7 @@ struct CommonArgs {
   std::uint64_t seed;
   std::string csv;
   std::string json;
+  std::string trace_events;
   bool quick;
 };
 
@@ -37,12 +48,73 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", default_seed));
   c.csv = args.get("csv", "");
   c.json = args.get("json", "");
+  c.trace_events = args.get("trace-events", "");
   return c;
 }
 
-/// Prints the table (and saves CSV when requested). `header` names the
-/// experiment and its paper anchor.
-inline void emit(const util::Table& table, const std::string& header,
+/// Owns the optional tracing session built from --trace-events=PATH.
+/// `get()` is null when tracing is off, which every consumer treats as
+/// "emit nothing" (see CRMD_TRACE); pass it to run_replications or
+/// SimConfig::tracer. Call finish() (or let the destructor run) to flush
+/// and write the Chrome trace file.
+struct TraceSession {
+  std::unique_ptr<obs::Tracer> tracer;
+
+  TraceSession() = default;
+  TraceSession(TraceSession&&) = default;
+  TraceSession& operator=(TraceSession&&) = default;
+
+  [[nodiscard]] obs::Tracer* get() const noexcept { return tracer.get(); }
+
+  void finish() {
+    if (tracer) {
+      tracer->close();
+      tracer.reset();
+    }
+  }
+
+  ~TraceSession() { finish(); }
+};
+
+/// Builds the tracing session requested by --trace-events (off by default).
+inline TraceSession make_trace_session(const CommonArgs& common) {
+  TraceSession session;
+  if (!common.trace_events.empty()) {
+    session.tracer = std::make_unique<obs::Tracer>();
+    session.tracer->add_sink(
+        std::make_shared<obs::ChromeTraceSink>(common.trace_events));
+    std::cout << "(tracing to " << common.trace_events << ")\n";
+  }
+  return session;
+}
+
+/// Stamps run-profiler results into the table's JSON meta block:
+/// wall-clock, slots simulated, slots/sec, and the per-phase breakdown.
+inline void stamp_profile(util::Table& table) {
+  const obs::RunProfiler& prof = obs::global_profiler();
+  std::ostringstream num;
+  num << prof.wall_ms();
+  table.set_meta("wall_ms", num.str());
+  num.str("");
+  num << prof.slots();
+  table.set_meta("slots_simulated", num.str());
+  num.str("");
+  num << prof.slots_per_sec();
+  table.set_meta("slots_per_sec", num.str());
+  std::ostringstream phases;
+  phases << '{';
+  bool first = true;
+  for (const auto& ph : prof.phases()) {
+    phases << (first ? "" : ", ") << '"' << ph.name << "\": " << ph.ms;
+    first = false;
+  }
+  phases << '}';
+  table.set_meta("phase_ms", phases.str());
+}
+
+/// Prints the table (and saves CSV/JSON when requested). `header` names the
+/// experiment and its paper anchor. JSON output gains the profiler meta.
+inline void emit(util::Table& table, const std::string& header,
                  const CommonArgs& common) {
   table.print(std::cout, header);
   if (!common.csv.empty()) {
@@ -53,6 +125,7 @@ inline void emit(const util::Table& table, const std::string& header,
     }
   }
   if (!common.json.empty()) {
+    stamp_profile(table);
     if (table.save_json(common.json)) {
       std::cout << "(json written to " << common.json << ")\n";
     } else {

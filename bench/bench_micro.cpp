@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <sstream>
+
 #include "baselines/aloha.hpp"
 #include "core/aligned/estimation.hpp"
 #include "core/aligned/tracker.hpp"
 #include "core/params.hpp"
+#include "core/punctual/protocol.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "workload/feasibility.hpp"
@@ -112,6 +117,65 @@ void BM_Trimmed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Trimmed);
+
+// Tracing overhead: the same PUNCTUAL simulation with tracing off
+// (null tracer — the CRMD_TRACE pointer test only), ring-only (tracer with
+// no sinks; events are pushed and bulk-discarded), and a full JSONL sink
+// (every event formatted and written to an in-memory stream). Comparing
+// items/sec across the three shows what observability costs at each tier.
+enum class TraceMode { kOff, kRingOnly, kJsonl };
+
+void run_traced_sim(benchmark::State& state, TraceMode mode) {
+  workload::GeneralConfig wconfig;
+  wconfig.min_window = 1 << 9;
+  wconfig.max_window = 1 << 11;
+  wconfig.gamma = 1.0 / 32;
+  wconfig.horizon = 1 << 13;
+  core::Params params;
+  params.min_class = 8;
+  const auto factory = core::punctual::make_punctual_factory(params);
+
+  std::int64_t slots = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(11);
+    const auto instance = workload::gen_general(wconfig, rng);
+    sim::SimConfig config;
+    config.seed = 11;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::ostringstream jsonl;
+    if (mode != TraceMode::kOff) {
+      tracer = std::make_unique<obs::Tracer>();
+      if (mode == TraceMode::kJsonl) {
+        tracer->add_sink(std::make_shared<obs::JsonlSink>(jsonl));
+      }
+      config.tracer = tracer.get();
+    }
+    state.ResumeTiming();
+    const auto result = sim::run(instance, factory, config);
+    if (tracer) {
+      tracer->flush();
+    }
+    slots += result.metrics.slots_simulated;
+    benchmark::DoNotOptimize(result.metrics.slots_simulated);
+  }
+  state.SetItemsProcessed(slots);
+}
+
+void BM_TracingOff(benchmark::State& state) {
+  run_traced_sim(state, TraceMode::kOff);
+}
+BENCHMARK(BM_TracingOff);
+
+void BM_TracingRingOnly(benchmark::State& state) {
+  run_traced_sim(state, TraceMode::kRingOnly);
+}
+BENCHMARK(BM_TracingRingOnly);
+
+void BM_TracingJsonl(benchmark::State& state) {
+  run_traced_sim(state, TraceMode::kJsonl);
+}
+BENCHMARK(BM_TracingJsonl);
 
 void BM_GenAligned(benchmark::State& state) {
   workload::AlignedConfig config;

@@ -70,12 +70,14 @@ int main(int argc, char** argv) {
     return workload::gen_general(config, rng);
   };
 
+  auto trace = bench::make_trace_session(common);
   util::Table table_a({"protocol", "delivered", "worst window-size",
                        "smallest-window delivery", "mean latency",
                        "mean tx/job (energy)"});
   for (const auto& contender : contenders()) {
-    const auto report = analysis::run_replications(gen, contender.factory,
-                                                   common.reps, common.seed);
+    const auto report =
+        analysis::run_replications(gen, contender.factory, common.reps,
+                                   common.seed, nullptr, {}, trace.get());
     double worst = 1.0;
     double smallest_rate = 1.0;
     util::RunningStats latency;

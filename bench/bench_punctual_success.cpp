@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> gammas{1.0 / 16, 1.0 / 32, 1.0 / 64};
 
+  auto trace = bench::make_trace_session(common);
   util::Table table({"gamma", "window", "trials", "failure rate",
                      "95% CI hi", "mean latency/window"});
   for (const double gamma : gammas) {
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
       config.pow2_windows = true;  // clean buckets
       return workload::gen_general(config, rng);
     };
-    const auto report =
-        analysis::run_replications(gen, factory, common.reps, common.seed);
+    const auto report = analysis::run_replications(
+        gen, factory, common.reps, common.seed, nullptr, {}, trace.get());
     for (const auto& [w, bucket] : report.outcomes.by_window()) {
       const auto [lo, hi] = bucket.deadline_met.wilson95();
       (void)hi;
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
               "general clockless instances (lambda=" +
                   std::to_string(params.lambda) + ")",
               common);
+  trace.finish();
   return 0;
 }

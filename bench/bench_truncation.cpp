@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                                    1.0 / 256, 1.0 / 512};
   const double fill = args.get_double("fill", 1.0);
 
+  auto trace = bench::make_trace_session(common);
   util::Table table({"gamma", "jobs/rep", "failure rate", "95% CI",
                      "worst window-size failure", "channel util (data)",
                      "noise slots"});
@@ -42,8 +43,8 @@ int main(int argc, char** argv) {
       config.horizon = 1 << 16;
       return workload::gen_aligned(config, rng);
     };
-    const auto report =
-        analysis::run_replications(gen, factory, common.reps, common.seed);
+    const auto report = analysis::run_replications(
+        gen, factory, common.reps, common.seed, nullptr, {}, trace.get());
     double worst = 0.0;
     for (const auto& [w, bucket] : report.outcomes.by_window()) {
       worst = std::max(worst, bucket.deadline_met.failure_rate());

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> gammas{1.0 / 8, 1.0 / 12, 1.0 / 24};
 
+  auto trace = bench::make_trace_session(common);
   util::Table table({"windows", "gamma", "jobs/rep", "delivered fraction",
                      "95% CI", "mean contention", "edf fraction"});
   for (const bool aligned : {true, false}) {
@@ -46,8 +47,8 @@ int main(int argc, char** argv) {
         config.horizon = 1 << 13;
         return workload::gen_general(config, rng);
       };
-      const auto report =
-          analysis::run_replications(gen, factory, common.reps, common.seed);
+      const auto report = analysis::run_replications(
+          gen, factory, common.reps, common.seed, nullptr, {}, trace.get());
       const auto [lo, hi] = report.outcomes.overall().wilson95();
 
       // EDF reference on one sample instance (always 1.0 when feasible).

@@ -10,9 +10,12 @@
 // Protocols: see --list.
 
 #include <iostream>
+#include <memory>
 
 #include "analysis/runner.hpp"
 #include "core/registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -36,7 +39,16 @@ int usage() {
          "  --lambda=L --tau=T --min-class=C   protocol constants\n"
          "  --reps=R --seed=S      replication controls\n"
          "  --trace=PATH           save a per-slot CSV of one run\n"
-         "  --jobs-csv=PATH        save per-job outcomes of one run\n";
+         "  --jobs-csv=PATH        save per-job outcomes of one run\n"
+         "  --faults-csv=PATH      save injected fault events of one run\n"
+         "  --fault-corrupt=R --fault-loss=R --fault-crash=R\n"
+         "                         per-job per-slot fault rates (default 0)\n"
+         "  --trace-events=PATH    save a Chrome trace (chrome://tracing) "
+         "of one run\n"
+         "  --trace-jsonl=PATH     save the raw event stream (JSONL) of "
+         "one run\n"
+         "  --watchdog             check protocol invariants on the event "
+         "stream\n";
   return 2;
 }
 
@@ -118,12 +130,39 @@ int main(int argc, char** argv) {
   // Optional single-run trace exports (separate from the replicated sweep).
   const std::string trace_path = args.get("trace", "");
   const std::string jobs_path = args.get("jobs-csv", "");
-  if (!trace_path.empty() || !jobs_path.empty()) {
+  const std::string faults_path = args.get("faults-csv", "");
+  const std::string events_path = args.get("trace-events", "");
+  const std::string jsonl_path = args.get("trace-jsonl", "");
+  const bool watchdog_on = args.has("watchdog");
+  if (!trace_path.empty() || !jobs_path.empty() || !faults_path.empty() ||
+      !events_path.empty() || !jsonl_path.empty() || watchdog_on) {
     util::Rng rng(seed);
     sim::SimConfig config;
     config.seed = seed;
-    config.record_slots = !trace_path.empty();
+    config.record_slots = !trace_path.empty() || !faults_path.empty();
+    config.faults.feedback_corrupt_rate = args.get_double("fault-corrupt", 0);
+    config.faults.feedback_loss_rate = args.get_double("fault-loss", 0);
+    config.faults.crash_rate = args.get_double("fault-crash", 0);
+    std::unique_ptr<obs::Tracer> tracer;
+    std::shared_ptr<obs::Watchdog> watchdog;
+    if (!events_path.empty() || !jsonl_path.empty() || watchdog_on) {
+      tracer = std::make_unique<obs::Tracer>();
+      if (!events_path.empty()) {
+        tracer->add_sink(std::make_shared<obs::ChromeTraceSink>(events_path));
+      }
+      if (!jsonl_path.empty()) {
+        tracer->add_sink(std::make_shared<obs::JsonlFileSink>(jsonl_path));
+      }
+      if (watchdog_on) {
+        watchdog = std::make_shared<obs::Watchdog>();
+        tracer->add_sink(watchdog);
+      }
+      config.tracer = tracer.get();
+    }
     const auto result = sim::run(gen(rng), *factory, config);
+    if (tracer) {
+      tracer->close();
+    }
     if (!trace_path.empty() &&
         sim::save_slot_trace_csv(trace_path, result.slots)) {
       std::cout << "(slot trace written to " << trace_path << ")\n";
@@ -131,6 +170,25 @@ int main(int argc, char** argv) {
     if (!jobs_path.empty() &&
         sim::save_job_results_csv(jobs_path, result.jobs)) {
       std::cout << "(job outcomes written to " << jobs_path << ")\n";
+    }
+    if (!faults_path.empty() &&
+        sim::save_fault_events_csv(faults_path, result.fault_events)) {
+      std::cout << "(fault events written to " << faults_path << ")\n";
+    }
+    if (!events_path.empty()) {
+      std::cout << "(chrome trace written to " << events_path << ")\n";
+    }
+    if (!jsonl_path.empty()) {
+      std::cout << "(event jsonl written to " << jsonl_path << ")\n";
+    }
+    if (watchdog) {
+      if (watchdog->ok()) {
+        std::cout << "(watchdog: 0 violations)\n";
+      } else {
+        std::cout << "(watchdog: " << watchdog->violation_count()
+                  << " violations)\n";
+        std::cout << watchdog->report();
+      }
     }
   }
 

@@ -1,18 +1,25 @@
 #include "analysis/runner.hpp"
 
+#include "obs/profiler.hpp"
+
 namespace crmd::analysis {
 
 ReplicationReport run_replications(const InstanceGen& gen,
                                    const sim::ProtocolFactory& factory,
                                    int reps, std::uint64_t base_seed,
                                    const JammerGen& jammer_gen,
-                                   const sim::FaultPlan& faults) {
+                                   const sim::FaultPlan& faults,
+                                   obs::Tracer* tracer) {
   ReplicationReport report;
+  obs::RunProfiler& prof = obs::global_profiler();
   const util::Rng master(base_seed);
   for (int rep = 0; rep < reps; ++rep) {
     util::Rng rep_rng =
         master.child(0x5245504CULL /* "REPL" */ + static_cast<unsigned>(rep));
-    workload::Instance instance = gen(rep_rng);
+    workload::Instance instance = [&] {
+      const auto scope = prof.phase("generate");
+      return gen(rep_rng);
+    }();
     report.jobs_per_rep.add(static_cast<double>(instance.size()));
     if (instance.empty()) {
       ++report.replications;
@@ -21,39 +28,27 @@ ReplicationReport run_replications(const InstanceGen& gen,
     sim::SimConfig config;
     config.seed = rep_rng.next_u64();
     config.faults = faults;
+    config.tracer = tracer;
     std::unique_ptr<sim::Jammer> jammer;
     if (jammer_gen) {
       jammer = jammer_gen(rep_rng.child(0x4A414DULL /* "JAM" */));
     }
-    sim::SimResult result =
-        sim::run(std::move(instance), factory, config, std::move(jammer));
-    report.outcomes.add_run(result);
-    merge_metrics(report.channel, result.metrics);
+    sim::SimResult result = [&] {
+      const auto scope = prof.phase("simulation");
+      return sim::run(std::move(instance), factory, config, std::move(jammer));
+    }();
+    {
+      const auto scope = prof.phase("aggregate");
+      report.outcomes.add_run(result);
+      report.channel.merge(result.metrics);
+    }
     ++report.replications;
   }
   return report;
 }
 
 void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from) {
-  into.slots_simulated += from.slots_simulated;
-  into.slots_skipped += from.slots_skipped;
-  into.silent_slots += from.silent_slots;
-  into.success_slots += from.success_slots;
-  into.noise_slots += from.noise_slots;
-  into.jammed_slots += from.jammed_slots;
-  into.data_successes += from.data_successes;
-  into.control_successes += from.control_successes;
-  into.start_successes += from.start_successes;
-  into.claim_successes += from.claim_successes;
-  into.timekeeper_successes += from.timekeeper_successes;
-  into.faults_injected += from.faults_injected;
-  into.feedback_corruptions += from.feedback_corruptions;
-  into.feedback_losses += from.feedback_losses;
-  into.clock_skew_events += from.clock_skew_events;
-  into.crashes += from.crashes;
-  into.restarts += from.restarts;
-  into.dark_job_slots += from.dark_job_slots;
-  into.contention.merge(from.contention);
+  into.merge(from);
 }
 
 }  // namespace crmd::analysis

@@ -37,13 +37,17 @@ struct ReplicationReport {
 /// Replication r uses the deterministic seed child(base_seed, r) for both
 /// generation and simulation, so reports are exactly reproducible. The
 /// optional `faults` plan applies identically to every replication (default:
-/// none — a provable no-op, see faults.hpp).
+/// none — a provable no-op, see faults.hpp). When `tracer` is non-null
+/// every simulated run streams obs events into it (null = tracing off =
+/// bit-identical results, see obs/trace.hpp). Phase timings ("generate",
+/// "simulation", "aggregate") accrue to obs::global_profiler().
 [[nodiscard]] ReplicationReport run_replications(
     const InstanceGen& gen, const sim::ProtocolFactory& factory, int reps,
     std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr,
-    const sim::FaultPlan& faults = {});
+    const sim::FaultPlan& faults = {}, obs::Tracer* tracer = nullptr);
 
-/// Merges channel metrics (helper for custom harness loops).
+/// Merges channel metrics. Deprecated shim: delegates to
+/// sim::SimMetrics::merge (kept for existing harness loops).
 void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from);
 
 }  // namespace crmd::analysis

@@ -3,12 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/math.hpp"
 
 namespace crmd::core::aligned {
 
+const char* to_string(AlignedProtocol::Stage stage) noexcept {
+  switch (stage) {
+    case AlignedProtocol::Stage::kRunning:
+      return "running";
+    case AlignedProtocol::Stage::kSucceeded:
+      return "succeeded";
+    case AlignedProtocol::Stage::kGaveUp:
+      return "gave-up";
+  }
+  return "unknown";
+}
+
 AlignedProtocol::AlignedProtocol(const Params& params, util::Rng rng)
     : params_(params), rng_(rng) {}
+
+void AlignedProtocol::set_stage(Stage next, Slot global_slot) {
+  CRMD_TRACE(obs_, obs::EventKind::kStage, global_slot, info_.id,
+             static_cast<std::int64_t>(stage_),
+             static_cast<std::int64_t>(next), 0.0, to_string(next));
+  stage_ = next;
+}
 
 void AlignedProtocol::on_activate(const sim::JobInfo& info) {
   const Slot w = info.window();
@@ -34,6 +54,18 @@ sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
   last_step_.estimating =
       last_step_.active_class >= 0 &&
       tracker_->view(last_step_.active_class).estimating;
+  if (obs_ != nullptr) {
+    if (last_step_.active_class != traced_active_class_) {
+      CRMD_TRACE(obs_, obs::EventKind::kClassActive, view.global_slot,
+                 info_.id, traced_active_class_, last_step_.active_class);
+      traced_active_class_ = last_step_.active_class;
+    }
+    if (!estimate_traced_ && tracker_->view(level_).estimate >= 0) {
+      CRMD_TRACE(obs_, obs::EventKind::kEstimate, view.global_slot, info_.id,
+                 level_, tracker_->view(level_).estimate);
+      estimate_traced_ = true;
+    }
+  }
   if (stage_ != Stage::kRunning) {
     return action;  // defensive; the simulator retires done jobs
   }
@@ -63,6 +95,11 @@ sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
         static_cast<std::int64_t>(rng_.below(
             static_cast<std::uint64_t>(pos.subphase_len)));
   }
+  if (pos.subphase_id != traced_subphase_) {
+    traced_subphase_ = pos.subphase_id;
+    CRMD_TRACE(obs_, obs::EventKind::kSubphase, view.global_slot, info_.id,
+               pos.subphase_id, pos.subphase_len);
+  }
   action.declared_prob = 1.0 / static_cast<double>(pos.subphase_len);
   if (pos.offset == chosen_offset_) {
     action.transmit = true;
@@ -73,20 +110,20 @@ sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
   return action;
 }
 
-void AlignedProtocol::on_feedback(const sim::SlotView& /*view*/,
+void AlignedProtocol::on_feedback(const sim::SlotView& view,
                                   const sim::SlotFeedback& fb) {
   // A successful *data* transmission completes the job (a lone success is
   // necessarily the transmitter's own); control-probe successes merely feed
   // the estimation counts below.
   if (transmitted_ && transmitted_data_ &&
       fb.outcome == sim::SlotOutcome::kSuccess) {
-    stage_ = Stage::kSucceeded;
+    set_stage(Stage::kSucceeded, view.global_slot);
   }
   tracker_->end_slot(fb.outcome);
   if (stage_ == Stage::kRunning && tracker_->view(level_).complete) {
     // §3 Truncation: the class's algorithm ended and this job did not get
     // through — it gives up and yields to the larger classes.
-    stage_ = Stage::kGaveUp;
+    set_stage(Stage::kGaveUp, view.global_slot);
   }
 }
 

@@ -69,6 +69,10 @@ class AlignedProtocol final : public sim::Protocol {
   }
 
  private:
+  /// Transition funnel: every stage change goes through here so the
+  /// tracing session (when attached) sees one kStage event per transition.
+  void set_stage(Stage next, Slot global_slot);
+
   Params params_;
   util::Rng rng_;
   sim::JobInfo info_;
@@ -80,7 +84,15 @@ class AlignedProtocol final : public sim::Protocol {
   std::int64_t current_subphase_ = -1;
   std::int64_t chosen_offset_ = -1;
   LastStep last_step_;
+
+  // Tracing-only bookkeeping (never read by decision logic).
+  int traced_active_class_ = -2;  ///< -2 = nothing emitted yet
+  std::int64_t traced_subphase_ = -1;
+  bool estimate_traced_ = false;
 };
+
+/// Human-readable stage name.
+[[nodiscard]] const char* to_string(AlignedProtocol::Stage stage) noexcept;
 
 /// Factory adapter for the simulator. Validates `params` eagerly.
 [[nodiscard]] sim::ProtocolFactory make_aligned_factory(Params params);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "util/math.hpp"
 
 namespace crmd::core::punctual {
@@ -15,11 +16,18 @@ void PunctualProtocol::on_activate(const sim::JobInfo& info) {
   effective_window_ = info.window();
   if (effective_window_ < params_.punctual_min_window) {
     // Degenerate windows cannot afford the round machinery; just transmit.
-    stage_ = Stage::kDesperate;
+    set_stage(Stage::kDesperate, 0);
     was_anarchist_ = true;
   } else {
-    stage_ = Stage::kSyncListen;
+    set_stage(Stage::kSyncListen, 0);
   }
+}
+
+void PunctualProtocol::set_stage(Stage next, Slot t) {
+  CRMD_TRACE(obs_, obs::EventKind::kStage, gslot(t), info_.id,
+             static_cast<std::int64_t>(stage_),
+             static_cast<std::int64_t>(next), 0.0, to_string(next));
+  stage_ = next;
 }
 
 sim::SlotAction PunctualProtocol::on_slot(const sim::SlotView& view) {
@@ -157,7 +165,7 @@ sim::SlotAction PunctualProtocol::act_aligned_slot(Slot t) {
     return action;  // own class window has not begun yet
   }
   if (g >= core_->end()) {
-    truncate_follow();
+    truncate_follow(t);
     return action;
   }
   tracker_->begin_slot(g);
@@ -205,7 +213,7 @@ void PunctualProtocol::on_feedback(const sim::SlotView& view,
   if (transmitted_ && fb.outcome == sim::SlotOutcome::kSuccess) {
     switch (last_tx_kind_) {
       case sim::MessageKind::kData:
-        stage_ = Stage::kSucceeded;
+        set_stage(Stage::kSucceeded, t);
         return;
       case sim::MessageKind::kLeaderClaim:
         become_leader(t);
@@ -221,7 +229,7 @@ void PunctualProtocol::on_feedback(const sim::SlotView& view,
   // feedback — never happens fault-free).
   if (transmitted_ && fb.outcome == sim::SlotOutcome::kSilence &&
       stage_ != Stage::kDesperate) {
-    note_desync_evidence();
+    note_desync_evidence(t);
     if (desync_fallback_ && stage_ == Stage::kDesperate) {
       return;
     }
@@ -238,7 +246,9 @@ void PunctualProtocol::on_feedback(const sim::SlotView& view,
     case Stage::kSyncAnnounce:
       if (--announce_remaining_ == 0) {
         clock_.sync(announce_anchor_);
-        enter_probe();
+        CRMD_TRACE(obs_, obs::EventKind::kRoundSync, gslot(t), info_.id,
+                   announce_anchor_);
+        enter_probe(t);
       }
       return;
     default:
@@ -253,7 +263,8 @@ void PunctualProtocol::handle_sync_listen(Slot t, bool busy) {
     // Two consecutive busy slots mark a round start (slots t-1 and t are
     // the sync pair).
     clock_.sync(t - 1);
-    enter_probe();
+    CRMD_TRACE(obs_, obs::EventKind::kRoundSync, gslot(t), info_.id, t - 1);
+    enter_probe(t);
     return;
   }
   if (busy) {
@@ -263,7 +274,7 @@ void PunctualProtocol::handle_sync_listen(Slot t, bool busy) {
   // Silence for a whole round plus one slot means nobody is out there: we
   // found the system idle and may announce a fresh frame.
   if (!saw_busy_ && listen_slots_ >= kRoundLength + 1) {
-    stage_ = Stage::kSyncAnnounce;
+    set_stage(Stage::kSyncAnnounce, t);
     announce_remaining_ = 2;
     announce_anchor_ = t + 1;
     return;
@@ -271,7 +282,7 @@ void PunctualProtocol::handle_sync_listen(Slot t, bool busy) {
   // Safety valve: busy slots were seen but the start pair never arrived
   // (possible only under pathological interference). Announce anyway.
   if (saw_busy_ && listen_slots_ >= 4 * kRoundLength) {
-    stage_ = Stage::kSyncAnnounce;
+    set_stage(Stage::kSyncAnnounce, t);
     announce_remaining_ = 2;
     announce_anchor_ = t + 1;
   }
@@ -288,7 +299,7 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
   // fault-free mixed workloads: desperate tiny-window jobs transmit in
   // every slot type — why the fallback is gated on desync_tolerance > 0.)
   if (type == SlotType::kGuard && fb.outcome != sim::SlotOutcome::kSilence) {
-    note_desync_evidence();
+    note_desync_evidence(t);
     if (desync_fallback_) {
       return;
     }
@@ -340,7 +351,7 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
         if (leader_alive_ && leader_deadline_ >= effective_deadline()) {
           enter_follow_wait(t);
         } else {
-          enter_slingshot();
+          enter_slingshot(t);
         }
       }
       return;
@@ -355,7 +366,7 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
       if (type == SlotType::kLeaderElection) {
         ++elections_seen_;
         if (elections_seen_ >= pullback_total_) {
-          stage_ = Stage::kRecheck;
+          set_stage(Stage::kRecheck, t);
         }
       }
       return;
@@ -371,9 +382,11 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
         if (leader_alive_ && leader_deadline_ >= half && t < half) {
           // "Rounds its deadline down to d_j/2 and runs FOLLOW-THE-LEADER."
           effective_window_ = half;
+          CRMD_TRACE(obs_, obs::EventKind::kWindowTrim, gslot(t), info_.id,
+                     half);
           enter_follow_wait(t);
         } else {
-          enter_anarchist();
+          enter_anarchist(t);
         }
       }
       return;
@@ -386,7 +399,7 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
       if (type == SlotType::kAligned && aligned_stepped_) {
         tracker_->end_slot(fb.outcome);
         if (tracker_->view(follow_level_).complete) {
-          truncate_follow();
+          truncate_follow(t);
         }
       }
       return;
@@ -397,21 +410,21 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
           fb.message->kind == sim::MessageKind::kLeaderClaim) {
         // Deposed: the claimant necessarily has a later deadline. We get
         // the next timekeeper slot for our data, then step aside.
-        stage_ = Stage::kLeadHandoff;
+        set_stage(Stage::kLeadHandoff, t);
         return;
       }
       if (type == SlotType::kTimekeeper && transmitted_ &&
           last_tx_kind_ == sim::MessageKind::kData &&
           fb.outcome != sim::SlotOutcome::kSuccess) {
         // Our abdication data message was jammed away; the window is over.
-        stage_ = Stage::kGaveUp;
+        set_stage(Stage::kGaveUp, t);
       }
       return;
 
     case Stage::kLeadHandoff:
       if (type == SlotType::kTimekeeper && transmitted_ &&
           fb.outcome != sim::SlotOutcome::kSuccess) {
-        stage_ = Stage::kGaveUp;  // handoff slot lost (jamming)
+        set_stage(Stage::kGaveUp, t);  // handoff slot lost (jamming)
       }
       return;
 
@@ -420,16 +433,16 @@ void PunctualProtocol::handle_synced_feedback(Slot t,
   }
 }
 
-void PunctualProtocol::enter_probe() { stage_ = Stage::kProbe; }
+void PunctualProtocol::enter_probe(Slot t) { set_stage(Stage::kProbe, t); }
 
-void PunctualProtocol::enter_slingshot() {
+void PunctualProtocol::enter_slingshot(Slot t) {
   pullback_total_ = params_.pullback_elections(effective_window_);
   elections_seen_ = 0;
-  stage_ = Stage::kSlingshot;
+  set_stage(Stage::kSlingshot, t);
 }
 
 void PunctualProtocol::enter_follow_wait(Slot t) {
-  stage_ = Stage::kFollowWait;
+  set_stage(Stage::kFollowWait, t);
   try_build_core(t);
 }
 
@@ -444,12 +457,12 @@ void PunctualProtocol::try_build_core(Slot t) {
   const std::int64_t g_start = g_now + 2;
   const std::int64_t g_dead = g_now + rounds_left;
   if (g_dead - g_start < 2) {
-    enter_anarchist();
+    enter_anarchist(t);
     return;
   }
   const workload::AlignedWindow core = workload::trimmed(g_start, g_dead);
   if (core.level < 1) {
-    enter_anarchist();
+    enter_anarchist(t);
     return;
   }
   core_ = core;
@@ -459,23 +472,25 @@ void PunctualProtocol::try_build_core(Slot t) {
       std::make_unique<aligned::Tracker>(params_, min_class, follow_level_);
   current_subphase_ = -1;
   chosen_offset_ = -1;
-  stage_ = Stage::kFollowRun;
+  set_stage(Stage::kFollowRun, t);
 }
 
 void PunctualProtocol::restart_follow(Slot t) {
   core_.reset();
   tracker_.reset();
-  stage_ = Stage::kFollowWait;
+  set_stage(Stage::kFollowWait, t);
   try_build_core(t);
 }
 
-void PunctualProtocol::enter_anarchist() {
-  stage_ = Stage::kAnarchist;
+void PunctualProtocol::enter_anarchist(Slot t) {
+  set_stage(Stage::kAnarchist, t);
   was_anarchist_ = true;
 }
 
-void PunctualProtocol::note_desync_evidence() {
+void PunctualProtocol::note_desync_evidence(Slot t) {
   ++desync_evidence_;
+  CRMD_TRACE(obs_, obs::EventKind::kDesyncEvidence, gslot(t), info_.id,
+             desync_evidence_);
   if (params_.desync_tolerance > 0 && !desync_fallback_ &&
       desync_evidence_ >= params_.desync_tolerance) {
     // The round grid (or the feedback it is built from) can no longer be
@@ -483,7 +498,7 @@ void PunctualProtocol::note_desync_evidence() {
     // that makes no use of the grid — rather than kAnarchist, whose anarchy
     // slots are themselves located via the (untrusted) grid.
     desync_fallback_ = true;
-    stage_ = Stage::kDesperate;
+    set_stage(Stage::kDesperate, t);
     was_anarchist_ = true;
   }
 }
@@ -496,18 +511,20 @@ void PunctualProtocol::become_leader(Slot t) {
   lead_start_round_ = clock_.local_round(t) + (leader_alive_ ? 2 : 1);
   leader_alive_ = true;
   leader_deadline_ = effective_deadline();
-  stage_ = Stage::kLead;
+  CRMD_TRACE(obs_, obs::EventKind::kBecomeLeader, gslot(t), info_.id,
+             lead_start_round_);
+  set_stage(Stage::kLead, t);
 }
 
-void PunctualProtocol::truncate_follow() {
+void PunctualProtocol::truncate_follow(Slot t) {
   if (stage_ != Stage::kFollowRun) {
     return;
   }
   if (params_.anarchist_fallback_on_truncation) {
-    enter_anarchist();
+    enter_anarchist(t);
   } else {
     // §3 Truncation semantics: the class's algorithm is over; give up.
-    stage_ = Stage::kGaveUp;
+    set_stage(Stage::kGaveUp, t);
   }
 }
 

@@ -99,15 +99,24 @@ class PunctualProtocol final : public sim::Protocol {
   [[nodiscard]] sim::SlotAction act_aligned_slot(Slot t);
   void handle_synced_feedback(Slot t, const sim::SlotFeedback& fb);
   void handle_sync_listen(Slot t, bool busy);
-  void enter_probe();
-  void enter_slingshot();
+  void enter_probe(Slot t);
+  void enter_slingshot(Slot t);
   void enter_follow_wait(Slot t);
   void try_build_core(Slot t);
   void restart_follow(Slot t);
-  void enter_anarchist();
+  void enter_anarchist(Slot t);
   void become_leader(Slot t);
-  void truncate_follow();
-  void note_desync_evidence();
+  void truncate_follow(Slot t);
+  void note_desync_evidence(Slot t);
+  /// Transition funnel: every stage change goes through here so the
+  /// tracing session (when attached) sees one kStage event per
+  /// transition. `t` is in since-release units.
+  void set_stage(Stage next, Slot t);
+  /// Global slot index of since-release slot `t` (tracing only —
+  /// decisions never read it, preserving the clockless model).
+  [[nodiscard]] Slot gslot(Slot t) const noexcept {
+    return info_.release + t;
+  }
   [[nodiscard]] Slot effective_deadline() const noexcept {
     return effective_window_;  // since-release units
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace crmd::core {
 
 UniformProtocol::UniformProtocol(const Params& params, util::Rng rng)
@@ -22,6 +24,9 @@ void UniformProtocol::on_activate(const sim::JobInfo& info) {
     }
   }
   std::sort(attempts_.begin(), attempts_.end());
+  CRMD_TRACE(obs_, obs::EventKind::kSchedule, info.release, info_.id,
+             static_cast<std::int64_t>(attempts_.size()), w,
+             static_cast<double>(attempts_.size()) / static_cast<double>(w));
 }
 
 sim::SlotAction UniformProtocol::on_slot(const sim::SlotView& view) {

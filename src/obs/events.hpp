@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+/// \file events.hpp
+/// The protocol-internal event taxonomy: everything a run can *explain*
+/// about itself beyond the channel-level SlotRecord stream.
+///
+/// The paper's guarantees live in quantities the channel trace cannot show:
+/// ALIGNED's contention envelope is maintained by estimation updates and
+/// class hand-offs (§3), PUNCTUAL's success path is a walk through its
+/// stage machine (§4), and fault injection perturbs what individual jobs
+/// perceive. A TraceEvent is one timestamped, attributed fact from inside
+/// that machinery. Events are fixed-size PODs so the ring buffer
+/// (ring.hpp) can store them without allocation and the hot path stays
+/// branch-plus-store cheap.
+///
+/// Payload convention: `a` and `b` are kind-specific integer arguments,
+/// `x` a kind-specific real argument, and `label` an optional static
+/// string naming the event more precisely than the kind (e.g. the PUNCTUAL
+/// stage name). `label` must point at storage outliving the tracer —
+/// string literals and to_string(Stage) tables qualify.
+
+namespace crmd::obs {
+
+/// What happened. Channel-level kinds are emitted by the simulator;
+/// protocol-level kinds by the protocol state machines themselves.
+enum class EventKind : std::uint8_t {
+  // --- channel level (emitted by sim::Simulation) -------------------------
+  kJobActivate,    ///< job became live; a=release, b=deadline
+  kJobRetire,      ///< job left the live set; a=1 when it succeeded
+  kTransmit,       ///< one transmission; a=MessageKind, x=declared prob
+  kSlotResolved,   ///< slot resolved; a=SlotOutcome, b=transmitters,
+                   ///< x=contention C(t)
+  kSuccessCredit,  ///< data delivery credited; job=winner
+  kFault,          ///< injected fault; a=FaultKind (see sim/faults.hpp)
+
+  // --- protocol level ------------------------------------------------------
+  kStage,          ///< stage transition; a=from, b=to, label=to-name
+  kRoundSync,      ///< PUNCTUAL locked onto the round grid; a=anchor slot
+  kBecomeLeader,   ///< PUNCTUAL won a leader election; a=first lead round
+  kWindowTrim,     ///< PUNCTUAL halved its window; a=new effective window
+  kDesyncEvidence, ///< PUNCTUAL saw an impossible observation; a=count
+  kEstimate,       ///< ALIGNED class estimate fixed; a=class, b=estimate
+  kClassActive,    ///< ALIGNED active class changed; a=from, b=to
+  kSubphase,       ///< ALIGNED broadcast subphase began; a=id, b=length
+  kSchedule,       ///< UNIFORM picked its slots; a=attempts, x=per-slot p
+};
+
+/// Human-readable kind name (stable; used by the JSONL sink and tests).
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One observed fact. 48 bytes; trivially copyable by design.
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global emission order (stamped by the Tracer)
+  Slot slot = 0;          ///< global slot index the event belongs to
+  EventKind kind = EventKind::kSlotResolved;
+  JobId job = kNoJob;     ///< owning job; kNoJob for channel-wide events
+  std::int64_t a = 0;     ///< kind-specific (see EventKind comments)
+  std::int64_t b = 0;     ///< kind-specific
+  double x = 0.0;         ///< kind-specific
+  const char* label = nullptr;  ///< optional static name (may be null)
+};
+
+static_assert(sizeof(TraceEvent) <= 64, "keep events cache-line sized");
+
+}  // namespace crmd::obs

@@ -1,0 +1,191 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace crmd::obs {
+
+// ---- LogHistogram ---------------------------------------------------------
+
+namespace {
+
+std::size_t bucket_for(std::int64_t v) noexcept {
+  if (v < 1) {
+    return 0;
+  }
+  // bucket i >= 1 holds [2^(i-1), 2^i): width = bit position of the MSB.
+  return static_cast<std::size_t>(
+             std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+void LogHistogram::add(std::int64_t v) noexcept {
+  std::size_t i = bucket_for(v);
+  if (i >= kBuckets) {
+    i = kBuckets - 1;
+  }
+  ++buckets_[i];
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+std::uint64_t LogHistogram::bucket_count(std::size_t i) const noexcept {
+  return i < kBuckets ? buckets_[i] : 0;
+}
+
+std::int64_t LogHistogram::bucket_lo(std::size_t i) const noexcept {
+  if (i == 0) {
+    return 0;
+  }
+  return std::int64_t{1} << (i - 1);
+}
+
+std::int64_t LogHistogram::bucket_hi(std::size_t i) const noexcept {
+  if (i == 0) {
+    return 1;
+  }
+  if (i >= 63) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return std::int64_t{1} << i;
+}
+
+std::int64_t LogHistogram::percentile(double q) const noexcept {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return bucket_hi(i);
+    }
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+Registry::Entry& Registry::entry(const std::string& name, Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another type");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return entry(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return entry(name, Kind::kGauge).gauge;
+}
+
+LogHistogram& Registry::histogram(const std::string& name) {
+  return entry(name, Kind::kHistogram).histogram;
+}
+
+bool Registry::has(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::int64_t Registry::counter_value(const std::string& name) const {
+  const auto& e = entries_.at(name);
+  if (e.kind != Kind::kCounter) {
+    throw std::out_of_range("metric '" + name + "' is not a counter");
+  }
+  return e.counter.value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  const auto& e = entries_.at(name);
+  if (e.kind != Kind::kGauge) {
+    throw std::out_of_range("metric '" + name + "' is not a gauge");
+  }
+  return e.gauge.value();
+}
+
+std::size_t Registry::size() const noexcept { return entries_.size(); }
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+util::Table Registry::to_table() const {
+  util::Table table({"metric", "type", "value"});
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        table.add_row({name, "counter", std::to_string(e.counter.value())});
+        break;
+      case Kind::kGauge:
+        table.add_row({name, "gauge", num(e.gauge.value())});
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram& h = e.histogram;
+        table.add_row({name, "histogram",
+                       "count=" + std::to_string(h.count()) +
+                           " mean=" + num(h.mean()) +
+                           " p50<=" + std::to_string(h.percentile(0.5)) +
+                           " p99<=" + std::to_string(h.percentile(0.99))});
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    out << (first ? "" : ", ") << '"' << name << "\": ";
+    first = false;
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << e.counter.value();
+        break;
+      case Kind::kGauge:
+        out << num(e.gauge.value());
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram& h = e.histogram;
+        out << "{\"count\": " << h.count() << ", \"mean\": " << num(h.mean())
+            << ", \"p50\": " << h.percentile(0.5)
+            << ", \"p99\": " << h.percentile(0.99) << "}";
+        break;
+      }
+    }
+  }
+  out << "}\n";
+}
+
+void Registry::clear() { entries_.clear(); }
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace crmd::obs

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+/// \file metrics.hpp (obs)
+/// Named metrics registry: counters, gauges, and log-bucketed histograms
+/// that benches and tests query by name instead of growing yet another
+/// field on a struct.
+///
+/// The channel's own aggregate (sim::SimMetrics) stays a plain struct —
+/// its fields are the paper's vocabulary and the determinism contract is
+/// written against it — but everything *around* a run (per-phase wall
+/// clock, export counts, harness-side tallies, registry snapshots of a
+/// SimMetrics) goes through here, keyed by dotted names ("sim.success_
+/// slots", "profile.wall_ms"). Snapshots export through util::Table, so
+/// `--json` / `--csv` emission is uniform with every other bench output.
+///
+/// References returned by counter()/gauge()/histogram() are stable for
+/// the registry's lifetime (node-based map), so hot loops can resolve a
+/// metric once and bump it without further lookups.
+
+namespace crmd::obs {
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-write-wins real value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram with power-of-two ("log") buckets: bucket 0 counts values
+/// < 1, bucket i (i >= 1) counts values in [2^(i-1), 2^i). Built for
+/// latency-like quantities spanning many orders of magnitude where equal-
+/// width bins (util::Histogram) would waste resolution.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Adds one observation (negative values clamp into bucket 0).
+  void add(std::int64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Count in bucket i.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept;
+
+  /// Inclusive lower value bound of bucket i (0 for bucket 0).
+  [[nodiscard]] std::int64_t bucket_lo(std::size_t i) const noexcept;
+
+  /// Exclusive upper value bound of bucket i.
+  [[nodiscard]] std::int64_t bucket_hi(std::size_t i) const noexcept;
+
+  /// Upper bound of the bucket where the cumulative count reaches
+  /// fraction `q` (0..1) — a conservative percentile estimate.
+  [[nodiscard]] std::int64_t percentile(double q) const noexcept;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Name → metric registry. Names are dotted paths by convention.
+class Registry {
+ public:
+  /// Returns (creating on first use) the named metric. A name owns its
+  /// first-used type: re-requesting it as a different type throws
+  /// std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
+
+  /// True when `name` exists (any type).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Convenience readers; throw std::out_of_range on unknown names.
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+
+  /// Number of registered metrics.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Snapshot as a table: metric | type | value (name-sorted). Histograms
+  /// render as count/mean/p50/p99.
+  [[nodiscard]] util::Table to_table() const;
+
+  /// Snapshot as a JSON object {"name": value-or-histogram-object, ...}.
+  void write_json(std::ostream& out) const;
+
+  /// Drops every metric.
+  void clear();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    LogHistogram histogram;
+  };
+  Entry& entry(const std::string& name, Kind kind);
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Process-wide registry: the default home for harness metrics so benches
+/// and the CLI can export without threading a Registry through every call.
+Registry& global_registry();
+
+}  // namespace crmd::obs

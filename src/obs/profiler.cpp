@@ -1,0 +1,63 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+namespace crmd::obs {
+
+void RunProfiler::add_phase_ms(const std::string& name, double ms) {
+  for (Phase& p : phases_) {
+    if (p.name == name) {
+      p.ms += ms;
+      ++p.calls;
+      return;
+    }
+  }
+  phases_.push_back(Phase{name, ms, 1});
+}
+
+double RunProfiler::wall_ms() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+double RunProfiler::slots_per_sec() const {
+  double ms = 0.0;
+  for (const Phase& p : phases_) {
+    if (p.name == "simulation") {
+      ms = p.ms;
+      break;
+    }
+  }
+  if (ms <= 0.0) {
+    ms = wall_ms();
+  }
+  if (ms <= 0.0 || slots_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(slots_) / (ms / 1000.0);
+}
+
+util::Table RunProfiler::to_table() const {
+  util::Table table({"phase", "ms", "calls"});
+  for (const Phase& p : phases_) {
+    table.add_row({p.name, util::fmt(p.ms, 2), std::to_string(p.calls)});
+  }
+  table.add_row({"(wall)", util::fmt(wall_ms(), 2), "1"});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", slots_per_sec());
+  table.add_row({"(slots/sec)", buf, std::to_string(slots_)});
+  return table;
+}
+
+void RunProfiler::reset() {
+  phases_.clear();
+  slots_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+RunProfiler& global_profiler() {
+  static RunProfiler profiler;
+  return profiler;
+}
+
+}  // namespace crmd::obs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+/// \file profiler.hpp (obs)
+/// Run profiler: wall-clock per phase (generation, simulation,
+/// aggregation, export) plus a slots/second throughput figure, so every
+/// bench JSON carries its own perf trajectory and hot-path regressions
+/// show up in the artifacts instead of in a vague "feels slower".
+///
+/// Timing is wall-clock and therefore the one deliberately
+/// non-deterministic output of the harness; it is exported only through
+/// JSON `meta` fields and the `--profile` tables, never through the
+/// deterministic result rows (the byte-identical-given-a-seed contract in
+/// the verify notes covers stdout tables and CSV, which stay untouched).
+
+namespace crmd::obs {
+
+/// Accumulates named phase timings and a slot throughput counter.
+class RunProfiler {
+ public:
+  RunProfiler() { reset(); }
+
+  /// One accumulated phase.
+  struct Phase {
+    std::string name;
+    double ms = 0.0;
+    std::int64_t calls = 0;
+  };
+
+  /// RAII phase timer: charges the elapsed time on destruction.
+  class Scope {
+   public:
+    Scope(RunProfiler& profiler, const char* name)
+        : profiler_(&profiler),
+          name_(name),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      const auto end = std::chrono::steady_clock::now();
+      profiler_->add_phase_ms(
+          name_, std::chrono::duration<double, std::milli>(end - start_)
+                     .count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    RunProfiler* profiler_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Starts a scoped timer charged to `name` (a static string).
+  [[nodiscard]] Scope phase(const char* name) { return Scope(*this, name); }
+
+  /// Adds `ms` milliseconds to phase `name` directly.
+  void add_phase_ms(const std::string& name, double ms);
+
+  /// Registers `n` simulated slots (called by Simulation::finish, so any
+  /// harness — replication sweep or hand-rolled loop — accumulates).
+  void add_slots(std::int64_t n) noexcept { slots_ += n; }
+
+  /// Wall-clock milliseconds since construction or reset().
+  [[nodiscard]] double wall_ms() const;
+
+  /// Total simulated slots registered.
+  [[nodiscard]] std::int64_t slots() const noexcept { return slots_; }
+
+  /// Slots per second of *simulation* time when a "simulation" phase was
+  /// recorded, else per second of wall time. 0 when nothing ran.
+  [[nodiscard]] double slots_per_sec() const;
+
+  /// Accumulated phases in first-use order.
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return phases_;
+  }
+
+  /// Snapshot as a table: phase | ms | calls, plus totals.
+  [[nodiscard]] util::Table to_table() const;
+
+  /// Clears phases/slots and restarts the wall clock.
+  void reset();
+
+ private:
+  std::vector<Phase> phases_;
+  std::int64_t slots_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide profiler. Simulation and analysis::run_replications feed
+/// it automatically; bench_common stamps its figures into every `--json`.
+RunProfiler& global_profiler();
+
+}  // namespace crmd::obs

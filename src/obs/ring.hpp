@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "obs/events.hpp"
+
+/// \file ring.hpp
+/// Bounded lock-free ring buffer for TraceEvents.
+///
+/// Single-consumer, multi-producer-safe: producers claim a cell with one
+/// fetch_add, write the event, then publish it by stamping the cell's
+/// sequence number (Vyukov bounded-queue scheme). The simulator today emits
+/// from one thread, but the buffer is written so a future sharded/parallel
+/// runner can share one tracer without a mutex on the hot path.
+///
+/// The ring never blocks and never allocates after construction: when full,
+/// try_push fails and the caller (the Tracer) drains to its sinks — so the
+/// steady-state cost of tracing is one claimed cell + one 48-byte store per
+/// event, and the cost with tracing off is a single null-pointer test at
+/// the emission site (see CRMD_TRACE in trace.hpp).
+
+namespace crmd::obs {
+
+/// Fixed-capacity event ring. Capacity is rounded up to a power of two.
+class EventRing {
+ public:
+  /// Creates a ring holding at least `capacity` events (default 64Ki).
+  explicit EventRing(std::size_t capacity = 1 << 16) {
+    std::size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Number of cells.
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Events currently buffered (approximate under concurrency).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) - tail_;
+  }
+
+  /// Attempts to append one event. Returns false when the ring is full
+  /// (caller decides whether to drain or drop). Never blocks.
+  bool try_push(const TraceEvent& ev) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.event = ev;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Drains every published event, oldest first, into `fn(const
+  /// TraceEvent&)`. Single-consumer: callers must serialize pop_all against
+  /// itself. Returns the number of events drained.
+  template <typename Fn>
+  std::size_t pop_all(Fn&& fn) {
+    std::size_t drained = 0;
+    for (;;) {
+      Cell& cell = cells_[tail_ & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(seq) -
+              static_cast<std::int64_t>(tail_ + 1) <
+          0) {
+        break;  // next cell not yet published
+      }
+      fn(static_cast<const TraceEvent&>(cell.event));
+      cell.seq.store(tail_ + capacity(), std::memory_order_release);
+      ++tail_;
+      ++drained;
+    }
+    return drained;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    TraceEvent event;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};  // next cell to claim (producers)
+  std::uint64_t tail_ = 0;              // next cell to drain (consumer)
+};
+
+}  // namespace crmd::obs

@@ -1,0 +1,277 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crmd::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kJobActivate:
+      return "job-activate";
+    case EventKind::kJobRetire:
+      return "job-retire";
+    case EventKind::kTransmit:
+      return "transmit";
+    case EventKind::kSlotResolved:
+      return "slot-resolved";
+    case EventKind::kSuccessCredit:
+      return "success-credit";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kStage:
+      return "stage";
+    case EventKind::kRoundSync:
+      return "round-sync";
+    case EventKind::kBecomeLeader:
+      return "become-leader";
+    case EventKind::kWindowTrim:
+      return "window-trim";
+    case EventKind::kDesyncEvidence:
+      return "desync-evidence";
+    case EventKind::kEstimate:
+      return "estimate";
+    case EventKind::kClassActive:
+      return "class-active";
+    case EventKind::kSubphase:
+      return "subphase";
+    case EventKind::kSchedule:
+      return "schedule";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shortest %g rendering (JSON-safe: always finite inputs here).
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_event_jsonl(std::ostream& out, const TraceEvent& ev) {
+  out << "{\"seq\":" << ev.seq << ",\"slot\":" << ev.slot << ",\"kind\":\""
+      << to_string(ev.kind) << '"';
+  if (ev.job != kNoJob) {
+    out << ",\"job\":" << ev.job;
+  }
+  out << ",\"a\":" << ev.a << ",\"b\":" << ev.b;
+  if (ev.x != 0.0) {
+    out << ",\"x\":" << fmt_double(ev.x);
+  }
+  if (ev.label != nullptr) {
+    out << ",\"label\":\"" << ev.label << '"';
+  }
+  out << "}\n";
+}
+
+// ---- Tracer ---------------------------------------------------------------
+
+Tracer::Tracer(std::size_t ring_capacity) : ring_(ring_capacity) {}
+
+Tracer::~Tracer() { close(); }
+
+void Tracer::add_sink(std::shared_ptr<EventSink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+void Tracer::emit(EventKind kind, Slot slot, JobId job, std::int64_t a,
+                  std::int64_t b, double x, const char* label) {
+  if (closed_) {
+    return;
+  }
+  TraceEvent ev;
+  ev.seq = next_seq_++;
+  ev.slot = slot;
+  ev.kind = kind;
+  ev.job = job;
+  ev.a = a;
+  ev.b = b;
+  ev.x = x;
+  ev.label = label;
+  if (!ring_.try_push(ev)) {
+    flush();  // ring full: drain inline, then retry (cannot fail twice)
+    ring_.try_push(ev);
+  }
+}
+
+void Tracer::flush() {
+  ring_.pop_all([this](const TraceEvent& ev) {
+    for (const auto& sink : sinks_) {
+      sink->on_event(ev);
+    }
+  });
+}
+
+void Tracer::close() {
+  if (closed_) {
+    return;
+  }
+  flush();
+  for (const auto& sink : sinks_) {
+    sink->close();
+  }
+  closed_ = true;
+}
+
+// ---- JSONL sinks ----------------------------------------------------------
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  write_event_jsonl(*out_, ev);
+}
+
+struct JsonlFileSink::Impl {
+  std::ofstream out;
+};
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+  if (!impl_->out) {
+    throw std::runtime_error("JsonlFileSink: cannot open " + path);
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() = default;
+
+void JsonlFileSink::on_event(const TraceEvent& ev) {
+  write_event_jsonl(impl_->out, ev);
+}
+
+void JsonlFileSink::close() { impl_->out.flush(); }
+
+// ---- Chrome trace sink ----------------------------------------------------
+
+struct ChromeTraceSink::Impl {
+  std::string path;  // empty: render-only (tests)
+  std::vector<std::string> records;
+  struct OpenSpan {
+    const char* name;
+    Slot since;
+  };
+  std::map<JobId, OpenSpan> open;  // per-tid current stage span
+  std::map<JobId, bool> named;     // thread_name metadata emitted?
+  Slot last_slot = 0;
+  bool closed = false;
+
+  void add(const std::string& rec) { records.push_back(rec); }
+
+  void name_thread(JobId job) {
+    if (job == kNoJob || named[job]) {
+      return;
+    }
+    named[job] = true;
+    std::ostringstream os;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << job
+       << ",\"args\":{\"name\":\"job " << job << "\"}}";
+    add(os.str());
+  }
+
+  void close_span(JobId job, Slot until) {
+    const auto it = open.find(job);
+    if (it == open.end()) {
+      return;
+    }
+    const Slot dur = until > it->second.since ? until - it->second.since : 1;
+    std::ostringstream os;
+    os << "{\"name\":\"" << it->second.name
+       << "\",\"ph\":\"X\",\"ts\":" << it->second.since << ",\"dur\":" << dur
+       << ",\"pid\":0,\"tid\":" << job << "}";
+    add(os.str());
+    open.erase(it);
+  }
+};
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  if (!path.empty()) {
+    // Fail fast on an unwritable path rather than at close().
+    std::ofstream probe(path);
+    if (!probe) {
+      throw std::runtime_error("ChromeTraceSink: cannot open " + path);
+    }
+  }
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  // Deliberately no implicit write here: close() is the contract (the
+  // Tracer calls it); destruction without close discards the buffer.
+}
+
+void ChromeTraceSink::on_event(const TraceEvent& ev) {
+  Impl& s = *impl_;
+  s.last_slot = ev.slot;
+  switch (ev.kind) {
+    case EventKind::kStage: {
+      s.name_thread(ev.job);
+      s.close_span(ev.job, ev.slot);
+      s.open[ev.job] =
+          Impl::OpenSpan{ev.label != nullptr ? ev.label : "stage", ev.slot};
+      return;
+    }
+    case EventKind::kJobRetire: {
+      s.close_span(ev.job, ev.slot);
+      return;  // retirement is the span edge; no extra instant
+    }
+    case EventKind::kSlotResolved: {
+      std::ostringstream os;
+      os << "{\"name\":\"contention\",\"ph\":\"C\",\"ts\":" << ev.slot
+         << ",\"pid\":0,\"args\":{\"C\":" << fmt_double(ev.x)
+         << ",\"tx\":" << ev.b << "}}";
+      s.add(os.str());
+      return;
+    }
+    case EventKind::kTransmit:
+      return;  // too dense for a span view; JSONL keeps them
+    default: {
+      s.name_thread(ev.job);
+      std::ostringstream os;
+      os << "{\"name\":\"" << (ev.label != nullptr ? ev.label : to_string(ev.kind))
+         << "\",\"ph\":\"i\",\"ts\":" << ev.slot << ",\"pid\":0,\"tid\":"
+         << (ev.job == kNoJob ? 0 : ev.job) << ",\"s\":\"t\",\"args\":{\"a\":"
+         << ev.a << ",\"b\":" << ev.b << "}}";
+      s.add(os.str());
+      return;
+    }
+  }
+}
+
+void ChromeTraceSink::render(std::ostream& out) {
+  Impl& s = *impl_;
+  // Close dangling spans at the last seen slot (+1 so they are visible).
+  while (!s.open.empty()) {
+    impl_->close_span(s.open.begin()->first, s.last_slot + 1);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "\"args\":{\"name\":\"crmd\"}}";
+  for (const auto& rec : s.records) {
+    out << ",\n" << rec;
+  }
+  out << "\n]}\n";
+}
+
+void ChromeTraceSink::close() {
+  Impl& s = *impl_;
+  if (s.closed) {
+    return;
+  }
+  s.closed = true;
+  if (s.path.empty()) {
+    return;
+  }
+  std::ofstream out(s.path);
+  if (out) {
+    render(out);
+  }
+}
+
+}  // namespace crmd::obs

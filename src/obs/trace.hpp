@@ -1,0 +1,163 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/ring.hpp"
+
+/// \file trace.hpp (obs)
+/// The event tracing session: protocols and the simulator emit TraceEvents
+/// through a Tracer, which buffers them in a lock-free ring and drains to
+/// any number of sinks (JSONL, Chrome trace-event JSON, the watchdog,
+/// in-memory collectors).
+///
+/// Cost model — the property the whole design hangs on:
+///   * tracing OFF: the emission site is `CRMD_TRACE(ptr, ...)` where
+///     `ptr == nullptr`; the macro compiles to one pointer test. No ring,
+///     no sinks, no RNG perturbation — bit-identical runs (tested by
+///     test_obs.cpp DeterminismTracingOnOff, measured by bench_micro).
+///   * tracing ON, no sink: one ring push per event; full rings discard
+///     oldest-first in bulk (pop_all with a no-op consumer).
+///   * tracing ON with sinks: ring pushes plus a bulk drain whenever the
+///     ring fills (and at flush/close).
+///
+/// Emission must never change protocol behavior: emitters may not draw
+/// from protocol RNG streams and sinks only observe.
+
+namespace crmd::obs {
+
+/// Consumer of a drained event stream. Sinks see events in emission
+/// (seq) order.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// One event, in seq order.
+  virtual void on_event(const TraceEvent& event) = 0;
+
+  /// Stream end: write footers, flush files. Idempotent.
+  virtual void close() {}
+};
+
+/// A tracing session. Create one per run (or per process), hand
+/// `Tracer*` to `sim::SimConfig::tracer`, and close() (or destroy) when
+/// done. Null `Tracer*` everywhere means tracing is off.
+class Tracer {
+ public:
+  /// `ring_capacity` is rounded up to a power of two.
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers a sink. Events emitted before registration that are still
+  /// in the ring will reach the sink; already-drained events will not.
+  void add_sink(std::shared_ptr<EventSink> sink);
+
+  /// Appends one event (stamps the global seq). Never blocks; drains the
+  /// ring inline when it is full.
+  void emit(EventKind kind, Slot slot, JobId job = kNoJob, std::int64_t a = 0,
+            std::int64_t b = 0, double x = 0.0, const char* label = nullptr);
+
+  /// Drains buffered events to the sinks.
+  void flush();
+
+  /// Flushes and closes every sink. Further emits are discarded.
+  void close();
+
+  /// Total events emitted so far (including drained and discarded ones).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return next_seq_; }
+
+ private:
+  EventRing ring_;
+  std::vector<std::shared_ptr<EventSink>> sinks_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+/// Collects events into a vector (tests, ad-hoc analysis).
+class CollectSink final : public EventSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Writes one JSON object per event, newline-delimited (JSONL). The stream
+/// is borrowed and must outlive the sink.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// JsonlSink that owns the file it writes to.
+class JsonlFileSink final : public EventSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+  void on_event(const TraceEvent& event) override;
+  void close() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Emits Chrome trace-event JSON (the `chrome://tracing` / Perfetto
+/// format): stage transitions become per-job "X" (complete) spans,
+/// everything else instant events, and per-slot contention a counter
+/// track. Buffers formatted events in memory and writes the document at
+/// close() — meant for runs small enough to eyeball, like the CSV slot
+/// trace.
+class ChromeTraceSink final : public EventSink {
+ public:
+  /// Writes to `path` at close(). Throws std::runtime_error when the file
+  /// cannot be created.
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  void on_event(const TraceEvent& event) override;
+  void close() override;
+
+  /// Renders the document to any stream (used by tests; close() uses it).
+  void render(std::ostream& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Writes a single event as one JSONL line (shared by sinks and tests).
+void write_event_jsonl(std::ostream& out, const TraceEvent& event);
+
+}  // namespace crmd::obs
+
+/// Emission macro: zero work when `tracer` is null, one call otherwise.
+/// Usage: CRMD_TRACE(obs_, obs::EventKind::kStage, slot, job, from, to).
+/// Compile out entirely with -DCRMD_TRACING_DISABLED (the microbenchmark
+/// measures the runtime-off cost; this kills even the pointer test).
+#ifdef CRMD_TRACING_DISABLED
+#define CRMD_TRACE(tracer, ...) \
+  do {                          \
+  } while (0)
+#else
+#define CRMD_TRACE(tracer, ...)        \
+  do {                                 \
+    if ((tracer) != nullptr) {         \
+      (tracer)->emit(__VA_ARGS__);     \
+    }                                  \
+  } while (0)
+#endif

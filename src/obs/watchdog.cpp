@@ -1,0 +1,133 @@
+#include "obs/watchdog.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace crmd::obs {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {}
+
+void Watchdog::flag(Slot slot, JobId job, std::string what) {
+  ++count_;
+  if (kept_.size() < config_.max_kept) {
+    kept_.push_back(Violation{slot, job, std::move(what)});
+  }
+}
+
+namespace {
+
+bool label_is(const char* label, const char* expected) noexcept {
+  return label != nullptr && std::strcmp(label, expected) == 0;
+}
+
+}  // namespace
+
+void Watchdog::on_event(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kJobActivate: {
+      JobState& js = jobs_[ev.job];
+      if (js.live) {
+        flag(ev.slot, ev.job, "double-activate");
+      }
+      js.release = ev.a;
+      js.deadline = ev.b;
+      js.effective_window = ev.b - ev.a;
+      js.live = true;
+      js.succeeded = false;
+      js.grid_free = false;
+      return;
+    }
+
+    case EventKind::kJobRetire: {
+      const auto it = jobs_.find(ev.job);
+      if (it != jobs_.end()) {
+        it->second.live = false;
+      }
+      return;
+    }
+
+    case EventKind::kTransmit: {
+      const auto it = jobs_.find(ev.job);
+      if (it == jobs_.end() || !it->second.live) {
+        flag(ev.slot, ev.job, "tx-from-non-live-job");
+        return;
+      }
+      const JobState& js = it->second;
+      if (ev.slot < js.release || ev.slot >= js.deadline) {
+        flag(ev.slot, ev.job, "tx-outside-window");
+        return;
+      }
+      if (label_is(ev.label, "data") && !js.grid_free &&
+          ev.slot >= js.release + js.effective_window) {
+        flag(ev.slot, ev.job, "data-tx-beyond-trimmed-window");
+      }
+      return;
+    }
+
+    case EventKind::kStage:
+      if (label_is(ev.label, "anarchist") || label_is(ev.label, "desperate")) {
+        const auto it = jobs_.find(ev.job);
+        if (it != jobs_.end()) {
+          it->second.grid_free = true;
+        }
+      }
+      return;
+
+    case EventKind::kWindowTrim: {
+      const auto it = jobs_.find(ev.job);
+      if (it != jobs_.end()) {
+        it->second.effective_window = ev.a;
+      }
+      return;
+    }
+
+    case EventKind::kSuccessCredit: {
+      const auto it = jobs_.find(ev.job);
+      if (it == jobs_.end() || !it->second.live) {
+        flag(ev.slot, ev.job, "success-credit-dead-job");
+        return;
+      }
+      if (it->second.succeeded) {
+        flag(ev.slot, ev.job, "duplicate-success-credit");
+        return;
+      }
+      it->second.succeeded = true;
+      return;
+    }
+
+    case EventKind::kSlotResolved: {
+      ++resolved_slots_;
+      if (resolved_slots_ <= config_.settle_slots) {
+        return;
+      }
+      if (config_.contention_cap > 0.0 && ev.x > config_.contention_cap) {
+        flag(ev.slot, kNoJob, "contention-above-cap");
+      }
+      if (config_.contention_floor > 0.0 && ev.x < config_.contention_floor) {
+        flag(ev.slot, kNoJob, "contention-below-floor");
+      }
+      return;
+    }
+
+    default:
+      return;  // informational kinds carry no checked invariant (yet)
+  }
+}
+
+std::string Watchdog::report() const {
+  std::ostringstream os;
+  for (const Violation& v : kept_) {
+    os << "slot " << v.slot;
+    if (v.job != kNoJob) {
+      os << " job " << v.job;
+    }
+    os << ": " << v.what << "\n";
+  }
+  const auto dropped = count_ - static_cast<std::int64_t>(kept_.size());
+  if (dropped > 0) {
+    os << "(+" << dropped << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace crmd::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+/// \file watchdog.hpp (obs)
+/// Online invariant checker over the event stream: a sink that replays
+/// the simulator's and protocols' own account of a run and flags
+/// paper-level violations as they happen — no debugger, no post-hoc
+/// grepping of CSVs.
+///
+/// Checks (always on — true for every correct run, faulted or not):
+///   * a transmission attributed to a job that is not live,
+///   * a transmission outside the job's [release, deadline) window,
+///   * a *data* transmission beyond a PUNCTUAL-trimmed effective window
+///     while the job still claims to be grid-bound (§4's recheck rule says
+///     a trimmed follower never sends data past its halved deadline;
+///     anarchist/desperate stages are exempt because they are the
+///     explicitly grid-free fallbacks),
+///   * a success credited to a job that is dead or already succeeded,
+///   * a job activated twice without retiring.
+///
+/// Checks (opt-in via WatchdogConfig — they encode *expected* behavior of
+/// specific workloads, e.g. §2.1/§3's steady-state contention envelope
+/// [γ/e, e·γ], not universal truths):
+///   * per-slot contention above `contention_cap`,
+///   * per-slot contention below `contention_floor` while jobs are live,
+///   both only after `settle_slots` simulated slots.
+///
+/// Fault-free feasible runs must report zero violations; the determinism
+/// suite asserts exactly that.
+
+namespace crmd::obs {
+
+/// Tunable expectations for the opt-in checks. Defaults disable them.
+struct WatchdogConfig {
+  /// Flag slots whose contention C(t) exceeds this (0 = disabled).
+  double contention_cap = 0.0;
+
+  /// Flag slots with live transmitting jobs whose contention is below
+  /// this (0 = disabled).
+  double contention_floor = 0.0;
+
+  /// Resolved slots to skip before contention checks apply (start-up
+  /// transients: estimation ramps, sync listening).
+  std::int64_t settle_slots = 0;
+
+  /// Keep at most this many Violation records (the count keeps rising).
+  std::size_t max_kept = 64;
+};
+
+/// One flagged violation.
+struct Violation {
+  Slot slot = 0;
+  JobId job = kNoJob;
+  std::string what;
+};
+
+/// EventSink that checks invariants online. Add it to the Tracer next to
+/// the export sinks; query it after the run (or mid-run).
+class Watchdog final : public EventSink {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Total violations seen (kept or not).
+  [[nodiscard]] std::int64_t violation_count() const noexcept {
+    return count_;
+  }
+
+  /// True when no invariant was ever violated.
+  [[nodiscard]] bool ok() const noexcept { return count_ == 0; }
+
+  /// The kept violation records (up to config.max_kept), oldest first.
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return kept_;
+  }
+
+  /// One-line-per-violation report ("slot 12 job 3: tx-outside-window").
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct JobState {
+    Slot release = 0;
+    Slot deadline = 0;
+    Slot effective_window = 0;  // since-release; trimmed by kWindowTrim
+    bool live = false;
+    bool succeeded = false;
+    bool grid_free = false;  // entered an anarchist/desperate stage
+  };
+
+  void flag(Slot slot, JobId job, std::string what);
+
+  WatchdogConfig config_;
+  std::map<JobId, JobState> jobs_;
+  std::vector<Violation> kept_;
+  std::int64_t count_ = 0;
+  std::int64_t resolved_slots_ = 0;
+};
+
+}  // namespace crmd::obs

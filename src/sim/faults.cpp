@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace crmd::sim {
 
 namespace {
@@ -77,6 +79,8 @@ void FaultInjector::record(Slot slot, FaultKind kind, JobId job) {
   if (record_events_) {
     events_.push_back(FaultEvent{slot, kind, job});
   }
+  CRMD_TRACE(tracer_, obs::EventKind::kFault, slot, job,
+             static_cast<std::int64_t>(kind), 0, 0.0, to_string(kind));
 }
 
 std::int64_t FaultInjector::count(FaultKind kind) const noexcept {

@@ -42,6 +42,10 @@
 /// Budgeted/adaptive *jamming* adversaries stay in jammer.hpp (they perturb
 /// the channel itself, not a listener's perception).
 
+namespace crmd::obs {
+class Tracer;
+}  // namespace crmd::obs
+
 namespace crmd::sim {
 
 /// Kinds of injected fault events (recorded for traces and metrics).
@@ -148,6 +152,11 @@ class FaultInjector {
   /// SimConfig::record_slots).
   void set_record_events(bool record) noexcept { record_events_ = record; }
 
+  /// Optional tracing session: every injection also emits an
+  /// obs::EventKind::kFault event (null = off; set by the simulator from
+  /// SimConfig::tracer).
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// The recorded events (empty unless recording was enabled).
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
@@ -178,6 +187,7 @@ class FaultInjector {
   std::int64_t counts_[5] = {0, 0, 0, 0, 0};
   std::int64_t total_ = 0;
   bool record_events_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace crmd::sim

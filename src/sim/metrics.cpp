@@ -38,6 +38,28 @@ void SimMetrics::record(const SlotRecord& rec) {
   }
 }
 
+void SimMetrics::merge(const SimMetrics& other) {
+  slots_simulated += other.slots_simulated;
+  slots_skipped += other.slots_skipped;
+  silent_slots += other.silent_slots;
+  success_slots += other.success_slots;
+  noise_slots += other.noise_slots;
+  jammed_slots += other.jammed_slots;
+  data_successes += other.data_successes;
+  control_successes += other.control_successes;
+  start_successes += other.start_successes;
+  claim_successes += other.claim_successes;
+  timekeeper_successes += other.timekeeper_successes;
+  faults_injected += other.faults_injected;
+  feedback_corruptions += other.feedback_corruptions;
+  feedback_losses += other.feedback_losses;
+  clock_skew_events += other.clock_skew_events;
+  crashes += other.crashes;
+  restarts += other.restarts;
+  dark_job_slots += other.dark_job_slots;
+  contention.merge(other.contention);
+}
+
 double SimMetrics::data_throughput() const noexcept {
   return slots_simulated == 0 ? 0.0
                               : static_cast<double>(data_successes) /

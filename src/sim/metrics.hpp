@@ -71,6 +71,11 @@ struct SimMetrics {
   /// Registers one resolved slot.
   void record(const SlotRecord& rec);
 
+  /// Accumulates another run's metrics into this one (field-wise sums;
+  /// contention distributions merge exactly). Used by the replication
+  /// driver and any custom harness loop that aggregates runs.
+  void merge(const SimMetrics& other);
+
   /// Fraction of simulated slots carrying a successful data message.
   [[nodiscard]] double data_throughput() const noexcept;
 };

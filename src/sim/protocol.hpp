@@ -21,6 +21,10 @@
 /// synchronization, which we surface as the global slot index in
 /// `SlotView::global_slot`. PUNCTUAL never reads it.
 
+namespace crmd::obs {
+class Tracer;
+}  // namespace crmd::obs
+
 namespace crmd::sim {
 
 /// Immutable facts a job knows about itself when it activates.
@@ -87,8 +91,17 @@ class Protocol {
   /// nothing left to do. The simulator removes done jobs from the live set.
   [[nodiscard]] virtual bool done() const = 0;
 
+  /// Attaches the (optional) tracing session. Called by the simulator
+  /// before on_activate; null means tracing is off. Instrumentation must
+  /// never change decisions or RNG draws — emitting is observe-only (see
+  /// obs/trace.hpp for the cost model).
+  void set_tracer(obs::Tracer* tracer) noexcept { obs_ = tracer; }
+
  protected:
   Protocol() = default;
+
+  /// Tracing session for CRMD_TRACE emission points; null when off.
+  obs::Tracer* obs_ = nullptr;
 };
 
 /// Creates the protocol instance for one job. `rng` is that job's private,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
 namespace crmd::sim {
 
 struct Simulation::Impl {
@@ -40,6 +43,8 @@ struct Simulation::Impl {
     if (!js.live) {
       return;
     }
+    CRMD_TRACE(config.tracer, obs::EventKind::kJobRetire, now, id,
+               js.result.success ? 1 : 0);
     js.live = false;
     js.retired = true;
     js.protocol.reset();
@@ -65,6 +70,7 @@ Simulation::Simulation(workload::Instance instance,
     impl_->injector =
         std::make_unique<FaultInjector>(config.faults, config.seed);
     impl_->injector->set_record_events(config.record_slots);
+    impl_->injector->set_tracer(config.tracer);
   }
   impl_->horizon =
       config.horizon > 0 ? config.horizon : instance.max_deadline();
@@ -79,6 +85,7 @@ Simulation::Simulation(workload::Instance instance,
     js.info.release = spec.release;
     js.info.deadline = spec.deadline;
     js.protocol = factory(js.info, master.child(static_cast<JobId>(i) + 1));
+    js.protocol->set_tracer(config.tracer);
     js.result.id = js.info.id;
     js.result.release = spec.release;
     js.result.deadline = spec.deadline;
@@ -139,6 +146,8 @@ bool Simulation::step() {
     if (js.info.deadline > s.now) {
       js.live = true;
       s.live.push_back(js.info.id);
+      CRMD_TRACE(s.config.tracer, obs::EventKind::kJobActivate, s.now,
+                 js.info.id, js.info.release, js.info.deadline);
       js.protocol->on_activate(js.info);
     } else {
       js.retired = true;  // window already over (degenerate horizon cases)
@@ -209,6 +218,9 @@ bool Simulation::step() {
     if (action.transmit) {
       s.transmissions.push_back(Transmission{id, action.message});
       ++js.result.transmissions;
+      CRMD_TRACE(s.config.tracer, obs::EventKind::kTransmit, s.now, id,
+                 static_cast<std::int64_t>(action.message.kind), 0,
+                 action.declared_prob, to_string(action.message.kind));
     }
   }
 
@@ -269,6 +281,10 @@ bool Simulation::step() {
         std::count(s.dark.begin(), s.dark.end(), std::uint8_t{1});
   }
   s.metrics.record(rec);
+  CRMD_TRACE(s.config.tracer, obs::EventKind::kSlotResolved, s.now, kNoJob,
+             static_cast<std::int64_t>(fb.outcome),
+             static_cast<std::int64_t>(s.transmissions.size()), contention,
+             to_string(fb.outcome));
   if (s.config.record_slots) {
     s.slot_trace.push_back(rec);
   }
@@ -282,6 +298,8 @@ bool Simulation::step() {
       fb.message->kind == MessageKind::kData) {
     const JobId winner = fb.message->sender;
     assert(winner < s.jobs.size() && s.jobs[winner].live);
+    CRMD_TRACE(s.config.tracer, obs::EventKind::kSuccessCredit, s.now,
+               winner);
     s.jobs[winner].result.success = true;
     s.jobs[winner].result.success_slot = s.now;
     s.to_retire.push_back(winner);
@@ -323,6 +341,9 @@ SimResult Simulation::finish() {
     result.fault_events = impl_->injector->take_events();
   }
   result.slots = std::move(impl_->slot_trace);
+  // Feed the process-wide profiler so every harness (replication sweep or
+  // hand-rolled loop) gets slots/sec for free.
+  obs::global_profiler().add_slots(result.metrics.slots_simulated);
   return result;
 }
 

@@ -29,6 +29,10 @@
 /// Success crediting always uses the *true* channel outcome; faults perturb
 /// only what protocols perceive.
 
+namespace crmd::obs {
+class Tracer;
+}  // namespace crmd::obs
+
 namespace crmd::sim {
 
 /// Simulation parameters.
@@ -58,6 +62,14 @@ struct SimConfig {
   /// (see faults.hpp). The default plan injects nothing and is a provable
   /// no-op: results are bit-identical to a fault-free build of the run.
   FaultPlan faults;
+
+  /// Optional tracing session (non-owning; must outlive the simulation).
+  /// Null = tracing off — the default, and guaranteed bit-identical to a
+  /// traced run: emission points never touch protocol RNG streams. When
+  /// set, the simulator emits channel-level events (job activate/retire,
+  /// transmissions, slot resolution, success credits, faults) and every
+  /// protocol emits its state-machine events (see obs/events.hpp).
+  obs::Tracer* tracer = nullptr;
 
   /// Throws std::invalid_argument when any field is out of range (currently
   /// delegates to FaultPlan::validate). Called by the Simulation ctor.

@@ -61,4 +61,14 @@ bool save_job_results_csv(const std::string& path,
   return static_cast<bool>(out);
 }
 
+bool save_fault_events_csv(const std::string& path,
+                           const std::vector<FaultEvent>& events) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_fault_events_csv(out, events);
+  return static_cast<bool>(out);
+}
+
 }  // namespace crmd::sim

@@ -33,5 +33,7 @@ bool save_slot_trace_csv(const std::string& path,
                          const std::vector<SlotRecord>& slots);
 bool save_job_results_csv(const std::string& path,
                           const std::vector<JobResult>& jobs);
+bool save_fault_events_csv(const std::string& path,
+                           const std::vector<FaultEvent>& events);
 
 }  // namespace crmd::sim

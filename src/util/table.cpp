@@ -133,17 +133,41 @@ std::string json_escape(const std::string& cell) {
 
 }  // namespace
 
+void Table::set_meta(const std::string& key, const std::string& json_value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = json_value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, json_value);
+}
+
 void Table::write_json(std::ostream& out) const {
-  out << "[\n";
+  const char* indent = meta_.empty() ? "  " : "    ";
+  if (!meta_.empty()) {
+    out << "{\n  \"meta\": {";
+    for (std::size_t m = 0; m < meta_.size(); ++m) {
+      out << (m == 0 ? "" : ", ") << '"' << json_escape(meta_[m].first)
+          << "\": " << meta_[m].second;
+    }
+    out << "},\n  \"rows\": [\n";
+  } else {
+    out << "[\n";
+  }
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    out << "  {";
+    out << indent << '{';
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       out << (c == 0 ? "" : ", ") << '"' << json_escape(headers_[c])
           << "\": \"" << json_escape(rows_[r][c]) << '"';
     }
     out << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
   }
-  out << "]\n";
+  if (!meta_.empty()) {
+    out << "  ]\n}\n";
+  } else {
+    out << "]\n";
+  }
 }
 
 bool Table::save_json(const std::string& path) const {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// \file table.hpp
@@ -37,10 +38,20 @@ class Table {
   /// Returns false (and leaves no partial file guarantee) on I/O failure.
   bool save_csv(const std::string& path) const;
 
-  /// Writes the table as a JSON array of objects, one per row, keyed by the
-  /// column headers. All values are emitted as JSON strings (the table
-  /// stores formatted cells, not raw numbers); tools/plot_results.py
-  /// coerces numerics back on load.
+  /// Attaches a run-level metadata entry emitted alongside the rows by
+  /// write_json (e.g. wall_ms, slots_per_sec from the run profiler).
+  /// Values are raw JSON fragments: pass already-quoted strings for text
+  /// ("\"punctual\"") and bare numerals for numbers ("12.5"). Repeated keys
+  /// overwrite. Meta never appears in print()/CSV output, so deterministic
+  /// console/CSV artifacts stay byte-stable even when meta carries timings.
+  void set_meta(const std::string& key, const std::string& json_value);
+
+  /// Writes the table as JSON. With no metadata: a JSON array of objects,
+  /// one per row, keyed by the column headers (the historical shape). With
+  /// metadata: {"meta": {...}, "rows": [...]}. All row values are emitted
+  /// as JSON strings (the table stores formatted cells, not raw numbers);
+  /// tools/plot_results.py coerces numerics back on load and accepts both
+  /// shapes.
   void write_json(std::ostream& out) const;
 
   /// Convenience: writes JSON to `path`. Returns false on I/O failure.
@@ -49,6 +60,8 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  /// Insertion-ordered (key, raw JSON value) pairs.
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 /// Formats a double with `digits` digits after the decimal point.

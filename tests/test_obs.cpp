@@ -1,0 +1,508 @@
+// Tests for the observability subsystem (src/obs/): ring buffer semantics,
+// tracer/sink plumbing, golden JSONL and Chrome trace output, metrics
+// registry, run profiler, watchdog invariants — and the contract the whole
+// design hangs on: tracing must never change simulation results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/punctual/protocol.hpp"
+#include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/ring.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd {
+namespace {
+
+obs::TraceEvent event_with_seq(std::uint64_t seq) {
+  obs::TraceEvent ev;
+  ev.seq = seq;
+  ev.slot = static_cast<Slot>(seq * 3);
+  return ev;
+}
+
+// ---- EventRing ------------------------------------------------------------
+
+TEST(EventRing, RoundsCapacityUpToPowerOfTwo) {
+  obs::EventRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  obs::EventRing exact(16);
+  EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(EventRing, PushPopPreservesOrder) {
+  obs::EventRing ring(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(event_with_seq(i)));
+  }
+  EXPECT_FALSE(ring.try_push(event_with_seq(99)));  // full
+
+  std::vector<std::uint64_t> seen;
+  const std::size_t drained =
+      ring.pop_all([&](const obs::TraceEvent& ev) { seen.push_back(ev.seq); });
+  EXPECT_EQ(drained, 8u);
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+}
+
+TEST(EventRing, WrapsAroundAfterDraining) {
+  obs::EventRing ring(4);
+  std::uint64_t next = 0;
+  std::vector<std::uint64_t> seen;
+  // Push/drain several times the capacity so tail and head wrap repeatedly.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_push(event_with_seq(next++)));
+    }
+    ring.pop_all([&](const obs::TraceEvent& ev) { seen.push_back(ev.seq); });
+  }
+  ASSERT_EQ(seen.size(), 30u);
+  for (std::uint64_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(EventRing, InterleavedProducersLoseNothing) {
+  // Multi-producer claim/publish: every pushed event is drained exactly
+  // once, regardless of interleaving.
+  obs::EventRing ring(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::TraceEvent ev;
+        ev.seq = static_cast<std::uint64_t>(t) * kPerThread + i;
+        while (!ring.try_push(ev)) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<std::uint64_t> seen;
+  ring.pop_all([&](const obs::TraceEvent& ev) { seen.insert(ev.seq); });
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
+}
+
+// ---- Tracer + sinks -------------------------------------------------------
+
+TEST(Tracer, StampsMonotonicSeqAndDrainsInOrder) {
+  obs::Tracer tracer(16);
+  auto collect = std::make_shared<obs::CollectSink>();
+  tracer.add_sink(collect);
+  // Interleave emitters (different jobs) and overflow the tiny ring so the
+  // inline drain path runs too.
+  for (int i = 0; i < 100; ++i) {
+    tracer.emit(obs::EventKind::kSlotResolved, i, i % 3);
+  }
+  tracer.flush();
+  ASSERT_EQ(collect->events().size(), 100u);
+  for (std::size_t i = 0; i < collect->events().size(); ++i) {
+    EXPECT_EQ(collect->events()[i].seq, i);
+    EXPECT_EQ(collect->events()[i].job, static_cast<JobId>(i % 3));
+  }
+  EXPECT_EQ(tracer.emitted(), 100u);
+}
+
+TEST(Tracer, EmitAfterCloseIsDiscarded) {
+  obs::Tracer tracer;
+  auto collect = std::make_shared<obs::CollectSink>();
+  tracer.add_sink(collect);
+  tracer.emit(obs::EventKind::kSlotResolved, 1);
+  tracer.close();
+  tracer.emit(obs::EventKind::kSlotResolved, 2);
+  tracer.flush();
+  EXPECT_EQ(collect->events().size(), 1u);
+}
+
+TEST(JsonlSink, GoldenLineShape) {
+  obs::TraceEvent ev;
+  ev.seq = 7;
+  ev.slot = 42;
+  ev.kind = obs::EventKind::kStage;
+  ev.job = 3;
+  ev.a = 1;
+  ev.b = 2;
+  ev.x = 0.5;
+  ev.label = "probe";
+  std::ostringstream out;
+  obs::write_event_jsonl(out, ev);
+  EXPECT_EQ(out.str(),
+            "{\"seq\":7,\"slot\":42,\"kind\":\"stage\",\"job\":3,\"a\":1,"
+            "\"b\":2,\"x\":0.5,\"label\":\"probe\"}\n");
+
+  // Channel-wide event: job/x/label fields are omitted when defaulted.
+  obs::TraceEvent bare;
+  bare.seq = 0;
+  bare.slot = 9;
+  bare.kind = obs::EventKind::kSlotResolved;
+  std::ostringstream out2;
+  obs::write_event_jsonl(out2, bare);
+  EXPECT_EQ(out2.str(),
+            "{\"seq\":0,\"slot\":9,\"kind\":\"slot-resolved\",\"a\":0,"
+            "\"b\":0}\n");
+}
+
+TEST(ChromeTraceSink, RendersSpansCountersAndMetadata) {
+  obs::ChromeTraceSink sink("/tmp/crmd_test_chrome_trace.json");
+  auto ev = [](obs::EventKind kind, Slot slot, JobId job, std::int64_t a,
+               std::int64_t b, double x, const char* label) {
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.slot = slot;
+    e.job = job;
+    e.a = a;
+    e.b = b;
+    e.x = x;
+    e.label = label;
+    return e;
+  };
+  sink.on_event(ev(obs::EventKind::kJobActivate, 0, 1, 0, 64, 0, nullptr));
+  sink.on_event(ev(obs::EventKind::kStage, 0, 1, 0, 1, 0, "sync-listen"));
+  sink.on_event(ev(obs::EventKind::kStage, 10, 1, 1, 2, 0, "probe"));
+  sink.on_event(
+      ev(obs::EventKind::kSlotResolved, 5, kNoJob, 0, 2, 1.25, nullptr));
+  sink.on_event(ev(obs::EventKind::kJobRetire, 20, 1, 1, 0, 0, nullptr));
+
+  std::ostringstream out;
+  sink.render(out);
+  const std::string doc = out.str();
+  // Structure: one document object with a traceEvents array.
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // Stage spans: sync-listen spans [0, 10), probe closes at retirement.
+  EXPECT_NE(doc.find("\"name\":\"sync-listen\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  // Contention counter track.
+  EXPECT_NE(doc.find("\"contention\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  // Process metadata for tooling.
+  EXPECT_NE(doc.find("process_name"), std::string::npos);
+}
+
+// ---- LogHistogram ---------------------------------------------------------
+
+TEST(LogHistogram, BucketBoundaries) {
+  obs::LogHistogram h;
+  // Bucket 0: values < 1 (including negatives, clamped).
+  h.add(0);
+  h.add(-5);
+  // Bucket 1: [1, 2).
+  h.add(1);
+  // Bucket 2: [2, 4).
+  h.add(2);
+  h.add(3);
+  // Bucket 3: [4, 8).
+  h.add(4);
+  h.add(7);
+  // Bucket 4: [8, 16).
+  h.add(8);
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.count(), 8u);
+
+  EXPECT_EQ(h.bucket_lo(0), 0);
+  EXPECT_EQ(h.bucket_hi(0), 1);
+  EXPECT_EQ(h.bucket_lo(3), 4);
+  EXPECT_EQ(h.bucket_hi(3), 8);
+
+  // Exact powers of two land in the bucket whose *lower* bound they are.
+  obs::LogHistogram p;
+  p.add(1024);
+  EXPECT_EQ(p.bucket_count(11), 1u);  // [1024, 2048)
+}
+
+TEST(LogHistogram, PercentileIsBucketUpperBound) {
+  obs::LogHistogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.add(3);  // bucket [2, 4)
+  }
+  h.add(1000);  // bucket [512, 1024)
+  EXPECT_EQ(h.percentile(0.5), 4);
+  EXPECT_EQ(h.percentile(0.99), 4);
+  EXPECT_EQ(h.percentile(1.0), 1024);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+TEST(Registry, NamedMetricsAndTypeOwnership) {
+  obs::Registry reg;
+  reg.counter("sim.slots").inc(10);
+  reg.counter("sim.slots").inc(5);
+  reg.gauge("run.gamma").set(0.03125);
+  reg.histogram("job.latency").add(100);
+
+  EXPECT_EQ(reg.counter_value("sim.slots"), 15);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("run.gamma"), 0.03125);
+  EXPECT_TRUE(reg.has("job.latency"));
+  EXPECT_FALSE(reg.has("nope"));
+  EXPECT_EQ(reg.size(), 3u);
+
+  // A name owns its first-used type.
+  EXPECT_THROW(reg.gauge("sim.slots"), std::invalid_argument);
+  EXPECT_THROW(reg.counter_value("run.gamma"), std::out_of_range);
+
+  util::Table table = reg.to_table();
+  EXPECT_EQ(table.rows(), 3u);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_NE(json.str().find("\"sim.slots\": 15"), std::string::npos);
+
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// ---- RunProfiler ----------------------------------------------------------
+
+TEST(RunProfiler, AccumulatesPhasesAndSlots) {
+  obs::RunProfiler prof;
+  {
+    const auto scope = prof.phase("simulation");
+  }
+  {
+    const auto scope = prof.phase("simulation");
+  }
+  prof.add_phase_ms("export", 2.5);
+  prof.add_slots(1000);
+
+  ASSERT_EQ(prof.phases().size(), 2u);
+  EXPECT_EQ(prof.phases()[0].name, "simulation");
+  EXPECT_EQ(prof.phases()[0].calls, 2);
+  EXPECT_EQ(prof.phases()[1].name, "export");
+  EXPECT_DOUBLE_EQ(prof.phases()[1].ms, 2.5);
+  EXPECT_EQ(prof.slots(), 1000);
+  EXPECT_GE(prof.wall_ms(), 0.0);
+  EXPECT_GE(prof.slots_per_sec(), 0.0);
+
+  prof.reset();
+  EXPECT_TRUE(prof.phases().empty());
+  EXPECT_EQ(prof.slots(), 0);
+}
+
+// ---- Watchdog -------------------------------------------------------------
+
+obs::TraceEvent make_event(obs::EventKind kind, Slot slot, JobId job,
+                           std::int64_t a = 0, std::int64_t b = 0,
+                           double x = 0.0, const char* label = nullptr) {
+  obs::TraceEvent ev;
+  ev.kind = kind;
+  ev.slot = slot;
+  ev.job = job;
+  ev.a = a;
+  ev.b = b;
+  ev.x = x;
+  ev.label = label;
+  return ev;
+}
+
+TEST(Watchdog, FlagsTransmissionFromNonLiveJob) {
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kTransmit, 5, 0, 0, 0, 1.0,
+                          "data"));
+  EXPECT_FALSE(dog.ok());
+  ASSERT_EQ(dog.violations().size(), 1u);
+  EXPECT_NE(dog.violations()[0].what.find("non-live"), std::string::npos);
+}
+
+TEST(Watchdog, FlagsTransmissionOutsideWindow) {
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 10, 0, 10, 20));
+  dog.on_event(
+      make_event(obs::EventKind::kTransmit, 25, 0, 0, 0, 1.0, "data"));
+  EXPECT_EQ(dog.violation_count(), 1);
+  EXPECT_NE(dog.report().find("tx-outside-window"), std::string::npos);
+}
+
+TEST(Watchdog, FlagsDataBeyondTrimmedWindowUnlessGridFree) {
+  // Job released at 0 with window 100, trimmed to 50. A data send at slot
+  // 60 violates the recheck rule — unless the job went anarchist first.
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  dog.on_event(make_event(obs::EventKind::kWindowTrim, 30, 0, 50));
+  dog.on_event(
+      make_event(obs::EventKind::kTransmit, 60, 0, 0, 0, 1.0, "data"));
+  EXPECT_EQ(dog.violation_count(), 1);
+
+  obs::Watchdog lenient;
+  lenient.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  lenient.on_event(make_event(obs::EventKind::kWindowTrim, 30, 0, 50));
+  lenient.on_event(make_event(obs::EventKind::kStage, 55, 0, 5, 9,
+                              0.0, "anarchist"));
+  lenient.on_event(
+      make_event(obs::EventKind::kTransmit, 60, 0, 0, 0, 1.0, "data"));
+  EXPECT_TRUE(lenient.ok());
+}
+
+TEST(Watchdog, FlagsSuccessCreditedToDeadOrDoneJob) {
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  dog.on_event(make_event(obs::EventKind::kSuccessCredit, 10, 0));
+  EXPECT_TRUE(dog.ok());
+  dog.on_event(make_event(obs::EventKind::kSuccessCredit, 11, 0));
+  EXPECT_EQ(dog.violation_count(), 1);  // duplicate credit
+
+  obs::Watchdog dead;
+  dead.on_event(make_event(obs::EventKind::kJobActivate, 0, 1, 0, 100));
+  dead.on_event(make_event(obs::EventKind::kJobRetire, 50, 1, 0));
+  dead.on_event(make_event(obs::EventKind::kSuccessCredit, 60, 1));
+  EXPECT_EQ(dead.violation_count(), 1);
+}
+
+TEST(Watchdog, OptInContentionCap) {
+  obs::WatchdogConfig config;
+  config.contention_cap = 2.0;
+  config.settle_slots = 2;
+  obs::Watchdog dog(config);
+  // First two resolved slots are settling: no flag even above the cap.
+  dog.on_event(
+      make_event(obs::EventKind::kSlotResolved, 0, kNoJob, 0, 3, 5.0));
+  dog.on_event(
+      make_event(obs::EventKind::kSlotResolved, 1, kNoJob, 0, 3, 5.0));
+  EXPECT_TRUE(dog.ok());
+  dog.on_event(
+      make_event(obs::EventKind::kSlotResolved, 2, kNoJob, 0, 3, 5.0));
+  EXPECT_EQ(dog.violation_count(), 1);
+}
+
+// ---- End-to-end: simulator + protocols through the tracer -----------------
+
+workload::Instance general_instance(std::uint64_t seed) {
+  workload::GeneralConfig config;
+  config.min_window = 1 << 9;
+  config.max_window = 1 << 11;
+  config.gamma = 1.0 / 32;
+  config.horizon = 1 << 13;
+  util::Rng rng(seed);
+  return workload::gen_general(config, rng);
+}
+
+TEST(ObsEndToEnd, TracingOnIsBitIdenticalToTracingOff) {
+  core::Params params;
+  params.min_class = 8;
+  const auto factory = core::punctual::make_punctual_factory(params);
+
+  sim::SimConfig off;
+  off.seed = 99;
+  const sim::SimResult base = sim::run(general_instance(5), factory, off);
+
+  obs::Tracer tracer;
+  auto collect = std::make_shared<obs::CollectSink>();
+  tracer.add_sink(collect);
+  sim::SimConfig on = off;
+  on.tracer = &tracer;
+  const sim::SimResult traced = sim::run(general_instance(5), factory, on);
+  tracer.flush();
+
+  ASSERT_GT(collect->events().size(), 0u);
+  ASSERT_EQ(base.jobs.size(), traced.jobs.size());
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    EXPECT_EQ(base.jobs[i].success, traced.jobs[i].success);
+    EXPECT_EQ(base.jobs[i].success_slot, traced.jobs[i].success_slot);
+    EXPECT_EQ(base.jobs[i].transmissions, traced.jobs[i].transmissions);
+  }
+  EXPECT_EQ(base.metrics.slots_simulated, traced.metrics.slots_simulated);
+  EXPECT_EQ(base.metrics.data_successes, traced.metrics.data_successes);
+  EXPECT_EQ(base.metrics.noise_slots, traced.metrics.noise_slots);
+  EXPECT_DOUBLE_EQ(base.metrics.contention.mean(),
+                   traced.metrics.contention.mean());
+}
+
+TEST(ObsEndToEnd, EveryPunctualJobEmitsStageTransitions) {
+  core::Params params;
+  params.min_class = 8;
+  const auto factory = core::punctual::make_punctual_factory(params);
+
+  obs::Tracer tracer;
+  auto collect = std::make_shared<obs::CollectSink>();
+  auto watchdog = std::make_shared<obs::Watchdog>();
+  tracer.add_sink(collect);
+  tracer.add_sink(watchdog);
+  sim::SimConfig config;
+  config.seed = 99;
+  config.tracer = &tracer;
+  const sim::SimResult result = sim::run(general_instance(5), factory, config);
+  tracer.flush();
+
+  ASSERT_GT(result.jobs.size(), 0u);
+  std::set<JobId> with_stage;
+  for (const auto& ev : collect->events()) {
+    if (ev.kind == obs::EventKind::kStage) {
+      with_stage.insert(ev.job);
+    }
+  }
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(with_stage.count(job.id)) << "job " << job.id;
+  }
+  // Fault-free feasible instance: the protocols' own account of the run
+  // violates no invariant.
+  EXPECT_TRUE(watchdog->ok()) << watchdog->report();
+}
+
+TEST(ObsEndToEnd, ScriptedRunTraceMatchesGroundTruth) {
+  // Two jobs transmitting at disjoint offsets: the trace must show exactly
+  // two kTransmit events, each inside its job's window.
+  obs::Tracer tracer;
+  auto collect = std::make_shared<obs::CollectSink>();
+  tracer.add_sink(collect);
+  sim::SimConfig config;
+  config.tracer = &tracer;
+  const auto result =
+      sim::run(test::instance_of({{0, 16}, {4, 24}}),
+               test::per_job_script_factory({{2}, {5}}), config);
+  tracer.flush();
+
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_TRUE(result.jobs[0].success);
+  EXPECT_TRUE(result.jobs[1].success);
+
+  int transmits = 0;
+  int activates = 0;
+  int credits = 0;
+  for (const auto& ev : collect->events()) {
+    switch (ev.kind) {
+      case obs::EventKind::kTransmit:
+        ++transmits;
+        break;
+      case obs::EventKind::kJobActivate:
+        ++activates;
+        break;
+      case obs::EventKind::kSuccessCredit:
+        ++credits;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(transmits, 2);
+  EXPECT_EQ(activates, 2);
+  EXPECT_EQ(credits, 2);
+  // Events arrive in seq order.
+  for (std::size_t i = 1; i < collect->events().size(); ++i) {
+    EXPECT_LT(collect->events()[i - 1].seq, collect->events()[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace crmd

@@ -33,12 +33,20 @@ def parse_number(text):
 
 
 def load_rows(path):
-    """Returns a list of {column: string-value} dicts from CSV or JSON."""
+    """Returns a list of {column: string-value} dicts from CSV or JSON.
+
+    JSON accepts both Table::write_json shapes: the plain array of row
+    objects, and the meta-bearing {"meta": {...}, "rows": [...]} object
+    emitted when a harness stamps profiler metadata.
+    """
     if path.endswith(".json"):
         with open(path) as f:
             data = json.load(f)
+        if isinstance(data, dict) and "rows" in data:
+            data = data["rows"]
         if not isinstance(data, list):
-            sys.exit("json input must be an array of row objects")
+            sys.exit("json input must be an array of row objects or "
+                     '{"meta": ..., "rows": [...]}')
         return [{str(k): str(v) for k, v in row.items()} for row in data]
     with open(path, newline="") as f:
         return list(csv.DictReader(f))
