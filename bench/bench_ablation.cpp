@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       };
       const auto report = analysis::run_replications(
           gen, core::punctual::make_punctual_factory(p), common.reps,
-          common.seed);
+          common.seed, nullptr, {}, nullptr, common.threads);
       double worst = 1.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {
         worst = std::min(worst, bucket.deadline_met.rate());
@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
       };
       const auto report = analysis::run_replications(
           gen, core::aligned::make_aligned_factory(p), common.reps,
-          common.seed);
+          common.seed, nullptr, {}, nullptr, common.threads);
       double worst = 0.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {
         worst = std::max(worst, bucket.deadline_met.failure_rate());

@@ -7,18 +7,25 @@
 //
 // Common flags (every harness): --reps=N, --seed=S, --csv=path.csv,
 // --json=path.json, --quick (shrink the sweep for smoke runs),
-// --trace-events=path.json (Chrome trace-event export of every simulated
-// run; open in chrome://tracing or Perfetto).
+// --threads=N (replication workers; 0 = one per hardware thread, 1 =
+// serial; results are bit-identical for every value — the determinism
+// contract, see analysis/runner.hpp), --trace-events=path.json (Chrome
+// trace-event export of every simulated run; open in chrome://tracing or
+// Perfetto).
 //
 // JSON outputs carry a "meta" object with run-profiler timings (wall_ms,
-// slots_per_sec, per-phase breakdown). Timings never appear in the console
-// table or CSV, so those artifacts stay byte-stable across runs.
+// slots_per_sec, per-phase breakdown) plus the worker count ("threads")
+// and the per-thread simulation throughput ("slots_per_sec_per_thread"),
+// so BENCH_*.json records a real perf trajectory. Timings never appear in
+// the console table or CSV, so those artifacts stay byte-stable across
+// runs.
 
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "analysis/runner.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -34,6 +41,9 @@ struct CommonArgs {
   std::string json;
   std::string trace_events;
   bool quick;
+  /// Replication workers as requested by --threads= (0 = hardware default);
+  /// pass to run_replications, which resolves and clamps it.
+  int threads;
 };
 
 /// Parses the shared flags with harness-specific defaults.
@@ -49,6 +59,7 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   c.csv = args.get("csv", "");
   c.json = args.get("json", "");
   c.trace_events = args.get("trace-events", "");
+  c.threads = static_cast<int>(args.get_int("threads", 0));
   return c;
 }
 
@@ -89,18 +100,31 @@ inline TraceSession make_trace_session(const CommonArgs& common) {
 }
 
 /// Stamps run-profiler results into the table's JSON meta block:
-/// wall-clock, slots simulated, slots/sec, and the per-phase breakdown.
-inline void stamp_profile(util::Table& table) {
+/// wall-clock, slots simulated, slots/sec (aggregate across workers and
+/// per worker thread), the worker count, and the per-phase breakdown.
+/// `threads` is the resolved replication worker count (>= 1).
+inline void stamp_profile(util::Table& table, int threads = 1) {
   const obs::RunProfiler& prof = obs::global_profiler();
+  const double wall_ms = prof.wall_ms();
   std::ostringstream num;
-  num << prof.wall_ms();
+  num << wall_ms;
   table.set_meta("wall_ms", num.str());
   num.str("");
   num << prof.slots();
   table.set_meta("slots_simulated", num.str());
+  // Aggregate throughput: total slots over wall time — the figure a
+  // --threads= speedup shows up in.
+  num.str("");
+  num << (wall_ms > 0.0
+              ? static_cast<double>(prof.slots()) / (wall_ms / 1000.0)
+              : 0.0);
+  table.set_meta("slots_per_sec", num.str());
+  // Per-thread throughput: phase ms sum across workers, so the profiler's
+  // simulation-phase rate is per worker (see obs/profiler.hpp).
   num.str("");
   num << prof.slots_per_sec();
-  table.set_meta("slots_per_sec", num.str());
+  table.set_meta("slots_per_sec_per_thread", num.str());
+  table.set_meta("threads", std::to_string(threads));
   std::ostringstream phases;
   phases << '{';
   bool first = true;
@@ -125,7 +149,7 @@ inline void emit(util::Table& table, const std::string& header,
     }
   }
   if (!common.json.empty()) {
-    stamp_profile(table);
+    stamp_profile(table, analysis::resolve_threads(common.threads));
     if (table.save_json(common.json)) {
       std::cout << "(json written to " << common.json << ")\n";
     } else {

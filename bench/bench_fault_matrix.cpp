@@ -126,7 +126,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto clean =
-        analysis::run_replications(gen, *factory, common.reps, common.seed);
+        analysis::run_replications(gen, *factory, common.reps, common.seed,
+                                   nullptr, {}, nullptr, common.threads);
     const Baseline base = snapshot(clean);
 
     for (const auto& axis : axes) {
@@ -140,7 +141,8 @@ int main(int argc, char** argv) {
           };
         }
         const auto report = analysis::run_replications(
-            gen, *factory, common.reps, common.seed, jam_gen, axis.plan(x));
+            gen, *factory, common.reps, common.seed, jam_gen, axis.plan(x),
+            nullptr, common.threads);
 
         std::string verdict = "-";
         if (x == 0.0) {

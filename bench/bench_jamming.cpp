@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
         return adv.make(p_jam);
       };
       const auto report = analysis::run_replications(
-          gen, factory, common.reps, common.seed, jam_gen);
+          gen, factory, common.reps, common.seed, jam_gen, {}, nullptr,
+          common.threads);
       const auto [lo, hi] = report.outcomes.overall().wilson95();
       (void)hi;
       table.add_row(

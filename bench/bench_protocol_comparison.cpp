@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
   for (const auto& contender : contenders()) {
     const auto report =
         analysis::run_replications(gen, contender.factory, common.reps,
-                                   common.seed, nullptr, {}, trace.get());
+                                   common.seed, nullptr, {}, trace.get(),
+                                   common.threads);
     double worst = 1.0;
     double smallest_rate = 1.0;
     util::RunningStats latency;
@@ -181,7 +182,8 @@ int main(int argc, char** argv) {
                          "p99-style worst job latency/window"});
     for (const auto& contender : contenders()) {
       const auto report = analysis::run_replications(
-          periodic_gen, contender.factory, common.reps, common.seed);
+          periodic_gen, contender.factory, common.reps, common.seed, nullptr,
+          {}, nullptr, common.threads);
       double worst = 1.0;
       double worst_latency_frac = 0.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {

@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
         return workload::gen_general(config, rng);
       };
       const auto report = analysis::run_replications(
-          gen, factory, common.reps, common.seed, nullptr, {}, trace.get());
+          gen, factory, common.reps, common.seed, nullptr, {}, trace.get(),
+          common.threads);
       const auto [lo, hi] = report.outcomes.overall().wilson95();
 
       // EDF reference on one sample instance (always 1.0 when feasible).

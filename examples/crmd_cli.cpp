@@ -38,6 +38,10 @@ int usage() {
          "  --horizon=H            generator horizon (default 65536)\n"
          "  --lambda=L --tau=T --min-class=C   protocol constants\n"
          "  --reps=R --seed=S      replication controls\n"
+         "  --threads=N            replication workers (0 = one per "
+         "hardware thread,\n"
+         "                         1 = serial; results are bit-identical "
+         "either way)\n"
          "  --trace=PATH           save a per-slot CSV of one run\n"
          "  --jobs-csv=PATH        save per-job outcomes of one run\n"
          "  --faults-csv=PATH      save injected fault events of one run\n"
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
 
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
 
   // Optional single-run trace exports (separate from the replicated sweep).
   const std::string trace_path = args.get("trace", "");
@@ -192,7 +197,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto report = analysis::run_replications(gen, *factory, reps, seed);
+  const auto report = analysis::run_replications(gen, *factory, reps, seed,
+                                                 nullptr, {}, nullptr,
+                                                 threads);
 
   util::Table table({"window", "jobs", "delivered", "mean latency",
                      "mean tx/job"});

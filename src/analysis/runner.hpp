@@ -13,13 +13,27 @@
 /// instance per replication (seeded deterministically), simulate it, and
 /// aggregate outcomes. Keeps all bench binaries' seed management identical
 /// and reproducible.
+///
+/// The driver is a parallel engine with a *determinism contract*: for any
+/// worker count, the returned ReplicationReport is bit-identical to the
+/// serial run. Replications are independent by construction — replication
+/// r derives every random stream from `Rng(base_seed).child(REPL + r)` —
+/// so workers may simulate them in any order; determinism is restored by
+/// folding per-replication results into the report strictly in replication
+/// order, using exactly the operations (and operation order) of the serial
+/// loop. The contract is enforced by tests/test_runner_parallel.cpp, not
+/// by convention.
 
 namespace crmd::analysis {
 
 /// Builds the instance for replication `rep` (seeds derive from it).
+/// With `threads > 1` the generator is invoked concurrently from worker
+/// threads and must be safe to call in parallel — in practice: a pure
+/// function of its Rng argument plus read-only captures.
 using InstanceGen = std::function<workload::Instance(util::Rng& rng)>;
 
 /// Builds a fresh adversary per replication; may return null (no jamming).
+/// Same concurrency requirement as InstanceGen under `threads > 1`.
 using JammerGen = std::function<std::unique_ptr<sim::Jammer>(util::Rng rng)>;
 
 /// Everything a replication sweep accumulates.
@@ -33,6 +47,11 @@ struct ReplicationReport {
   util::RunningStats jobs_per_rep;
 };
 
+/// Resolves a `--threads=` request: positive values pass through; zero and
+/// negative mean "one worker per hardware thread" (minimum 1 when the
+/// hardware concurrency is unknown).
+[[nodiscard]] int resolve_threads(int requested) noexcept;
+
 /// Runs `reps` replications of (generate instance, simulate, aggregate).
 /// Replication r uses the deterministic seed child(base_seed, r) for both
 /// generation and simulation, so reports are exactly reproducible. The
@@ -41,13 +60,18 @@ struct ReplicationReport {
 /// every simulated run streams obs events into it (null = tracing off =
 /// bit-identical results, see obs/trace.hpp). Phase timings ("generate",
 /// "simulation", "aggregate") accrue to obs::global_profiler().
+///
+/// `threads` selects the worker count: 1 (the default) runs the exact
+/// serial loop; N > 1 simulates replications on N workers and folds results
+/// in replication order; <= 0 means resolve_threads' hardware default. The
+/// report is bit-identical for every value (the determinism contract). With
+/// a tracer and `threads > 1`, each replication's events are buffered and
+/// replayed into `tracer` at fold time, so sinks observe the same stream —
+/// same events, same order, same seq numbers — as a serial traced run.
 [[nodiscard]] ReplicationReport run_replications(
     const InstanceGen& gen, const sim::ProtocolFactory& factory, int reps,
     std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr,
-    const sim::FaultPlan& faults = {}, obs::Tracer* tracer = nullptr);
-
-/// Merges channel metrics. Deprecated shim: delegates to
-/// sim::SimMetrics::merge (kept for existing harness loops).
-void merge_metrics(sim::SimMetrics& into, const sim::SimMetrics& from);
+    const sim::FaultPlan& faults = {}, obs::Tracer* tracer = nullptr,
+    int threads = 1);
 
 }  // namespace crmd::analysis

@@ -28,13 +28,18 @@ void LogHistogram::add(std::int64_t v) noexcept {
   if (i >= kBuckets) {
     i = kBuckets - 1;
   }
-  ++buckets_[i];
-  ++count_;
-  sum_ += static_cast<double>(v);
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of fetch_add: atomic<double>::fetch_add needs
+  // hardware support libstdc++ only guarantees from C++20 onward.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + static_cast<double>(v),
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t LogHistogram::bucket_count(std::size_t i) const noexcept {
-  return i < kBuckets ? buckets_[i] : 0;
+  return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
 }
 
 std::int64_t LogHistogram::bucket_lo(std::size_t i) const noexcept {
@@ -78,6 +83,7 @@ std::int64_t LogHistogram::percentile(double q) const noexcept {
 // ---- Registry -------------------------------------------------------------
 
 Registry::Entry& Registry::entry(const std::string& name, Kind kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = kind;
@@ -101,10 +107,12 @@ LogHistogram& Registry::histogram(const std::string& name) {
 }
 
 bool Registry::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(name) != 0;
 }
 
 std::int64_t Registry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto& e = entries_.at(name);
   if (e.kind != Kind::kCounter) {
     throw std::out_of_range("metric '" + name + "' is not a counter");
@@ -113,6 +121,7 @@ std::int64_t Registry::counter_value(const std::string& name) const {
 }
 
 double Registry::gauge_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto& e = entries_.at(name);
   if (e.kind != Kind::kGauge) {
     throw std::out_of_range("metric '" + name + "' is not a gauge");
@@ -120,7 +129,10 @@ double Registry::gauge_value(const std::string& name) const {
   return e.gauge.value();
 }
 
-std::size_t Registry::size() const noexcept { return entries_.size(); }
+std::size_t Registry::size() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
 
 namespace {
 
@@ -133,6 +145,7 @@ std::string num(double v) {
 }  // namespace
 
 util::Table Registry::to_table() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   util::Table table({"metric", "type", "value"});
   for (const auto& [name, e] : entries_) {
     switch (e.kind) {
@@ -157,6 +170,7 @@ util::Table Registry::to_table() const {
 }
 
 void Registry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   out << "{";
   bool first = true;
   for (const auto& [name, e] : entries_) {
@@ -181,7 +195,10 @@ void Registry::write_json(std::ostream& out) const {
   out << "}\n";
 }
 
-void Registry::clear() { entries_.clear(); }
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
 
 Registry& global_registry() {
   static Registry registry;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,27 +26,41 @@
 /// References returned by counter()/gauge()/histogram() are stable for
 /// the registry's lifetime (node-based map), so hot loops can resolve a
 /// metric once and bump it without further lookups.
+///
+/// Thread safety: the parallel replication engine updates metrics from
+/// every worker, so all three metric types accumulate atomically and the
+/// registry guards its name map with a mutex. Increments use relaxed
+/// ordering — exact totals once writers quiesce (what benches read), no
+/// cross-metric ordering guarantees mid-run.
 
 namespace crmd::obs {
 
-/// Monotonic integer counter.
+/// Monotonic integer counter. Increments are atomic (relaxed).
 class Counter {
  public:
-  void inc(std::int64_t delta = 1) noexcept { value_ += delta; }
-  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  void inc(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
-/// Last-write-wins real value.
+/// Last-write-wins real value. Stores are atomic (relaxed).
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Histogram with power-of-two ("log") buckets: bucket 0 counts values
@@ -56,12 +72,19 @@ class LogHistogram {
   static constexpr std::size_t kBuckets = 64;
 
   /// Adds one observation (negative values clamp into bucket 0).
+  /// Thread-safe; concurrent adds land atomically (counts stay exact,
+  /// readers racing writers may see a bucket/sum snapshot mid-update).
   void add(std::int64_t v) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
 
   /// Count in bucket i.
@@ -78,9 +101,9 @@ class LogHistogram {
   [[nodiscard]] std::int64_t percentile(double q) const noexcept;
 
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 /// Name → metric registry. Names are dotted paths by convention.
@@ -123,6 +146,7 @@ class Registry {
   };
   Entry& entry(const std::string& name, Kind kind);
 
+  mutable std::mutex mu_;  // guards entries_ (the map, not the metrics)
   std::map<std::string, Entry> entries_;
 };
 

@@ -5,6 +5,7 @@
 namespace crmd::obs {
 
 void RunProfiler::add_phase_ms(const std::string& name, double ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (Phase& p : phases_) {
     if (p.name == name) {
       p.ms += ms;
@@ -17,41 +18,52 @@ void RunProfiler::add_phase_ms(const std::string& name, double ms) {
 
 double RunProfiler::wall_ms() const {
   const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mu_);
   return std::chrono::duration<double, std::milli>(now - start_).count();
 }
 
 double RunProfiler::slots_per_sec() const {
   double ms = 0.0;
-  for (const Phase& p : phases_) {
-    if (p.name == "simulation") {
-      ms = p.ms;
-      break;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const Phase& p : phases_) {
+      if (p.name == "simulation") {
+        ms = p.ms;
+        break;
+      }
     }
   }
   if (ms <= 0.0) {
     ms = wall_ms();
   }
-  if (ms <= 0.0 || slots_ == 0) {
+  const std::int64_t slots = this->slots();
+  if (ms <= 0.0 || slots == 0) {
     return 0.0;
   }
-  return static_cast<double>(slots_) / (ms / 1000.0);
+  return static_cast<double>(slots) / (ms / 1000.0);
+}
+
+std::vector<RunProfiler::Phase> RunProfiler::phases() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
 }
 
 util::Table RunProfiler::to_table() const {
   util::Table table({"phase", "ms", "calls"});
-  for (const Phase& p : phases_) {
+  for (const Phase& p : phases()) {
     table.add_row({p.name, util::fmt(p.ms, 2), std::to_string(p.calls)});
   }
   table.add_row({"(wall)", util::fmt(wall_ms(), 2), "1"});
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.0f", slots_per_sec());
-  table.add_row({"(slots/sec)", buf, std::to_string(slots_)});
+  table.add_row({"(slots/sec)", buf, std::to_string(slots())});
   return table;
 }
 
 void RunProfiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   phases_.clear();
-  slots_ = 0;
+  slots_.store(0, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }
 

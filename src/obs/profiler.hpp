@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,14 @@
 /// JSON `meta` fields and the `--profile` tables, never through the
 /// deterministic result rows (the byte-identical-given-a-seed contract in
 /// the verify notes covers stdout tables and CSV, which stay untouched).
+///
+/// Thread safety: the parallel replication engine charges phases and slots
+/// from every worker concurrently, so accumulation (add_phase_ms,
+/// add_slots) and the readers are guarded — a mutex around the phase list,
+/// an atomic slot counter. Under parallel workers the per-phase ms are
+/// *summed across workers*: the "simulation" phase accrues ~workers× the
+/// wall time spent simulating, which is exactly what makes
+/// slots_per_sec() a per-worker throughput (see below).
 
 namespace crmd::obs {
 
@@ -58,27 +68,33 @@ class RunProfiler {
   /// Starts a scoped timer charged to `name` (a static string).
   [[nodiscard]] Scope phase(const char* name) { return Scope(*this, name); }
 
-  /// Adds `ms` milliseconds to phase `name` directly.
+  /// Adds `ms` milliseconds to phase `name` directly. Thread-safe.
   void add_phase_ms(const std::string& name, double ms);
 
   /// Registers `n` simulated slots (called by Simulation::finish, so any
   /// harness — replication sweep or hand-rolled loop — accumulates).
-  void add_slots(std::int64_t n) noexcept { slots_ += n; }
+  /// Thread-safe.
+  void add_slots(std::int64_t n) noexcept {
+    slots_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Wall-clock milliseconds since construction or reset().
   [[nodiscard]] double wall_ms() const;
 
   /// Total simulated slots registered.
-  [[nodiscard]] std::int64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::int64_t slots() const noexcept {
+    return slots_.load(std::memory_order_relaxed);
+  }
 
   /// Slots per second of *simulation* time when a "simulation" phase was
-  /// recorded, else per second of wall time. 0 when nothing ran.
+  /// recorded, else per second of wall time. 0 when nothing ran. Because
+  /// phase ms sum across workers, under the parallel engine this is the
+  /// per-worker (per-thread) simulation throughput; divide slots() by
+  /// wall_ms() for the aggregate rate.
   [[nodiscard]] double slots_per_sec() const;
 
-  /// Accumulated phases in first-use order.
-  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
-    return phases_;
-  }
+  /// Snapshot of the accumulated phases in first-use order.
+  [[nodiscard]] std::vector<Phase> phases() const;
 
   /// Snapshot as a table: phase | ms | calls, plus totals.
   [[nodiscard]] util::Table to_table() const;
@@ -87,8 +103,9 @@ class RunProfiler {
   void reset();
 
  private:
+  mutable std::mutex mu_;
   std::vector<Phase> phases_;
-  std::int64_t slots_ = 0;
+  std::atomic<std::int64_t> slots_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -79,16 +79,17 @@ Tracer::Tracer(std::size_t ring_capacity) : ring_(ring_capacity) {}
 Tracer::~Tracer() { close(); }
 
 void Tracer::add_sink(std::shared_ptr<EventSink> sink) {
+  const std::lock_guard<std::mutex> lock(drain_mu_);
   sinks_.push_back(std::move(sink));
 }
 
 void Tracer::emit(EventKind kind, Slot slot, JobId job, std::int64_t a,
                   std::int64_t b, double x, const char* label) {
-  if (closed_) {
+  if (closed_.load(std::memory_order_relaxed)) {
     return;
   }
   TraceEvent ev;
-  ev.seq = next_seq_++;
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   ev.slot = slot;
   ev.kind = kind;
   ev.job = job;
@@ -96,13 +97,15 @@ void Tracer::emit(EventKind kind, Slot slot, JobId job, std::int64_t a,
   ev.b = b;
   ev.x = x;
   ev.label = label;
-  if (!ring_.try_push(ev)) {
-    flush();  // ring full: drain inline, then retry (cannot fail twice)
-    ring_.try_push(ev);
+  // Ring full: drain inline and retry. With concurrent emitters another
+  // thread can refill the ring between our drain and retry, so loop.
+  while (!ring_.try_push(ev)) {
+    flush();
   }
 }
 
 void Tracer::flush() {
+  const std::lock_guard<std::mutex> lock(drain_mu_);
   ring_.pop_all([this](const TraceEvent& ev) {
     for (const auto& sink : sinks_) {
       sink->on_event(ev);
@@ -111,14 +114,20 @@ void Tracer::flush() {
 }
 
 void Tracer::close() {
-  if (closed_) {
+  if (closed_.exchange(true, std::memory_order_relaxed)) {
     return;
   }
-  flush();
+  // Late emitters may still be pushing; after `closed_` flips they stop,
+  // and this final drain publishes everything already in the ring.
+  const std::lock_guard<std::mutex> lock(drain_mu_);
+  ring_.pop_all([this](const TraceEvent& ev) {
+    for (const auto& sink : sinks_) {
+      sink->on_event(ev);
+    }
+  });
   for (const auto& sink : sinks_) {
     sink->close();
   }
-  closed_ = true;
 }
 
 // ---- JSONL sinks ----------------------------------------------------------

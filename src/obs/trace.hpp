@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,16 @@
 ///
 /// Emission must never change protocol behavior: emitters may not draw
 /// from protocol RNG streams and sinks only observe.
+///
+/// Thread safety: emit() may be called from any number of threads (seq
+/// stamping is atomic, the ring is multi-producer); draining to sinks
+/// (flush/close, and the inline drain when the ring fills) is serialized
+/// by a mutex, so sinks themselves never see concurrent on_event calls.
+/// With concurrent emitters the *interleaving* of events across threads
+/// is nondeterministic — the parallel replication engine therefore
+/// buffers per-replication events and replays them in replication order
+/// (see analysis/runner.cpp), which keeps sink streams bit-identical to
+/// a serial run.
 
 namespace crmd::obs {
 
@@ -58,25 +70,29 @@ class Tracer {
   /// in the ring will reach the sink; already-drained events will not.
   void add_sink(std::shared_ptr<EventSink> sink);
 
-  /// Appends one event (stamps the global seq). Never blocks; drains the
-  /// ring inline when it is full.
+  /// Appends one event (stamps the global seq). Thread-safe; drains the
+  /// ring (under the drain mutex) when it is full.
   void emit(EventKind kind, Slot slot, JobId job = kNoJob, std::int64_t a = 0,
             std::int64_t b = 0, double x = 0.0, const char* label = nullptr);
 
-  /// Drains buffered events to the sinks.
+  /// Drains buffered events to the sinks. Thread-safe (serialized).
   void flush();
 
   /// Flushes and closes every sink. Further emits are discarded.
+  /// Idempotent and thread-safe.
   void close();
 
   /// Total events emitted so far (including drained and discarded ones).
-  [[nodiscard]] std::uint64_t emitted() const noexcept { return next_seq_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
 
  private:
   EventRing ring_;
+  std::mutex drain_mu_;  // serializes sink access (flush/close/add_sink)
   std::vector<std::shared_ptr<EventSink>> sinks_;
-  std::uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<bool> closed_{false};
 };
 
 /// Collects events into a vector (tests, ad-hoc analysis).

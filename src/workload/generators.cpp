@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <random>
 
 #include "util/math.hpp"
 #include "workload/trim.hpp"
@@ -17,17 +16,9 @@ std::int64_t inflation_of(double gamma) {
   return static_cast<std::int64_t>(std::ceil(1.0 / gamma));
 }
 
-/// Poisson sampler: Knuth's product method for small means (cheap, uses
-/// our uniform stream directly), std::poisson_distribution for large means
-/// (where exp(-mean) would underflow and Knuth would never terminate).
-std::int64_t poisson(double mean, util::Rng& rng) {
-  if (mean <= 0.0) {
-    return 0;
-  }
-  if (mean > 30.0) {
-    std::poisson_distribution<std::int64_t> dist(mean);
-    return dist(rng.engine());
-  }
+/// Knuth's product method; only valid for means small enough that
+/// exp(-mean) stays well away from underflow.
+std::int64_t knuth_poisson(double mean, util::Rng& rng) {
   const double limit = std::exp(-mean);
   double product = rng.next_double();
   std::int64_t count = 0;
@@ -36,6 +27,23 @@ std::int64_t poisson(double mean, util::Rng& rng) {
     product *= rng.next_double();
   }
   return count;
+}
+
+/// Poisson sampler on our uniform stream. Large means are drawn as sums of
+/// <=30-mean chunks (Poisson is additive), keeping the sample exact while
+/// avoiding both exp(-mean) underflow and std::poisson_distribution, whose
+/// libstdc++ initializer calls lgamma() and races on glibc's global
+/// `signgam` when generators run on the parallel replication engine.
+std::int64_t poisson(double mean, util::Rng& rng) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  std::int64_t total = 0;
+  while (mean > 30.0) {
+    total += knuth_poisson(30.0, rng);
+    mean -= 30.0;
+  }
+  return total + knuth_poisson(mean, rng);
 }
 
 }  // namespace

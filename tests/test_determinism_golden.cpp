@@ -1,0 +1,190 @@
+// Golden-seed determinism digests. Each protocol's ReplicationReport for a
+// pinned (seed, instance-generator) pair is hashed — integers directly,
+// doubles by bit pattern — and compared against a recorded digest. The
+// failure mode this guards against is silent RNG-stream reordering: a
+// refactor (parallel runner, seed-derivation change, extra draw in a
+// protocol) that shuffles which coin flips reach which job would leave all
+// statistical tests green while quietly changing every "reproducible"
+// result in the repo. Here it fails loudly instead.
+//
+// If a digest change is *intentional* (a protocol or seed-derivation
+// change that is supposed to alter results), regenerate: run this test,
+// copy the "got 0x..." digests from the failure output into kGolden
+// below, and note the reason in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "baselines/aloha.hpp"
+#include "baselines/beb.hpp"
+#include "baselines/sawtooth.hpp"
+#include "core/aligned/protocol.hpp"
+#include "core/punctual/protocol.hpp"
+#include "core/uniform.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::analysis {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;
+
+// splitmix64-style combine: order-sensitive, avalanching.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) noexcept {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t mix_stats(std::uint64_t h, const util::RunningStats& s) {
+  h = mix(h, s.count());
+  h = mix_double(h, s.mean());
+  h = mix_double(h, s.variance());
+  h = mix_double(h, s.min());
+  h = mix_double(h, s.max());
+  return h;
+}
+
+std::uint64_t mix_counter(std::uint64_t h, const util::SuccessCounter& c) {
+  h = mix(h, c.successes());
+  return mix(h, c.trials());
+}
+
+/// Digest over every deterministic field of a ReplicationReport, in a
+/// fixed traversal order.
+std::uint64_t digest(const ReplicationReport& r) {
+  std::uint64_t h = 0x43524D44ULL;  // "CRMD"
+  h = mix(h, static_cast<std::uint64_t>(r.replications));
+  h = mix_stats(h, r.jobs_per_rep);
+
+  const sim::SimMetrics& m = r.channel;
+  for (const std::int64_t v :
+       {m.slots_simulated, m.slots_skipped, m.silent_slots, m.success_slots,
+        m.noise_slots, m.jammed_slots, m.data_successes,
+        m.control_successes, m.start_successes, m.claim_successes,
+        m.timekeeper_successes, m.faults_injected, m.feedback_corruptions,
+        m.feedback_losses, m.clock_skew_events, m.crashes, m.restarts,
+        m.dark_job_slots}) {
+    h = mix(h, static_cast<std::uint64_t>(v));
+  }
+  h = mix_stats(h, m.contention);
+
+  h = mix_counter(h, r.outcomes.overall());
+  h = mix_stats(h, r.outcomes.accesses());
+  for (const auto& [window, bucket] : r.outcomes.by_window()) {
+    h = mix(h, static_cast<std::uint64_t>(window));
+    h = mix_counter(h, bucket.deadline_met);
+    h = mix_stats(h, bucket.latency);
+    h = mix_stats(h, bucket.accesses);
+  }
+  return h;
+}
+
+InstanceGen golden_gen() {
+  return [](util::Rng& rng) {
+    workload::GeneralConfig config;
+    config.min_window = 1 << 8;
+    config.max_window = 1 << 10;
+    config.gamma = 1.0 / 8;
+    config.horizon = 1 << 12;
+    return workload::gen_general(config, rng);
+  };
+}
+
+InstanceGen golden_aligned_gen() {
+  return [](util::Rng& rng) {
+    workload::AlignedConfig config;
+    config.min_class = 8;
+    config.max_class = 10;
+    config.gamma = 1.0 / 8;
+    config.horizon = 1 << 12;
+    return workload::gen_aligned(config, rng);
+  };
+}
+
+struct Golden {
+  const char* name;
+  std::uint64_t expected;
+};
+
+// Pinned digests for (kSeed, generator) per protocol. Regenerate only for
+// intentional behavior changes — see the file comment.
+constexpr Golden kGolden[] = {
+    {"uniform", 0xae737dffa1b5093bULL},
+    {"aligned", 0x62650eb9b68e28feULL},
+    {"punctual", 0x11281381ef74d150ULL},
+    {"aloha", 0x12dcf80c482edf41ULL},
+    {"beb", 0x901e13c705aed951ULL},
+    {"sawtooth", 0x2c19ba5a0ea3928dULL},
+};
+
+std::uint64_t run_digest(const std::string& name) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  sim::ProtocolFactory factory;
+  InstanceGen gen = golden_gen();
+  if (name == "uniform") {
+    factory = core::make_uniform_factory(params);
+  } else if (name == "aligned") {
+    factory = core::aligned::make_aligned_factory(params);
+    gen = golden_aligned_gen();
+  } else if (name == "punctual") {
+    factory = core::punctual::make_punctual_factory(params);
+  } else if (name == "aloha") {
+    factory = baselines::make_aloha_window_factory(4.0);
+  } else if (name == "beb") {
+    factory = baselines::make_beb_factory();
+  } else {
+    factory = baselines::make_sawtooth_factory();
+  }
+  return digest(run_replications(gen, factory, /*reps=*/3, kSeed));
+}
+
+TEST(DeterminismGolden, PerProtocolOutcomeDigests) {
+  for (const Golden& g : kGolden) {
+    const std::uint64_t got = run_digest(g.name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llxULL",
+                  static_cast<unsigned long long>(got));
+    EXPECT_EQ(got, g.expected)
+        << "golden outcome digest mismatch for '" << g.name << "': got "
+        << buf
+        << "\nAn RNG stream or aggregation-order change reached this "
+           "protocol's results. If the change is intentional, update "
+           "kGolden in tests/test_determinism_golden.cpp with the digest "
+           "above; otherwise you have a determinism regression.";
+  }
+}
+
+// The digests must also be stable under the parallel engine — same pinned
+// values, any worker count (belt and braces on top of
+// test_runner_parallel's field-by-field comparison).
+TEST(DeterminismGolden, DigestsAreThreadCountInvariant) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  const auto factory = core::punctual::make_punctual_factory(params);
+  const auto serial =
+      digest(run_replications(golden_gen(), factory, 3, kSeed));
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(digest(run_replications(golden_gen(), factory, 3, kSeed,
+                                      nullptr, {}, nullptr, threads)),
+              serial)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace crmd::analysis

@@ -103,7 +103,7 @@ TEST(Runner, MergeMetricsSums) {
   b.slots_simulated = 5;
   b.data_successes = 2;
   b.contention.add(3.0);
-  merge_metrics(a, b);
+  a.merge(b);
   EXPECT_EQ(a.slots_simulated, 15);
   EXPECT_EQ(a.data_successes, 5);
   EXPECT_EQ(a.contention.count(), 2u);

@@ -1,0 +1,305 @@
+// The determinism contract of the parallel replication engine: for every
+// worker count, run_replications returns a ReplicationReport bit-identical
+// to the serial run — outcomes, channel metrics, jobs-per-rep statistics,
+// and (when tracing) the event stream the sinks observe. Exercised across
+// protocols (UNIFORM / ALIGNED / PUNCTUAL and baselines), jamming
+// adversaries, non-trivial fault plans, and a many-replication stress
+// case. A failure here means replication-order dependence leaked into the
+// engine (shared RNG stream, out-of-order fold, racy accumulator).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "baselines/aloha.hpp"
+#include "baselines/beb.hpp"
+#include "core/aligned/protocol.hpp"
+#include "core/punctual/protocol.hpp"
+#include "core/uniform.hpp"
+#include "obs/trace.hpp"
+#include "sim/jammer.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd::analysis {
+namespace {
+
+// Worker counts the contract is asserted for (1 is the serial reference).
+const std::vector<int> kThreadCounts{2, 3, 8};
+
+void expect_stats_identical(const util::RunningStats& a,
+                            const util::RunningStats& b, const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what << ".count";
+  EXPECT_EQ(a.mean(), b.mean()) << what << ".mean";
+  EXPECT_EQ(a.variance(), b.variance()) << what << ".variance";
+  EXPECT_EQ(a.min(), b.min()) << what << ".min";
+  EXPECT_EQ(a.max(), b.max()) << what << ".max";
+}
+
+void expect_counter_identical(const util::SuccessCounter& a,
+                              const util::SuccessCounter& b,
+                              const char* what) {
+  EXPECT_EQ(a.successes(), b.successes()) << what << ".successes";
+  EXPECT_EQ(a.trials(), b.trials()) << what << ".trials";
+}
+
+void expect_metrics_identical(const sim::SimMetrics& a,
+                              const sim::SimMetrics& b) {
+  EXPECT_EQ(a.slots_simulated, b.slots_simulated);
+  EXPECT_EQ(a.slots_skipped, b.slots_skipped);
+  EXPECT_EQ(a.silent_slots, b.silent_slots);
+  EXPECT_EQ(a.success_slots, b.success_slots);
+  EXPECT_EQ(a.noise_slots, b.noise_slots);
+  EXPECT_EQ(a.jammed_slots, b.jammed_slots);
+  EXPECT_EQ(a.data_successes, b.data_successes);
+  EXPECT_EQ(a.control_successes, b.control_successes);
+  EXPECT_EQ(a.start_successes, b.start_successes);
+  EXPECT_EQ(a.claim_successes, b.claim_successes);
+  EXPECT_EQ(a.timekeeper_successes, b.timekeeper_successes);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.feedback_corruptions, b.feedback_corruptions);
+  EXPECT_EQ(a.feedback_losses, b.feedback_losses);
+  EXPECT_EQ(a.clock_skew_events, b.clock_skew_events);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.dark_job_slots, b.dark_job_slots);
+  expect_stats_identical(a.contention, b.contention, "channel.contention");
+}
+
+void expect_reports_identical(const ReplicationReport& a,
+                              const ReplicationReport& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  expect_stats_identical(a.jobs_per_rep, b.jobs_per_rep, "jobs_per_rep");
+  expect_metrics_identical(a.channel, b.channel);
+
+  expect_counter_identical(a.outcomes.overall(), b.outcomes.overall(),
+                           "outcomes.overall");
+  EXPECT_EQ(a.outcomes.jobs(), b.outcomes.jobs());
+  expect_stats_identical(a.outcomes.accesses(), b.outcomes.accesses(),
+                         "outcomes.accesses");
+  ASSERT_EQ(a.outcomes.by_window().size(), b.outcomes.by_window().size());
+  auto ita = a.outcomes.by_window().begin();
+  auto itb = b.outcomes.by_window().begin();
+  for (; ita != a.outcomes.by_window().end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first) << "window keys diverge";
+    expect_counter_identical(ita->second.deadline_met,
+                             itb->second.deadline_met, "bucket.deadline_met");
+    expect_stats_identical(ita->second.latency, itb->second.latency,
+                           "bucket.latency");
+    expect_stats_identical(ita->second.accesses, itb->second.accesses,
+                           "bucket.accesses");
+  }
+}
+
+/// Asserts the contract for one configuration: every parallel worker count
+/// reproduces the serial report bit for bit.
+void assert_contract(const InstanceGen& gen,
+                     const sim::ProtocolFactory& factory, int reps,
+                     std::uint64_t seed, const JammerGen& jammer_gen = nullptr,
+                     const sim::FaultPlan& faults = {}) {
+  const auto serial = run_replications(gen, factory, reps, seed, jammer_gen,
+                                       faults, nullptr, 1);
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto parallel = run_replications(gen, factory, reps, seed,
+                                           jammer_gen, faults, nullptr,
+                                           threads);
+    expect_reports_identical(serial, parallel);
+  }
+}
+
+InstanceGen general_gen(double gamma = 1.0 / 8) {
+  return [gamma](util::Rng& rng) {
+    workload::GeneralConfig config;
+    config.min_window = 1 << 8;
+    config.max_window = 1 << 10;
+    config.gamma = gamma;
+    config.horizon = 1 << 12;
+    return workload::gen_general(config, rng);
+  };
+}
+
+InstanceGen aligned_gen() {
+  return [](util::Rng& rng) {
+    workload::AlignedConfig config;
+    config.min_class = 8;
+    config.max_class = 10;
+    config.gamma = 1.0 / 8;
+    config.horizon = 1 << 12;
+    return workload::gen_aligned(config, rng);
+  };
+}
+
+TEST(RunnerParallel, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+  EXPECT_GE(resolve_threads(0), 1);   // hardware default
+  EXPECT_GE(resolve_threads(-3), 1);  // negative = auto too
+}
+
+TEST(RunnerParallel, UniformBitIdentity) {
+  core::Params params;
+  assert_contract(general_gen(), core::make_uniform_factory(params),
+                  /*reps=*/6, /*seed=*/101);
+}
+
+TEST(RunnerParallel, AlignedBitIdentity) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  assert_contract(aligned_gen(),
+                  core::aligned::make_aligned_factory(params),
+                  /*reps=*/5, /*seed=*/202);
+}
+
+TEST(RunnerParallel, PunctualBitIdentity) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  assert_contract(general_gen(),
+                  core::punctual::make_punctual_factory(params),
+                  /*reps=*/5, /*seed=*/303);
+}
+
+TEST(RunnerParallel, BaselinesBitIdentity) {
+  assert_contract(general_gen(), baselines::make_aloha_window_factory(4.0),
+                  /*reps=*/6, /*seed=*/404);
+  assert_contract(general_gen(), baselines::make_beb_factory(),
+                  /*reps=*/6, /*seed=*/405);
+}
+
+TEST(RunnerParallel, JammerGensBitIdentity) {
+  const JammerGen reactive = [](util::Rng) {
+    return sim::make_reactive_jammer(0.3);
+  };
+  assert_contract(general_gen(), baselines::make_aloha_window_factory(4.0),
+                  /*reps=*/6, /*seed=*/506, reactive);
+  const JammerGen blanket = [](util::Rng) {
+    return sim::make_blanket_jammer(0.2);
+  };
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  assert_contract(general_gen(),
+                  core::punctual::make_punctual_factory(params),
+                  /*reps=*/4, /*seed=*/507, blanket);
+}
+
+TEST(RunnerParallel, FaultPlanBitIdentity) {
+  sim::FaultPlan faults;
+  faults.feedback_corrupt_rate = 0.05;
+  faults.feedback_loss_rate = 0.05;
+  faults.clock_skew_rate = 0.01;
+  faults.crash_rate = 0.002;
+  faults.crash_permanent_frac = 0.5;
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  assert_contract(general_gen(),
+                  core::punctual::make_punctual_factory(params),
+                  /*reps=*/4, /*seed=*/608, nullptr, faults);
+}
+
+TEST(RunnerParallel, EmptyInstancesFoldInOrder) {
+  // Roughly half the replications generate nothing — the fold must still
+  // walk replication order (jobs_per_rep mixes zero and non-zero adds).
+  const InstanceGen gen = [](util::Rng& rng) {
+    if (rng.bernoulli(0.5)) {
+      return workload::Instance{};
+    }
+    return workload::gen_batch(8, 512, 0);
+  };
+  assert_contract(gen, baselines::make_aloha_window_factory(4.0),
+                  /*reps=*/12, /*seed=*/709);
+}
+
+TEST(RunnerParallel, ManyRepsStress) {
+  // Far more replications than workers: exercises the atomic claim counter
+  // and the pending-map fold under real contention.
+  const InstanceGen gen = [](util::Rng&) {
+    return workload::gen_batch(4, 256, 0);
+  };
+  const auto serial = run_replications(
+      gen, baselines::make_aloha_window_factory(4.0), 200, 811, nullptr, {},
+      nullptr, 1);
+  const auto parallel = run_replications(
+      gen, baselines::make_aloha_window_factory(4.0), 200, 811, nullptr, {},
+      nullptr, 8);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(RunnerParallel, MoreWorkersThanRepsIsFine) {
+  assert_contract(general_gen(), baselines::make_aloha_window_factory(4.0),
+                  /*reps=*/2, /*seed=*/912);
+}
+
+TEST(RunnerParallel, TracedStreamsAreIdentical) {
+  // With a tracer attached, parallel workers buffer per-replication events
+  // and replay them at fold time — sinks must observe the byte-identical
+  // stream (same events, same order, same seq stamps) as a serial run.
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  const auto factory = core::punctual::make_punctual_factory(params);
+  const auto gen = general_gen();
+
+  const auto collect = [&](int threads) {
+    obs::Tracer tracer;
+    auto sink = std::make_shared<obs::CollectSink>();
+    tracer.add_sink(sink);
+    const auto report =
+        run_replications(gen, factory, 3, 1013, nullptr, {}, &tracer,
+                         threads);
+    tracer.close();
+    EXPECT_EQ(report.replications, 3);
+    return sink->events();
+  };
+
+  const std::vector<obs::TraceEvent> serial = collect(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::vector<obs::TraceEvent> parallel = collect(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const obs::TraceEvent& a = serial[i];
+      const obs::TraceEvent& b = parallel[i];
+      EXPECT_EQ(a.seq, b.seq) << "event " << i;
+      EXPECT_EQ(a.slot, b.slot) << "event " << i;
+      EXPECT_EQ(a.kind, b.kind) << "event " << i;
+      EXPECT_EQ(a.job, b.job) << "event " << i;
+      EXPECT_EQ(a.a, b.a) << "event " << i;
+      EXPECT_EQ(a.b, b.b) << "event " << i;
+      EXPECT_EQ(a.x, b.x) << "event " << i;
+      if (a.label == nullptr || b.label == nullptr) {
+        EXPECT_EQ(a.label, b.label) << "event " << i;
+      } else {
+        EXPECT_STREQ(a.label, b.label) << "event " << i;
+      }
+    }
+  }
+}
+
+TEST(RunnerParallel, GeneratorExceptionsPropagate) {
+  const InstanceGen gen = [](util::Rng&) -> workload::Instance {
+    throw std::runtime_error("generator failure");
+  };
+  EXPECT_THROW(
+      {
+        const auto report = run_replications(
+            gen, baselines::make_aloha_window_factory(4.0), 8, 1, nullptr,
+            {}, nullptr, 4);
+        (void)report;
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace crmd::analysis
