@@ -30,17 +30,23 @@ void AlohaProtocol::on_feedback(const sim::SlotView& /*view*/,
 bool AlohaProtocol::done() const { return succeeded_; }
 
 sim::ProtocolFactory make_aloha_factory(double p) {
-  return [p](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<AlohaProtocol>(p, rng);
-  };
+  return sim::make_arena_factory<AlohaProtocol>(p);
 }
 
 sim::ProtocolFactory make_aloha_window_factory(double scale) {
-  return [scale](const sim::JobInfo& info, util::Rng rng) {
-    const double p =
-        std::min(0.5, scale / static_cast<double>(info.window()));
-    return std::make_unique<AlohaProtocol>(p, rng);
+  // The transmit probability depends on the job's window, so the generic
+  // make_arena_factory shape does not fit; spell out both paths.
+  const auto p_for = [scale](const sim::JobInfo& info) {
+    return std::min(0.5, scale / static_cast<double>(info.window()));
   };
+  return sim::ProtocolFactory(
+      [p_for](const sim::JobInfo& info, util::Rng rng) {
+        return std::make_unique<AlohaProtocol>(p_for(info), rng);
+      },
+      [p_for](const sim::JobInfo& info, util::Rng rng,
+              util::MonotonicArena& arena) -> sim::Protocol* {
+        return arena.create<AlohaProtocol>(p_for(info), rng);
+      });
 }
 
 }  // namespace crmd::baselines

@@ -53,9 +53,7 @@ void BebProtocol::on_feedback(const sim::SlotView& view,
 bool BebProtocol::done() const { return succeeded_; }
 
 sim::ProtocolFactory make_beb_factory(BebConfig config) {
-  return [config](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<BebProtocol>(config, rng);
-  };
+  return sim::make_arena_factory<BebProtocol>(config);
 }
 
 }  // namespace crmd::baselines

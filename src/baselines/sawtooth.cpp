@@ -53,9 +53,7 @@ void SawtoothProtocol::on_feedback(const sim::SlotView& /*view*/,
 bool SawtoothProtocol::done() const { return succeeded_; }
 
 sim::ProtocolFactory make_sawtooth_factory() {
-  return [](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<SawtoothProtocol>(rng);
-  };
+  return sim::make_arena_factory<SawtoothProtocol>();
 }
 
 }  // namespace crmd::baselines

@@ -139,9 +139,7 @@ std::int64_t AlignedProtocol::own_estimate() const {
 
 sim::ProtocolFactory make_aligned_factory(Params params) {
   params.validate();
-  return [params](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<AlignedProtocol>(params, rng);
-  };
+  return sim::make_arena_factory<AlignedProtocol>(params);
 }
 
 }  // namespace crmd::core::aligned

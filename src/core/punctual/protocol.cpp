@@ -567,9 +567,7 @@ const char* to_string(PunctualProtocol::Stage stage) noexcept {
 
 sim::ProtocolFactory make_punctual_factory(Params params) {
   params.validate();
-  return [params](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<PunctualProtocol>(params, rng);
-  };
+  return sim::make_arena_factory<PunctualProtocol>(params);
 }
 
 }  // namespace crmd::core::punctual

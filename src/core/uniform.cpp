@@ -59,9 +59,7 @@ bool UniformProtocol::done() const {
 
 sim::ProtocolFactory make_uniform_factory(Params params) {
   params.validate();
-  return [params](const sim::JobInfo& /*info*/, util::Rng rng) {
-    return std::make_unique<UniformProtocol>(params, rng);
-  };
+  return sim::make_arena_factory<UniformProtocol>(params);
 }
 
 }  // namespace crmd::core

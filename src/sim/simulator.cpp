@@ -5,24 +5,49 @@
 
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 
 namespace crmd::sim {
 
+// Data-oriented engine layout (DESIGN.md §6e). Per-job state is split into
+// hot structure-of-arrays scanned every slot (release/deadline/protocol
+// pointer/live flag plus the per-job counters the decision loop bumps) and
+// cold state touched once per job (JobResult). Protocols are constructed in
+// place inside a per-simulation MonotonicArena when the factory supports it
+// (all registered factories do); `live_pos` gives O(1) swap-removal from
+// the live list; `dark`/`transmitted` are per-slot scratch whose clearing
+// cost scales with the jobs actually touched, never with the total job
+// count. All of this is bookkeeping only: the order of protocol
+// construction, RNG child derivation, ticks, decisions, feedback, and
+// retirement is exactly the historical order, so results stay bit-identical
+// (pinned in tests/test_determinism_golden.cpp).
 struct Simulation::Impl {
-  struct JobState {
-    JobInfo info;
-    std::unique_ptr<Protocol> protocol;
-    JobResult result;
-    bool live = false;
-    bool retired = false;
-  };
-
   SimConfig config;
   std::unique_ptr<Jammer> jammer;
   util::Rng jam_rng{0};
   std::unique_ptr<FaultInjector> injector;  // null when the plan is empty
 
-  std::vector<JobState> jobs;     // indexed by JobId, release-sorted
+  // --- Hot per-job state (structure-of-arrays, indexed by JobId). ---
+  std::vector<Slot> release;
+  std::vector<Slot> deadline;
+  std::vector<Protocol*> proto;        // null once retired
+  std::vector<std::uint8_t> live_flag;
+  std::vector<std::uint32_t> live_pos;  // index into `live`; valid while live
+  // Per-job counters bumped in the decision loop; folded into the cold
+  // JobResult once, in finish().
+  std::vector<std::int64_t> live_slot_count;
+  std::vector<std::int64_t> dark_slot_count;
+  std::vector<std::int64_t> tx_count;
+
+  // --- Cold per-job state. ---
+  std::vector<JobResult> results;
+
+  // Backing store for the protocol objects. `arena_owned` is false only for
+  // heap-only (legacy ad-hoc) factories, in which case `proto` holds plain
+  // owning pointers released with `delete`.
+  util::MonotonicArena arena;
+  bool arena_owned = false;
+
   std::vector<JobId> live;        // ids of live jobs
   std::size_t next_pending = 0;   // first job not yet activated
   Slot now = 0;
@@ -33,24 +58,52 @@ struct Simulation::Impl {
   std::vector<SlotRecord> slot_trace;
   SlotObserver observer;
 
-  // Scratch buffers reused across slots.
+  // Scratch buffers reused across slots. `dark` and `transmitted` are
+  // job-indexed but cleared per slot only at the entries written this slot
+  // (live jobs resp. transmitters), so per-slot cost tracks the live set.
   std::vector<Transmission> transmissions;
   std::vector<JobId> to_retire;
-  std::vector<std::uint8_t> dark;  // per-job "dark this slot" (faulted runs)
+  std::vector<std::uint8_t> dark;         // "dark this slot" (faulted runs)
+  std::vector<std::uint8_t> transmitted;  // "sent this slot" (ACK-only runs)
+
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return release.size();
+  }
+
+  // Runs the protocol's destructor and releases (heap path) or abandons
+  // (arena path — memory is reclaimed when the arena dies) its storage.
+  void destroy_protocol(JobId id) noexcept {
+    Protocol* p = proto[id];
+    if (p == nullptr) {
+      return;
+    }
+    proto[id] = nullptr;
+    if (arena_owned) {
+      p->~Protocol();
+    } else {
+      delete p;
+    }
+  }
+
+  ~Impl() {
+    for (JobId id = 0; id < proto.size(); ++id) {
+      destroy_protocol(id);
+    }
+  }
 
   void retire(JobId id) {
-    JobState& js = jobs[id];
-    if (!js.live) {
+    if (live_flag[id] == 0) {
       return;
     }
     CRMD_TRACE(config.tracer, obs::EventKind::kJobRetire, now, id,
-               js.result.success ? 1 : 0);
-    js.live = false;
-    js.retired = true;
-    js.protocol.reset();
-    const auto it = std::find(live.begin(), live.end(), id);
-    assert(it != live.end());
-    *it = live.back();
+               results[id].success ? 1 : 0);
+    live_flag[id] = 0;
+    destroy_protocol(id);
+    const std::uint32_t pos = live_pos[id];
+    assert(pos < live.size() && live[pos] == id);
+    const JobId moved = live.back();
+    live[pos] = moved;
+    live_pos[moved] = pos;
     live.pop_back();
   }
 };
@@ -63,33 +116,55 @@ Simulation::Simulation(workload::Instance instance,
   instance.normalize();
   instance.validate();
 
-  impl_->config = config;
-  impl_->jammer = std::move(jammer);
-  impl_->jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
+  Impl& s = *impl_;
+  s.config = config;
+  s.jammer = std::move(jammer);
+  s.jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
   if (config.faults.any()) {
-    impl_->injector =
-        std::make_unique<FaultInjector>(config.faults, config.seed);
-    impl_->injector->set_record_events(config.record_slots);
-    impl_->injector->set_tracer(config.tracer);
+    s.injector = std::make_unique<FaultInjector>(config.faults, config.seed);
+    s.injector->set_record_events(config.record_slots);
+    s.injector->set_tracer(config.tracer);
   }
-  impl_->horizon =
-      config.horizon > 0 ? config.horizon : instance.max_deadline();
-  impl_->now = instance.empty() ? 0 : instance.min_release();
+  s.horizon = config.horizon > 0 ? config.horizon : instance.max_deadline();
+  s.now = instance.empty() ? 0 : instance.min_release();
 
   const util::Rng master(config.seed);
-  impl_->jobs.reserve(instance.size());
-  for (std::size_t i = 0; i < instance.size(); ++i) {
+  const std::size_t n = instance.size();
+  s.release.reserve(n);
+  s.deadline.reserve(n);
+  s.proto.reserve(n);
+  s.live_flag.assign(n, 0);
+  s.live_pos.assign(n, 0);
+  s.live_slot_count.assign(n, 0);
+  s.dark_slot_count.assign(n, 0);
+  s.tx_count.assign(n, 0);
+  s.results.reserve(n);
+  s.dark.assign(n, 0);
+  s.transmitted.assign(n, 0);
+  s.arena_owned = factory.arena_aware();
+  for (std::size_t i = 0; i < n; ++i) {
     const auto& spec = instance.jobs[i];
-    Impl::JobState js;
-    js.info.id = static_cast<JobId>(i);
-    js.info.release = spec.release;
-    js.info.deadline = spec.deadline;
-    js.protocol = factory(js.info, master.child(static_cast<JobId>(i) + 1));
-    js.protocol->set_tracer(config.tracer);
-    js.result.id = js.info.id;
-    js.result.release = spec.release;
-    js.result.deadline = spec.deadline;
-    impl_->jobs.push_back(std::move(js));
+    JobInfo info;
+    info.id = static_cast<JobId>(i);
+    info.release = spec.release;
+    info.deadline = spec.deadline;
+    s.release.push_back(spec.release);
+    s.deadline.push_back(spec.deadline);
+    // Same construction order and the same RNG child stream per job as the
+    // original heap engine — the determinism contract depends on it.
+    Protocol* p =
+        s.arena_owned
+            ? factory.emplace(info, master.child(static_cast<JobId>(i) + 1),
+                              s.arena)
+            : factory(info, master.child(static_cast<JobId>(i) + 1))
+                  .release();
+    p->set_tracer(config.tracer);
+    s.proto.push_back(p);
+    JobResult result;
+    result.id = info.id;
+    result.release = spec.release;
+    result.deadline = spec.deadline;
+    s.results.push_back(result);
   }
 }
 
@@ -108,10 +183,10 @@ void Simulation::set_observer(SlotObserver observer) {
 std::vector<JobId> Simulation::live_jobs() const { return impl_->live; }
 
 Protocol* Simulation::protocol(JobId id) noexcept {
-  if (id >= impl_->jobs.size() || !impl_->jobs[id].live) {
+  if (id >= impl_->job_count() || impl_->live_flag[id] == 0) {
     return nullptr;
   }
-  return impl_->jobs[id].protocol.get();
+  return impl_->proto[id];
 }
 
 bool Simulation::step() {
@@ -123,11 +198,11 @@ bool Simulation::step() {
   // Fast-forward across idle gaps: nothing can happen on the channel while
   // no job is live.
   if (s.live.empty()) {
-    if (s.next_pending >= s.jobs.size()) {
+    if (s.next_pending >= s.job_count()) {
       s.finished = true;
       return false;
     }
-    const Slot next_release = s.jobs[s.next_pending].info.release;
+    const Slot next_release = s.release[s.next_pending];
     if (next_release > s.now) {
       s.metrics.slots_skipped += next_release - s.now;
       s.now = next_release;
@@ -140,18 +215,23 @@ bool Simulation::step() {
   }
 
   // Activate arrivals.
-  while (s.next_pending < s.jobs.size() &&
-         s.jobs[s.next_pending].info.release <= s.now) {
-    Impl::JobState& js = s.jobs[s.next_pending];
-    if (js.info.deadline > s.now) {
-      js.live = true;
-      s.live.push_back(js.info.id);
-      CRMD_TRACE(s.config.tracer, obs::EventKind::kJobActivate, s.now,
-                 js.info.id, js.info.release, js.info.deadline);
-      js.protocol->on_activate(js.info);
+  while (s.next_pending < s.job_count() &&
+         s.release[s.next_pending] <= s.now) {
+    const JobId id = static_cast<JobId>(s.next_pending);
+    if (s.deadline[id] > s.now) {
+      s.live_flag[id] = 1;
+      s.live_pos[id] = static_cast<std::uint32_t>(s.live.size());
+      s.live.push_back(id);
+      CRMD_TRACE(s.config.tracer, obs::EventKind::kJobActivate, s.now, id,
+                 s.release[id], s.deadline[id]);
+      JobInfo info;
+      info.id = id;
+      info.release = s.release[id];
+      info.deadline = s.deadline[id];
+      s.proto[id]->on_activate(info);
     } else {
-      js.retired = true;  // window already over (degenerate horizon cases)
-      js.protocol.reset();
+      // Window already over (degenerate horizon cases); never activates.
+      s.destroy_protocol(id);
     }
     ++s.next_pending;
   }
@@ -159,7 +239,7 @@ bool Simulation::step() {
   // Retire jobs whose deadline has arrived (window is [release, deadline)).
   s.to_retire.clear();
   for (const JobId id : s.live) {
-    if (s.jobs[id].info.deadline <= s.now) {
+    if (s.deadline[id] <= s.now) {
       s.to_retire.push_back(id);
     }
   }
@@ -174,23 +254,30 @@ bool Simulation::step() {
   // Fault phase: advance each live job's crash/stall/skew state. Dead jobs
   // retire immediately (the channel cannot tell a dead job from an absent
   // one); dark jobs stay live but neither transmit nor listen this slot.
+  // The dark flags of this slot's live set are (re)written unconditionally,
+  // so no all-jobs clear is needed — stale entries of retired jobs are
+  // never read again.
   const std::int64_t faults_before =
       s.injector ? s.injector->total_injected() : 0;
   if (s.injector != nullptr) {
-    s.dark.assign(s.jobs.size(), 0);
     s.to_retire.clear();
+    std::int64_t dark_this_slot = 0;
     for (const JobId id : s.live) {
+      std::uint8_t is_dark = 0;
       switch (s.injector->tick(id, s.now)) {
         case FaultInjector::JobHealth::kHealthy:
           break;
         case FaultInjector::JobHealth::kDark:
-          s.dark[id] = 1;
+          is_dark = 1;
+          ++dark_this_slot;
           break;
         case FaultInjector::JobHealth::kDead:
           s.to_retire.push_back(id);
           break;
       }
+      s.dark[id] = is_dark;
     }
+    s.metrics.dark_job_slots += dark_this_slot;
     for (const JobId id : s.to_retire) {
       s.retire(id);
     }
@@ -204,20 +291,19 @@ bool Simulation::step() {
   s.transmissions.clear();
   double contention = 0.0;
   for (const JobId id : s.live) {
-    Impl::JobState& js = s.jobs[id];
-    ++js.result.live_slots;
+    ++s.live_slot_count[id];
     if (s.injector != nullptr && s.dark[id] != 0) {
-      ++js.result.dark_slots;
+      ++s.dark_slot_count[id];
       continue;
     }
     const Slot skew = s.injector ? s.injector->skew(id) : 0;
-    SlotView view{/*since_release=*/s.now - js.info.release + skew,
+    SlotView view{/*since_release=*/s.now - s.release[id] + skew,
                   /*global_slot=*/s.now + skew};
-    const SlotAction action = js.protocol->on_slot(view);
+    const SlotAction action = s.proto[id]->on_slot(view);
     contention += action.declared_prob;
     if (action.transmit) {
       s.transmissions.push_back(Transmission{id, action.message});
-      ++js.result.transmissions;
+      ++s.tx_count[id];
       CRMD_TRACE(s.config.tracer, obs::EventKind::kTransmit, s.now, id,
                  static_cast<std::int64_t>(action.message.kind), 0,
                  action.declared_prob, to_string(action.message.kind));
@@ -243,27 +329,33 @@ bool Simulation::step() {
       !s.config.collision_detection && fb.outcome == SlotOutcome::kNoise;
   // Model ablation: without collision detection listeners perceive noisy
   // slots as silent; transmitters still learn their failure (ACK-style).
+  // One pass over the transmission list fills a per-slot bitmap, so the
+  // per-listener "did I transmit" check is O(1) instead of a rescan.
   SlotFeedback listener_fb = fb;
   if (ack_only) {
     listener_fb.outcome = SlotOutcome::kSilence;
     listener_fb.message.reset();
+    for (const Transmission& t : s.transmissions) {
+      s.transmitted[t.job] = 1;
+    }
   }
   for (const JobId id : s.live) {
-    Impl::JobState& js = s.jobs[id];
     if (s.injector != nullptr && s.dark[id] != 0) {
       continue;
     }
-    const bool transmitted =
-        ack_only &&
-        std::any_of(s.transmissions.begin(), s.transmissions.end(),
-                    [id](const Transmission& t) { return t.job == id; });
-    SlotFeedback perceived = transmitted ? fb : listener_fb;
+    const bool sent = ack_only && s.transmitted[id] != 0;
+    SlotFeedback perceived = sent ? fb : listener_fb;
     if (s.injector != nullptr) {
       perceived = s.injector->perceive(id, s.now, perceived);
     }
     const Slot skew = s.injector ? s.injector->skew(id) : 0;
-    SlotView view{s.now - js.info.release + skew, s.now + skew};
-    js.protocol->on_feedback(view, perceived);
+    SlotView view{s.now - s.release[id] + skew, s.now + skew};
+    s.proto[id]->on_feedback(view, perceived);
+  }
+  if (ack_only) {
+    for (const Transmission& t : s.transmissions) {
+      s.transmitted[t.job] = 0;
+    }
   }
 
   SlotRecord rec;
@@ -277,8 +369,6 @@ bool Simulation::step() {
   if (s.injector != nullptr) {
     rec.faults = static_cast<std::uint32_t>(s.injector->total_injected() -
                                             faults_before);
-    s.metrics.dark_job_slots +=
-        std::count(s.dark.begin(), s.dark.end(), std::uint8_t{1});
   }
   s.metrics.record(rec);
   CRMD_TRACE(s.config.tracer, obs::EventKind::kSlotResolved, s.now, kNoJob,
@@ -297,15 +387,15 @@ bool Simulation::step() {
   if (fb.outcome == SlotOutcome::kSuccess &&
       fb.message->kind == MessageKind::kData) {
     const JobId winner = fb.message->sender;
-    assert(winner < s.jobs.size() && s.jobs[winner].live);
+    assert(winner < s.job_count() && s.live_flag[winner] != 0);
     CRMD_TRACE(s.config.tracer, obs::EventKind::kSuccessCredit, s.now,
                winner);
-    s.jobs[winner].result.success = true;
-    s.jobs[winner].result.success_slot = s.now;
+    s.results[winner].success = true;
+    s.results[winner].success_slot = s.now;
     s.to_retire.push_back(winner);
   }
   for (const JobId id : s.live) {
-    if (s.jobs[id].protocol->done() &&
+    if (s.proto[id]->done() &&
         (s.to_retire.empty() || s.to_retire.front() != id)) {
       s.to_retire.push_back(id);
     }
@@ -315,7 +405,7 @@ bool Simulation::step() {
   }
 
   ++s.now;
-  if (s.live.empty() && s.next_pending >= s.jobs.size()) {
+  if (s.live.empty() && s.next_pending >= s.job_count()) {
     s.finished = true;
   }
   return !s.finished;
@@ -324,23 +414,28 @@ bool Simulation::step() {
 SimResult Simulation::finish() {
   while (step()) {
   }
-  SimResult result;
-  result.jobs.reserve(impl_->jobs.size());
-  for (auto& js : impl_->jobs) {
-    result.jobs.push_back(js.result);
+  Impl& s = *impl_;
+  // Fold the hot per-job counters into the cold results exactly once.
+  for (std::size_t i = 0; i < s.results.size(); ++i) {
+    JobResult& r = s.results[i];
+    r.live_slots = s.live_slot_count[i];
+    r.dark_slots = s.dark_slot_count[i];
+    r.transmissions = s.tx_count[i];
   }
-  result.metrics = impl_->metrics;
-  if (impl_->injector != nullptr) {
-    const FaultInjector& inj = *impl_->injector;
+  SimResult result;
+  result.jobs = s.results;
+  result.metrics = s.metrics;
+  if (s.injector != nullptr) {
+    const FaultInjector& inj = *s.injector;
     result.metrics.faults_injected = inj.total_injected();
     result.metrics.feedback_corruptions = inj.count(FaultKind::kFeedbackCorrupt);
     result.metrics.feedback_losses = inj.count(FaultKind::kFeedbackLoss);
     result.metrics.clock_skew_events = inj.count(FaultKind::kClockSkew);
     result.metrics.crashes = inj.count(FaultKind::kCrash);
     result.metrics.restarts = inj.count(FaultKind::kRestart);
-    result.fault_events = impl_->injector->take_events();
+    result.fault_events = s.injector->take_events();
   }
-  result.slots = std::move(impl_->slot_trace);
+  result.slots = std::move(s.slot_trace);
   // Feed the process-wide profiler so every harness (replication sweep or
   // hand-rolled loop) gets slots/sec for free.
   obs::global_profiler().add_slots(result.metrics.slots_simulated);

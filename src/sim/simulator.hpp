@@ -28,6 +28,14 @@
 /// leave the live set. Idle gaps with no live jobs are skipped in O(1).
 /// Success crediting always uses the *true* channel outcome; faults perturb
 /// only what protocols perceive.
+///
+/// Engine layout (DESIGN.md §6e): per-job state is a hot structure-of-arrays
+/// (release/deadline/protocol/live flags) plus cold JobResults; protocols
+/// live in a per-simulation MonotonicArena; retirement is O(1) swap-remove
+/// via a live-position index; per-slot scratch clearing scales with the
+/// live set, not the total job count. The layout is bookkeeping only —
+/// results are bit-identical to the original heap engine (pinned in
+/// tests/test_determinism_golden.cpp).
 
 namespace crmd::obs {
 class Tracer;

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare a bench_slot_engine --json result against a committed baseline.
+
+The slot-engine harness (bench/bench_slot_engine.cpp) emits the shape every
+crmd bench does: {"meta": {...}, "rows": [{...}, ...]} with string-valued
+cells. Rows are keyed by (scenario, jobs); the figure of merit is
+slots_per_sec.
+
+Modes:
+  check_perf.py result.json --check-only
+      Validate the JSON shape only (meta present, required columns, positive
+      throughput). Exit 1 on malformed output. This is the CI smoke gate.
+
+  check_perf.py result.json [--baseline bench/baselines/slot_engine.json]
+                            [--threshold 0.35]
+      For every sweep point present in both files, compute
+      ratio = current / baseline slots_per_sec and fail (exit 1) when any
+      ratio falls below the threshold. The default threshold is generous on
+      purpose: CI machines differ wildly from the machine that produced the
+      baseline, so this catches order-of-magnitude regressions (an
+      accidental O(total jobs) slot cost), not few-percent drift. Track
+      drift by diffing the uploaded JSON artifacts across runs instead.
+
+Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_COLUMNS = ("scenario", "jobs", "slots", "wall_ms", "slots_per_sec")
+
+
+def load_rows(path):
+    """Returns (meta, {(scenario, jobs): row_dict}) or raises ValueError."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError(f"{path}: expected an object with a 'rows' list")
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict):
+        raise ValueError(f"{path}: 'meta' is not an object")
+    rows = {}
+    for i, row in enumerate(doc["rows"]):
+        missing = [c for c in REQUIRED_COLUMNS if c not in row]
+        if missing:
+            raise ValueError(f"{path}: row {i} missing columns {missing}")
+        key = (row["scenario"], int(row["jobs"]))
+        rate = float(row["slots_per_sec"])
+        if rate <= 0:
+            raise ValueError(f"{path}: row {i} ({key}): slots_per_sec <= 0")
+        if key in rows:
+            raise ValueError(f"{path}: duplicate sweep point {key}")
+        rows[key] = row
+    if not rows:
+        raise ValueError(f"{path}: no rows")
+    return meta, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="slot-engine perf comparator (see module docstring)")
+    parser.add_argument("current", help="bench_slot_engine --json output")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/slot_engine.json")
+    parser.add_argument("--threshold", type=float, default=0.35,
+                        help="fail when current/baseline slots_per_sec "
+                             "drops below this ratio (default: %(default)s)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="validate the JSON shape only; no comparison")
+    args = parser.parse_args()
+
+    try:
+        meta, current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL: {e}", file=sys.stderr)
+        return 1
+
+    if args.check_only:
+        print(f"check_perf: ok: {args.current} has {len(current)} sweep "
+              f"points, meta keys {sorted(meta)}")
+        return 0
+
+    try:
+        _, baseline = load_rows(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL: {e}", file=sys.stderr)
+        return 1
+
+    if args.threshold <= 0:
+        print("check_perf: --threshold must be > 0", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("check_perf: FAIL: no sweep points shared with the baseline",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'scenario':<18} {'jobs':>6} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for key in shared:
+        base = float(baseline[key]["slots_per_sec"])
+        cur = float(current[key]["slots_per_sec"])
+        ratio = cur / base
+        flag = "" if ratio >= args.threshold else "  << REGRESSION"
+        print(f"{key[0]:<18} {key[1]:>6} {base:>12.4g} {cur:>12.4g} "
+              f"{ratio:>7.2f}{flag}")
+        if ratio < args.threshold:
+            failures.append((key, ratio))
+
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print(f"check_perf: note: {len(only_current)} sweep point(s) not in "
+              f"baseline (new points are fine): {only_current}")
+
+    if failures:
+        print(f"check_perf: FAIL: {len(failures)} point(s) below "
+              f"{args.threshold}x of baseline", file=sys.stderr)
+        return 1
+    print(f"check_perf: ok: {len(shared)} points >= {args.threshold}x of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
