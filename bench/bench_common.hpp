@@ -11,7 +11,9 @@
 // serial; results are bit-identical for every value — the determinism
 // contract, see analysis/runner.hpp), --trace-events=path.json (Chrome
 // trace-event export of every simulated run; open in chrome://tracing or
-// Perfetto).
+// Perfetto), --feedback=<model>[:eps] (channel feedback semantics:
+// ternary | binary_ack | collision_as_silence | noisy[:eps]; see
+// sim/channel.hpp).
 //
 // JSON outputs carry a "meta" object with run-profiler timings (wall_ms,
 // slots_per_sec, per-phase breakdown) plus the worker count ("threads")
@@ -20,6 +22,7 @@
 // the console table or CSV, so those artifacts stay byte-stable across
 // runs.
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -44,6 +47,12 @@ struct CommonArgs {
   /// Replication workers as requested by --threads= (0 = hardware default);
   /// pass to run_replications, which resolves and clamps it.
   int threads;
+  /// Channel feedback semantics from --feedback=<model>[:eps] (see
+  /// channel.hpp; "ternary", "binary_ack", "collision_as_silence",
+  /// "noisy[:eps]"). Defaults to ternary — bit-identical to a build
+  /// without the flag. Pass via analysis::RunOptions::feedback or
+  /// SimConfig::feedback.
+  sim::FeedbackModel feedback;
 };
 
 /// Parses the shared flags with harness-specific defaults.
@@ -60,6 +69,17 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   c.json = args.get("json", "");
   c.trace_events = args.get("trace-events", "");
   c.threads = static_cast<int>(args.get_int("threads", 0));
+  const std::string spec = args.get("feedback", "ternary");
+  if (const auto model = sim::parse_feedback_model(spec)) {
+    c.feedback = *model;
+  } else {
+    std::cerr << "unknown --feedback spec '" << spec << "' (expected one of:";
+    for (const auto& name : sim::feedback_model_names()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << ", optionally noisy:<eps>)\n";
+    std::exit(2);
+  }
   return c;
 }
 

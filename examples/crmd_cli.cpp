@@ -38,6 +38,9 @@ int usage() {
          "  --horizon=H            generator horizon (default 65536)\n"
          "  --lambda=L --tau=T --min-class=C   protocol constants\n"
          "  --reps=R --seed=S      replication controls\n"
+         "  --feedback=MODEL       channel feedback semantics: ternary |\n"
+         "                         binary_ack | collision_as_silence |\n"
+         "                         noisy[:eps] (default ternary)\n"
          "  --threads=N            replication workers (0 = one per "
          "hardware thread,\n"
          "                         1 = serial; results are bit-identical "
@@ -61,8 +64,14 @@ int usage() {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   if (args.has("list")) {
-    for (const auto& name : core::protocol_names()) {
-      std::cout << name << "\n";
+    for (const auto& info : core::protocol_catalog()) {
+      std::cout << info.name << " — " << info.description;
+      if (info.needs_collision_detection) {
+        std::cout << (info.adapts_to_degraded_channel
+                          ? " [needs CD; blind fallback without it]"
+                          : " [needs CD]");
+      }
+      std::cout << "\n";
     }
     return 0;
   }
@@ -131,6 +140,12 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int threads = static_cast<int>(args.get_int("threads", 0));
+  const std::string feedback_spec = args.get("feedback", "ternary");
+  const auto feedback = sim::parse_feedback_model(feedback_spec);
+  if (!feedback) {
+    std::cerr << "unknown --feedback spec '" << feedback_spec << "'\n";
+    return 2;
+  }
 
   // Optional single-run trace exports (separate from the replicated sweep).
   const std::string trace_path = args.get("trace", "");
@@ -144,6 +159,7 @@ int main(int argc, char** argv) {
     util::Rng rng(seed);
     sim::SimConfig config;
     config.seed = seed;
+    config.feedback = *feedback;
     config.record_slots = !trace_path.empty() || !faults_path.empty();
     config.faults.feedback_corrupt_rate = args.get_double("fault-corrupt", 0);
     config.faults.feedback_loss_rate = args.get_double("fault-loss", 0);
@@ -197,9 +213,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto report = analysis::run_replications(gen, *factory, reps, seed,
-                                                 nullptr, {}, nullptr,
-                                                 threads);
+  analysis::RunOptions options;
+  options.feedback = *feedback;
+  options.threads = threads;
+  const auto report =
+      analysis::run_replications(gen, *factory, reps, seed, options);
 
   util::Table table({"window", "jobs", "delivered", "mean latency",
                      "mean tx/job"});

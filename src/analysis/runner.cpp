@@ -41,8 +41,7 @@ struct RepOutcome {
 RepOutcome simulate_one(int rep, const util::Rng& master,
                         const InstanceGen& gen,
                         const sim::ProtocolFactory& factory,
-                        const JammerGen& jammer_gen,
-                        const sim::FaultPlan& faults, bool tracing) {
+                        const RunOptions& options, bool tracing) {
   obs::RunProfiler& prof = obs::global_profiler();
   RepOutcome out;
   util::Rng rep_rng =
@@ -57,7 +56,8 @@ RepOutcome simulate_one(int rep, const util::Rng& master,
   }
   sim::SimConfig config;
   config.seed = rep_rng.next_u64();
-  config.faults = faults;
+  config.faults = options.faults;
+  config.feedback = options.feedback;
   std::unique_ptr<obs::Tracer> local_tracer;
   std::shared_ptr<obs::CollectSink> collect;
   if (tracing) {
@@ -67,8 +67,8 @@ RepOutcome simulate_one(int rep, const util::Rng& master,
     config.tracer = local_tracer.get();
   }
   std::unique_ptr<sim::Jammer> jammer;
-  if (jammer_gen) {
-    jammer = jammer_gen(rep_rng.child(kJamStream));
+  if (options.jammer_gen) {
+    jammer = options.jammer_gen(rep_rng.child(kJamStream));
   }
   out.result = [&] {
     const auto scope = prof.phase("simulation");
@@ -103,9 +103,7 @@ void fold(ReplicationReport& report, RepOutcome&& out, obs::Tracer* tracer) {
 ReplicationReport run_serial(const InstanceGen& gen,
                              const sim::ProtocolFactory& factory, int reps,
                              std::uint64_t base_seed,
-                             const JammerGen& jammer_gen,
-                             const sim::FaultPlan& faults,
-                             obs::Tracer* tracer) {
+                             const RunOptions& options) {
   ReplicationReport report;
   obs::RunProfiler& prof = obs::global_profiler();
   const util::Rng master(base_seed);
@@ -123,11 +121,12 @@ ReplicationReport run_serial(const InstanceGen& gen,
     }
     sim::SimConfig config;
     config.seed = rep_rng.next_u64();
-    config.faults = faults;
-    config.tracer = tracer;
+    config.faults = options.faults;
+    config.feedback = options.feedback;
+    config.tracer = options.tracer;
     std::unique_ptr<sim::Jammer> jammer;
-    if (jammer_gen) {
-      jammer = jammer_gen(rep_rng.child(kJamStream));
+    if (options.jammer_gen) {
+      jammer = options.jammer_gen(rep_rng.child(kJamStream));
     }
     sim::SimResult result = [&] {
       const auto scope = prof.phase("simulation");
@@ -152,9 +151,7 @@ ReplicationReport run_serial(const InstanceGen& gen,
 ReplicationReport run_parallel(const InstanceGen& gen,
                                const sim::ProtocolFactory& factory, int reps,
                                std::uint64_t base_seed,
-                               const JammerGen& jammer_gen,
-                               const sim::FaultPlan& faults,
-                               obs::Tracer* tracer, int workers) {
+                               const RunOptions& options, int workers) {
   ReplicationReport report;
   const util::Rng master(base_seed);
   std::atomic<int> next_rep{0};
@@ -170,12 +167,12 @@ ReplicationReport run_parallel(const InstanceGen& gen,
         return;
       }
       try {
-        RepOutcome out = simulate_one(rep, master, gen, factory, jammer_gen,
-                                      faults, tracer != nullptr);
+        RepOutcome out = simulate_one(rep, master, gen, factory, options,
+                                      options.tracer != nullptr);
         const std::lock_guard<std::mutex> lock(fold_mu);
         pending.emplace(rep, std::move(out));
         while (!pending.empty() && pending.begin()->first == next_fold) {
-          fold(report, std::move(pending.begin()->second), tracer);
+          fold(report, std::move(pending.begin()->second), options.tracer);
           pending.erase(pending.begin());
           ++next_fold;
         }
@@ -221,14 +218,24 @@ ReplicationReport run_replications(const InstanceGen& gen,
                                    const JammerGen& jammer_gen,
                                    const sim::FaultPlan& faults,
                                    obs::Tracer* tracer, int threads) {
+  RunOptions options;
+  options.jammer_gen = jammer_gen;
+  options.faults = faults;
+  options.tracer = tracer;
+  options.threads = threads;
+  return run_replications(gen, factory, reps, base_seed, options);
+}
+
+ReplicationReport run_replications(const InstanceGen& gen,
+                                   const sim::ProtocolFactory& factory,
+                                   int reps, std::uint64_t base_seed,
+                                   const RunOptions& options) {
   const int workers =
-      std::min(resolve_threads(threads), std::max(reps, 1));
+      std::min(resolve_threads(options.threads), std::max(reps, 1));
   if (workers <= 1) {
-    return run_serial(gen, factory, reps, base_seed, jammer_gen, faults,
-                      tracer);
+    return run_serial(gen, factory, reps, base_seed, options);
   }
-  return run_parallel(gen, factory, reps, base_seed, jammer_gen, faults,
-                      tracer, workers);
+  return run_parallel(gen, factory, reps, base_seed, options, workers);
 }
 
 }  // namespace crmd::analysis

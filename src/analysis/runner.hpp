@@ -36,6 +36,24 @@ using InstanceGen = std::function<workload::Instance(util::Rng& rng)>;
 /// Same concurrency requirement as InstanceGen under `threads > 1`.
 using JammerGen = std::function<std::unique_ptr<sim::Jammer>(util::Rng rng)>;
 
+/// Per-sweep knobs shared by every replication. Collects what used to be
+/// trailing defaulted arguments of run_replications; harnesses that sweep
+/// channel conditions (feedback model × jamming × faults) fill one of
+/// these per cell.
+struct RunOptions {
+  /// Builds a fresh adversary per replication; null = no jamming.
+  JammerGen jammer_gen = nullptr;
+  /// Fault plan applied identically to every replication (faults.hpp).
+  sim::FaultPlan faults;
+  /// Channel feedback semantics for every replication (channel.hpp). The
+  /// default ternary model is bit-identical to the pre-model engine.
+  sim::FeedbackModel feedback;
+  /// Optional tracing session (null = off = bit-identical results).
+  obs::Tracer* tracer = nullptr;
+  /// Worker count; see run_replications. 1 = exact serial loop.
+  int threads = 1;
+};
+
 /// Everything a replication sweep accumulates.
 struct ReplicationReport {
   OutcomeAggregator outcomes;
@@ -73,5 +91,12 @@ struct ReplicationReport {
     std::uint64_t base_seed, const JammerGen& jammer_gen = nullptr,
     const sim::FaultPlan& faults = {}, obs::Tracer* tracer = nullptr,
     int threads = 1);
+
+/// Options-struct form: identical semantics, plus the channel feedback
+/// model. The positional overload forwards here with default (ternary)
+/// feedback, so both produce bit-identical reports for the same knobs.
+[[nodiscard]] ReplicationReport run_replications(
+    const InstanceGen& gen, const sim::ProtocolFactory& factory, int reps,
+    std::uint64_t base_seed, const RunOptions& options);
 
 }  // namespace crmd::analysis

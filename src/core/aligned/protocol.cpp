@@ -38,6 +38,16 @@ void AlignedProtocol::on_activate(const sim::JobInfo& info) {
   }
   info_ = info;
   level_ = util::floor_log2(w);
+  degraded_ = !info.caps.collision_detection;
+  if (degraded_) {
+    // Degraded mode (DESIGN.md §6f): the pecking-order schedule is driven
+    // entirely by busy-vs-silent observations — estimation thresholds and
+    // subphase verdicts both read collision cues. When the channel
+    // advertises that those cues do not exist, the Tracker would
+    // synchronize on garbage, so skip it and transmit blind with the
+    // conservative anarchist probability for this window instead.
+    return;
+  }
   // Without the pecking order (ablation) a job tracks only its own class
   // and acts whenever that class is incomplete — nested classes collide.
   const int min_class =
@@ -48,6 +58,21 @@ void AlignedProtocol::on_activate(const sim::JobInfo& info) {
 sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
   sim::SlotAction action;
   transmitted_ = false;
+  if (degraded_) {
+    last_step_ = LastStep{};
+    if (stage_ != Stage::kRunning) {
+      return action;  // defensive; the simulator retires done jobs
+    }
+    const double p = params_.anarchist_tx_prob(info_.window());
+    action.declared_prob = p;
+    if (rng_.bernoulli(p)) {
+      action.transmit = true;
+      action.message = sim::make_data(info_.id);
+      transmitted_ = true;
+      transmitted_data_ = true;
+    }
+    return action;
+  }
   tracker_->begin_slot(view.global_slot);
   last_step_.valid = true;
   last_step_.active_class = tracker_->active_class();
@@ -118,6 +143,12 @@ void AlignedProtocol::on_feedback(const sim::SlotView& view,
   if (transmitted_ && transmitted_data_ &&
       fb.outcome == sim::SlotOutcome::kSuccess) {
     set_stage(Stage::kSucceeded, view.global_slot);
+  }
+  if (degraded_) {
+    // Blind mode keeps trying until the window ends: with no collision
+    // cues there is no schedule-completion signal to key truncation on,
+    // and giving up early would only forfeit remaining slots.
+    return;
   }
   tracker_->end_slot(fb.outcome);
   if (stage_ == Stage::kRunning && tracker_->view(level_).complete) {

@@ -43,6 +43,12 @@ class AlignedProtocol final : public sim::Protocol {
   enum class Stage { kRunning, kSucceeded, kGaveUp };
   [[nodiscard]] Stage stage() const noexcept { return stage_; }
 
+  /// True when the channel advertised no collision detection
+  /// (JobInfo::caps) and the job fell back to the blind schedule
+  /// (DESIGN.md §6f). The Tracker is never constructed in this mode;
+  /// tracker() must not be called.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
   /// This job's class ℓ (log2 of its window size).
   [[nodiscard]] int level() const noexcept { return level_; }
 
@@ -77,6 +83,7 @@ class AlignedProtocol final : public sim::Protocol {
   util::Rng rng_;
   sim::JobInfo info_;
   int level_ = 0;
+  bool degraded_ = false;
   std::unique_ptr<Tracker> tracker_;
   Stage stage_ = Stage::kRunning;
   bool transmitted_ = false;

@@ -14,7 +14,18 @@ PunctualProtocol::PunctualProtocol(const Params& params, util::Rng rng)
 void PunctualProtocol::on_activate(const sim::JobInfo& info) {
   info_ = info;
   effective_window_ = info.window();
-  if (effective_window_ < params_.punctual_min_window) {
+  if (!info.caps.collision_detection) {
+    // Degraded mode (DESIGN.md §6f): the round grid is built on
+    // busy-vs-silent detection — two consecutive busy slots mark a round
+    // start, and "busy" includes deliberate start-marker collisions.
+    // Without collision cues those markers read as silence, frames
+    // fragment, and the timekeeper machinery synchronizes on garbage; the
+    // channel advertised the weakness, so fall back to the clock-free
+    // conservative blind schedule for the whole window instead of chasing
+    // a grid that cannot exist.
+    set_stage(Stage::kDesperate, 0);
+    was_anarchist_ = true;
+  } else if (effective_window_ < params_.punctual_min_window) {
     // Degenerate windows cannot afford the round machinery; just transmit.
     set_stage(Stage::kDesperate, 0);
     was_anarchist_ = true;

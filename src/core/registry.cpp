@@ -13,6 +13,51 @@ std::vector<std::string> protocol_names() {
   return {"uniform", "aligned", "punctual", "beb", "sawtooth", "aloha"};
 }
 
+std::vector<ProtocolInfo> protocol_catalog() {
+  return {
+      {.name = "uniform",
+       .description = "UNIFORM (§2): fixed-probability anarchist schedule",
+       .uses_listener_feedback = false,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = false},
+      {.name = "aligned",
+       .description =
+           "ALIGNED (§3): pecking-order schedule over aligned windows",
+       .uses_listener_feedback = true,
+       .needs_collision_detection = true,
+       .adapts_to_degraded_channel = true},
+      {.name = "punctual",
+       .description = "PUNCTUAL (§4): round grid with elected timekeepers",
+       .uses_listener_feedback = true,
+       .needs_collision_detection = true,
+       .adapts_to_degraded_channel = true},
+      {.name = "beb",
+       .description = "binary exponential backoff baseline",
+       .uses_listener_feedback = false,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = false},
+      {.name = "sawtooth",
+       .description = "sawtooth backoff baseline",
+       .uses_listener_feedback = false,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = false},
+      {.name = "aloha",
+       .description = "slotted ALOHA with per-window probability",
+       .uses_listener_feedback = false,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = false},
+  };
+}
+
+std::optional<ProtocolInfo> protocol_info(const std::string& name) {
+  for (auto& info : protocol_catalog()) {
+    if (info.name == name) {
+      return std::move(info);
+    }
+  }
+  return std::nullopt;
+}
+
 bool is_protocol(const std::string& name) {
   for (const auto& known : protocol_names()) {
     if (known == name) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "sim/channel.hpp"
 #include "sim/protocol.hpp"
 
 /// \file registry.hpp
@@ -22,8 +23,40 @@
 
 namespace crmd::core {
 
+/// What a protocol needs from — and how it reacts to — the channel's
+/// feedback model (channel.hpp). Harnesses use this to annotate sweep
+/// output and to warn when a protocol is paired with a channel it cannot
+/// exploit; the protocols themselves make the same decision at activation
+/// time from JobInfo::caps.
+struct ProtocolInfo {
+  std::string name;
+  std::string description;
+  /// Reads feedback for slots it did not transmit in (listener role).
+  bool uses_listener_feedback = false;
+  /// The full-feedback logic keys on distinguishing noise from silence.
+  bool needs_collision_detection = false;
+  /// Falls back to a conservative blind schedule when the channel
+  /// advertises `!ChannelCaps::collision_detection` (DESIGN.md §6f).
+  /// Protocols with needs_collision_detection but no adaptation run
+  /// their full logic on garbage cues.
+  bool adapts_to_degraded_channel = false;
+
+  /// True when the protocol can run its *full* (non-degraded) logic on a
+  /// channel with these capabilities.
+  [[nodiscard]] bool supports(const sim::ChannelCaps& caps) const noexcept {
+    return !needs_collision_detection || caps.collision_detection;
+  }
+};
+
 /// All registered protocol names, in presentation order.
 [[nodiscard]] std::vector<std::string> protocol_names();
+
+/// Capability metadata for `name`; std::nullopt for unknown names.
+[[nodiscard]] std::optional<ProtocolInfo> protocol_info(
+    const std::string& name);
+
+/// Metadata for every registered protocol, in presentation order.
+[[nodiscard]] std::vector<ProtocolInfo> protocol_catalog();
 
 /// True when `name` is registered.
 [[nodiscard]] bool is_protocol(const std::string& name);

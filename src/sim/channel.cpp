@@ -1,5 +1,7 @@
 #include "sim/channel.hpp"
 
+#include <stdexcept>
+
 namespace crmd::sim {
 
 const char* to_string(SlotOutcome outcome) noexcept {
@@ -25,6 +27,130 @@ SlotFeedback resolve_slot(std::span<const Transmission> transmissions) {
     fb.outcome = SlotOutcome::kNoise;
   }
   return fb;
+}
+
+const char* to_string(FeedbackKind kind) noexcept {
+  switch (kind) {
+    case FeedbackKind::kTernary:
+      return "ternary";
+    case FeedbackKind::kBinaryAck:
+      return "binary_ack";
+    case FeedbackKind::kCollisionAsSilence:
+      return "collision_as_silence";
+    case FeedbackKind::kNoisy:
+      return "noisy";
+  }
+  return "unknown";
+}
+
+ChannelCaps FeedbackModel::caps() const noexcept {
+  ChannelCaps c;
+  switch (kind) {
+    case FeedbackKind::kTernary:
+      break;
+    case FeedbackKind::kBinaryAck:
+      c.collision_detection = false;
+      c.listener_success_visible = false;
+      break;
+    case FeedbackKind::kCollisionAsSilence:
+      c.collision_detection = false;
+      c.transmitter_ack = false;
+      break;
+    case FeedbackKind::kNoisy:
+      c.reliable = false;
+      break;
+  }
+  return c;
+}
+
+std::string FeedbackModel::spec() const {
+  std::string s = to_string(kind);
+  if (kind == FeedbackKind::kNoisy) {
+    s += ':' + std::to_string(eps);
+  }
+  return s;
+}
+
+void FeedbackModel::validate() const {
+  if (kind == FeedbackKind::kNoisy) {
+    if (!(eps >= 0.0 && eps <= 1.0)) {
+      throw std::invalid_argument(
+          "FeedbackModel: noisy eps must be in [0, 1], got " +
+          std::to_string(eps));
+    }
+  } else if (eps != 0.0) {
+    throw std::invalid_argument(
+        "FeedbackModel: eps is meaningful only for the noisy kind");
+  }
+}
+
+namespace {
+
+std::optional<FeedbackModel> parse_model_parts(const std::string& name,
+                                               const std::string& param) {
+  if (name == "ternary" && param.empty()) {
+    return FeedbackModel::ternary();
+  }
+  if (name == "binary_ack" && param.empty()) {
+    return FeedbackModel::binary_ack();
+  }
+  if (name == "collision_as_silence" && param.empty()) {
+    return FeedbackModel::collision_as_silence();
+  }
+  if (name == "noisy") {
+    double eps = 0.05;
+    if (!param.empty()) {
+      try {
+        std::size_t used = 0;
+        eps = std::stod(param, &used);
+        if (used != param.size()) {
+          return std::nullopt;
+        }
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+    if (!(eps >= 0.0 && eps <= 1.0)) {
+      return std::nullopt;
+    }
+    return FeedbackModel::noisy(eps);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<FeedbackModel> parse_feedback_model(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  if (colon != std::string::npos && colon + 1 == spec.size()) {
+    return std::nullopt;  // trailing colon with no parameter
+  }
+  const std::string param =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  return parse_model_parts(name, param);
+}
+
+std::vector<std::string> feedback_model_names() {
+  return {"ternary", "binary_ack", "collision_as_silence", "noisy"};
+}
+
+SlotFeedback degrade_feedback(const SlotFeedback& truth) noexcept {
+  SlotFeedback degraded;
+  switch (truth.outcome) {
+    case SlotOutcome::kSuccess:
+      // The delivery is garbled; no content is ever fabricated, so a
+      // degraded success reads as noise.
+      degraded.outcome = SlotOutcome::kNoise;
+      break;
+    case SlotOutcome::kNoise:
+      degraded.outcome = SlotOutcome::kSilence;
+      break;
+    case SlotOutcome::kSilence:
+      degraded.outcome = SlotOutcome::kNoise;
+      break;
+  }
+  return degraded;
 }
 
 }  // namespace crmd::sim

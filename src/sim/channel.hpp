@@ -3,19 +3,29 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/message.hpp"
 #include "util/types.hpp"
 
 /// \file channel.hpp
-/// The multiple-access channel: slot resolution and ternary feedback.
+/// The multiple-access channel: slot resolution and pluggable feedback.
 ///
 /// §1.1 of the paper: in each slot a player may transmit; the transmission
 /// succeeds only if no other player transmits in the same slot. Listening
 /// players receive ternary feedback (collision detection): the slot is
 /// silent, contains one successful broadcast (whose content is delivered),
 /// or is noisy.
+///
+/// The paper assumes that ternary feedback; the strongest nearby results
+/// study strictly weaker channels (Bender–Kuszmaul "Contention Resolution
+/// Without Collision Detection"; Jiang–Zheng "Robust and Optimal Contention
+/// Resolution without Collision Detection"). `FeedbackModel` makes the
+/// feedback semantics a first-class axis: the channel still *resolves*
+/// slots identically (resolve_slot is the physics), but what each observer
+/// *perceives* is a model-dependent projection of the true outcome — see
+/// DESIGN.md §6f and the per-kind comments below.
 
 namespace crmd::sim {
 
@@ -49,5 +59,106 @@ struct SlotFeedback {
 /// transmission multiset; jamming is applied afterwards by the simulator.
 [[nodiscard]] SlotFeedback resolve_slot(
     std::span<const Transmission> transmissions);
+
+/// The feedback semantics of the channel — how the true slot outcome is
+/// projected into what each observer perceives.
+enum class FeedbackKind : std::uint8_t {
+  /// The paper's model (§1.1): every observer receives the exact ternary
+  /// outcome. The default; pinned golden digests are recorded under it.
+  kTernary,
+  /// ACK-only channel: a transmitter learns whether its own transmission
+  /// succeeded (the true outcome: its success, or noise when it failed);
+  /// listeners hear nothing at all — every listened slot reads as silence
+  /// and no payload is ever delivered to a non-transmitter. The simulator
+  /// still credits true successes, so "delivered" keeps its meaning.
+  kBinaryAck,
+  /// No collision detection (Bender–Kuszmaul, Jiang–Zheng): empty and
+  /// collided slots are indistinguishable for *every* observer — noisy
+  /// slots read as silence even for the jobs that transmitted into them
+  /// (while transmitting you cannot listen, so a failed transmitter gets
+  /// no explicit failure cue). Successes are delivered normally.
+  kCollisionAsSilence,
+  /// Ternary feedback over an unreliable receiver chain: once per slot,
+  /// with probability `eps`, the broadcast outcome every observer hears is
+  /// degraded one step (success -> noise, noise -> silence, silence ->
+  /// noise — the same never-fabricate mapping as the per-listener fault
+  /// layer, see degrade_feedback). Deterministic from (seed, eps); the
+  /// per-listener fault injector composes on top rather than being
+  /// duplicated.
+  kNoisy,
+};
+
+/// Human-readable name of a feedback kind ("ternary", "binary_ack", ...).
+[[nodiscard]] const char* to_string(FeedbackKind kind) noexcept;
+
+/// What a protocol may assume about the channel it runs on. Derived from
+/// the FeedbackModel and handed to every protocol via JobInfo::caps, so
+/// degraded-mode behavior is an *informed* choice (the radio hardware is
+/// known at deployment time), never an in-band inference.
+struct ChannelCaps {
+  /// Noise is distinguishable from silence (collision detection). False
+  /// for kBinaryAck and kCollisionAsSilence — the cue ALIGNED's
+  /// decay/backon bookkeeping and PUNCTUAL's round grid rely on.
+  bool collision_detection = true;
+  /// Listeners receive successful broadcasts (payload delivery). False
+  /// only for kBinaryAck.
+  bool listener_success_visible = true;
+  /// A transmitter gets an explicit own-failure cue (perceives noise when
+  /// its transmission collided). False only for kCollisionAsSilence.
+  bool transmitter_ack = true;
+  /// Feedback is never flipped by the channel itself. False for kNoisy
+  /// (per-listener fault injection is reported separately, via FaultPlan).
+  bool reliable = true;
+
+  friend bool operator==(const ChannelCaps&, const ChannelCaps&) = default;
+};
+
+/// A pluggable feedback model: the kind plus its parameters. Value type;
+/// the simulator owns the per-slot application (see simulator.cpp).
+struct FeedbackModel {
+  FeedbackKind kind = FeedbackKind::kTernary;
+  /// Per-slot flip probability; meaningful only for kNoisy.
+  double eps = 0.0;
+
+  [[nodiscard]] static FeedbackModel ternary() noexcept { return {}; }
+  [[nodiscard]] static FeedbackModel binary_ack() noexcept {
+    return {FeedbackKind::kBinaryAck, 0.0};
+  }
+  [[nodiscard]] static FeedbackModel collision_as_silence() noexcept {
+    return {FeedbackKind::kCollisionAsSilence, 0.0};
+  }
+  [[nodiscard]] static FeedbackModel noisy(double eps) noexcept {
+    return {FeedbackKind::kNoisy, eps};
+  }
+
+  /// The capability flags this model advertises to protocols.
+  [[nodiscard]] ChannelCaps caps() const noexcept;
+
+  /// Canonical spec string: "ternary", "noisy:0.05", ...
+  [[nodiscard]] std::string spec() const;
+
+  /// Throws std::invalid_argument when eps is outside [0, 1] or set for a
+  /// non-noisy kind.
+  void validate() const;
+
+  friend bool operator==(const FeedbackModel&, const FeedbackModel&) = default;
+};
+
+/// Parses "--feedback=" specs: "ternary" | "binary_ack" |
+/// "collision_as_silence" | "noisy[:eps]" (eps defaults to 0.05).
+/// Returns std::nullopt on unknown names or malformed eps.
+[[nodiscard]] std::optional<FeedbackModel> parse_feedback_model(
+    const std::string& spec);
+
+/// All model spec names, in degradation-ladder order (for --help and
+/// sweep harnesses). The "noisy" entry is the bare kind name.
+[[nodiscard]] std::vector<std::string> feedback_model_names();
+
+/// One degradation step of the ternary outcome (success -> noise, noise ->
+/// silence, silence -> noise). Never fabricates message content. Shared by
+/// the kNoisy model and the fault layer's per-listener corruption so the
+/// two compose instead of diverging.
+[[nodiscard]] SlotFeedback degrade_feedback(const SlotFeedback& truth)
+    noexcept;
 
 }  // namespace crmd::sim

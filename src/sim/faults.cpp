@@ -132,21 +132,9 @@ SlotFeedback FaultInjector::perceive(JobId id, Slot slot,
   if (plan_.feedback_corrupt_rate > 0.0 &&
       js.rng.bernoulli(plan_.feedback_corrupt_rate)) {
     record(slot, FaultKind::kFeedbackCorrupt, id);
-    SlotFeedback degraded;
-    switch (truth.outcome) {
-      case SlotOutcome::kSuccess:
-        // The delivery is garbled for this listener; no content is ever
-        // fabricated, so a corrupted success degrades to noise.
-        degraded.outcome = SlotOutcome::kNoise;
-        break;
-      case SlotOutcome::kNoise:
-        degraded.outcome = SlotOutcome::kSilence;
-        break;
-      case SlotOutcome::kSilence:
-        degraded.outcome = SlotOutcome::kNoise;
-        break;
-    }
-    return degraded;
+    // Same one-step never-fabricate degradation the noisy feedback model
+    // applies channel-wide (channel.hpp), so the two layers compose.
+    return degrade_feedback(truth);
   }
   return truth;
 }

@@ -57,6 +57,7 @@ void SimMetrics::merge(const SimMetrics& other) {
   crashes += other.crashes;
   restarts += other.restarts;
   dark_job_slots += other.dark_job_slots;
+  feedback_flips += other.feedback_flips;
   contention.merge(other.contention);
 }
 

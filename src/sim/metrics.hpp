@@ -65,6 +65,10 @@ struct SimMetrics {
   /// Job-slots spent dark (crashed/stalled jobs that were live but deaf).
   std::int64_t dark_job_slots = 0;
 
+  /// Slots whose broadcast feedback was flipped by the noisy feedback
+  /// model (channel.hpp FeedbackKind::kNoisy; zero for every other model).
+  std::int64_t feedback_flips = 0;
+
   /// Distribution of per-slot contention across simulated slots.
   util::RunningStats contention;
 

@@ -39,6 +39,13 @@ struct JobInfo {
   Slot release = 0;
   /// Deadline slot (global, exclusive).
   Slot deadline = 0;
+  /// What the channel's feedback model advertises (set by the simulator
+  /// from SimConfig::feedback). Knowing the radio hardware is legitimate
+  /// deployment-time information, so protocols may condition their
+  /// degraded-mode behavior on it — e.g. ALIGNED and PUNCTUAL fall back to
+  /// conservative blind schedules when `caps.collision_detection` is off
+  /// (DESIGN.md §6f). Defaults to the paper's full ternary channel.
+  ChannelCaps caps;
 
   /// Window size w_j = deadline - release.
   [[nodiscard]] Slot window() const noexcept { return deadline - release; }

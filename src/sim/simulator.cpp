@@ -9,6 +9,17 @@
 
 namespace crmd::sim {
 
+void SimConfig::validate() const {
+  faults.validate();
+  feedback.validate();
+  if (!collision_detection && feedback.kind != FeedbackKind::kTernary) {
+    throw std::invalid_argument(
+        "SimConfig: the legacy collision_detection ablation only composes "
+        "with the ternary feedback model; use "
+        "FeedbackModel::collision_as_silence instead");
+  }
+}
+
 // Data-oriented engine layout (DESIGN.md §6e). Per-job state is split into
 // hot structure-of-arrays scanned every slot (release/deadline/protocol
 // pointer/live flag plus the per-job counters the decision loop bumps) and
@@ -25,6 +36,12 @@ struct Simulation::Impl {
   SimConfig config;
   std::unique_ptr<Jammer> jammer;
   util::Rng jam_rng{0};
+  /// Dedicated stream for the noisy feedback model's per-slot flip draws.
+  /// Advanced only when the model is kNoisy with eps > 0, so every other
+  /// model is bit-identical to the pre-model engine.
+  util::Rng fb_rng{0};
+  /// Capabilities stamped into every JobInfo (derived once from the model).
+  ChannelCaps caps;
   std::unique_ptr<FaultInjector> injector;  // null when the plan is empty
 
   // --- Hot per-job state (structure-of-arrays, indexed by JobId). ---
@@ -120,6 +137,8 @@ Simulation::Simulation(workload::Instance instance,
   s.config = config;
   s.jammer = std::move(jammer);
   s.jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
+  s.fb_rng = util::Rng(config.seed).child(0x4642464C4950ULL);   // "FBFLIP"
+  s.caps = config.feedback.caps();
   if (config.faults.any()) {
     s.injector = std::make_unique<FaultInjector>(config.faults, config.seed);
     s.injector->set_record_events(config.record_slots);
@@ -148,6 +167,7 @@ Simulation::Simulation(workload::Instance instance,
     info.id = static_cast<JobId>(i);
     info.release = spec.release;
     info.deadline = spec.deadline;
+    info.caps = s.caps;
     s.release.push_back(spec.release);
     s.deadline.push_back(spec.deadline);
     // Same construction order and the same RNG child stream per job as the
@@ -228,6 +248,7 @@ bool Simulation::step() {
       info.id = id;
       info.release = s.release[id];
       info.deadline = s.deadline[id];
+      info.caps = s.caps;
       s.proto[id]->on_activate(info);
     } else {
       // Window already over (degenerate horizon cases); never activates.
@@ -323,18 +344,55 @@ bool Simulation::step() {
     }
   }
 
-  // Feedback phase. Faults perturb only what each listener perceives; the
-  // true outcome `fb` stays authoritative for crediting below.
-  const bool ack_only =
-      !s.config.collision_detection && fb.outcome == SlotOutcome::kNoise;
-  // Model ablation: without collision detection listeners perceive noisy
-  // slots as silent; transmitters still learn their failure (ACK-style).
-  // One pass over the transmission list fills a per-slot bitmap, so the
-  // per-listener "did I transmit" check is O(1) instead of a rescan.
-  SlotFeedback listener_fb = fb;
-  if (ack_only) {
-    listener_fb.outcome = SlotOutcome::kSilence;
-    listener_fb.message.reset();
+  // Feedback phase. The feedback model projects the true outcome into a
+  // common listener view and (when transmitters perceive something
+  // different) a transmitter view; faults then perturb per listener. The
+  // true outcome `fb` stays authoritative for crediting below. All
+  // projection work is O(1) per slot plus — only when the views split —
+  // one O(transmitters) bitmap pass, so the per-listener "did I transmit"
+  // check is O(1) instead of a rescan. No allocation.
+  SlotFeedback listener_fb = fb;     // what a pure listener perceives
+  SlotFeedback transmitter_fb = fb;  // what a transmitter perceives
+  bool split = false;  // transmitter view differs from listener view
+  switch (s.config.feedback.kind) {
+    case FeedbackKind::kTernary:
+      // Legacy unadvertised ablation: listeners perceive noisy slots as
+      // silent; transmitters still learn their failure (ACK-style).
+      if (!s.config.collision_detection &&
+          fb.outcome == SlotOutcome::kNoise) {
+        listener_fb.outcome = SlotOutcome::kSilence;
+        listener_fb.message.reset();
+        split = true;
+      }
+      break;
+    case FeedbackKind::kBinaryAck:
+      // Listeners hear nothing, ever; transmitters get the true outcome
+      // (their own success, or noise when their transmission failed).
+      listener_fb.outcome = SlotOutcome::kSilence;
+      listener_fb.message.reset();
+      split = !s.transmissions.empty();
+      break;
+    case FeedbackKind::kCollisionAsSilence:
+      // Empty and collided slots are indistinguishable for everyone —
+      // including the transmitters, who get no failure ACK.
+      if (fb.outcome == SlotOutcome::kNoise) {
+        listener_fb.outcome = SlotOutcome::kSilence;
+        listener_fb.message.reset();
+        transmitter_fb = listener_fb;
+      }
+      break;
+    case FeedbackKind::kNoisy:
+      // One seeded flip draw per simulated slot; on a flip every observer
+      // hears the same one-step-degraded outcome.
+      if (s.config.feedback.eps > 0.0 &&
+          s.fb_rng.bernoulli(s.config.feedback.eps)) {
+        listener_fb = degrade_feedback(fb);
+        transmitter_fb = listener_fb;
+        ++s.metrics.feedback_flips;
+      }
+      break;
+  }
+  if (split) {
     for (const Transmission& t : s.transmissions) {
       s.transmitted[t.job] = 1;
     }
@@ -343,8 +401,8 @@ bool Simulation::step() {
     if (s.injector != nullptr && s.dark[id] != 0) {
       continue;
     }
-    const bool sent = ack_only && s.transmitted[id] != 0;
-    SlotFeedback perceived = sent ? fb : listener_fb;
+    const bool sent = split && s.transmitted[id] != 0;
+    SlotFeedback perceived = sent ? transmitter_fb : listener_fb;
     if (s.injector != nullptr) {
       perceived = s.injector->perceive(id, s.now, perceived);
     }
@@ -352,7 +410,7 @@ bool Simulation::step() {
     SlotView view{s.now - s.release[id] + skew, s.now + skew};
     s.proto[id]->on_feedback(view, perceived);
   }
-  if (ack_only) {
+  if (split) {
     for (const Transmission& t : s.transmissions) {
       s.transmitted[t.job] = 0;
     }

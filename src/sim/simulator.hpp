@@ -57,13 +57,24 @@ struct SimConfig {
   /// with the horizon — meant for tests and small traces).
   bool record_slots = false;
 
-  /// Model ablation (default on = the paper's assumption, §1.1): with
-  /// collision detection, listeners receive ternary feedback. Without it,
-  /// listeners cannot distinguish noise from silence (they receive
-  /// kSilence for noisy slots); transmitters still learn that their own
-  /// transmission failed (ACK-style). PUNCTUAL's round synchronization
-  /// depends on busy-vs-silent detection and collapses without it —
-  /// measured in bench_model_assumptions.
+  /// The channel's feedback semantics (channel.hpp): how the true slot
+  /// outcome is projected into what every observer perceives, and which
+  /// ChannelCaps protocols are told about (via JobInfo::caps) so they can
+  /// pick degraded-mode behavior. The default — the paper's ternary
+  /// feedback — is a provable no-op: results are bit-identical to the
+  /// pre-model engine (pinned in tests/test_determinism_golden.cpp and
+  /// tests/test_feedback_models.cpp).
+  FeedbackModel feedback;
+
+  /// Legacy *unadvertised* ablation (default on = the paper's assumption,
+  /// §1.1): with collision detection, listeners receive ternary feedback.
+  /// Without it, listeners cannot distinguish noise from silence (they
+  /// receive kSilence for noisy slots); transmitters still learn that
+  /// their own transmission failed (ACK-style). Unlike
+  /// FeedbackModel::collision_as_silence this does NOT change the caps
+  /// protocols see — it measures what happens when the paper's algorithms
+  /// run *unaware* on a weaker channel (bench_model_assumptions). Only
+  /// meaningful with the ternary model; validate() rejects other mixes.
   bool collision_detection = true;
 
   /// Fault injection between channel resolution and protocol observation
@@ -79,9 +90,10 @@ struct SimConfig {
   /// protocol emits its state-machine events (see obs/events.hpp).
   obs::Tracer* tracer = nullptr;
 
-  /// Throws std::invalid_argument when any field is out of range (currently
-  /// delegates to FaultPlan::validate). Called by the Simulation ctor.
-  void validate() const { faults.validate(); }
+  /// Throws std::invalid_argument when any field is out of range or the
+  /// legacy collision_detection ablation is combined with a non-ternary
+  /// feedback model. Called by the Simulation ctor.
+  void validate() const;
 };
 
 /// Optional per-slot tap for tests and experiment harnesses: called after

@@ -1,0 +1,501 @@
+// Tests for the pluggable channel feedback models (sim/channel.hpp,
+// DESIGN.md §6f): ternary bit-identity, no-CD indistinguishability,
+// noisy-model determinism, and capability round-trips through the
+// registry and the simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "analysis/runner.hpp"
+#include "core/aligned/protocol.hpp"
+#include "core/punctual/protocol.hpp"
+#include "core/registry.hpp"
+#include "core/uniform.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "workload/generators.hpp"
+
+namespace crmd {
+namespace {
+
+/// One perceived slot: the outcome plus whether a payload arrived.
+struct Perceived {
+  sim::SlotOutcome outcome;
+  bool has_message;
+
+  friend bool operator==(const Perceived&, const Perceived&) = default;
+};
+
+/// Transmits its data message at the given offsets-since-release and logs
+/// every perceived feedback. Never gives up on its own.
+class RecordingProtocol final : public sim::Protocol {
+ public:
+  RecordingProtocol(std::vector<Slot> offsets,
+                    std::shared_ptr<std::vector<Perceived>> log)
+      : offsets_(std::move(offsets)), log_(std::move(log)) {}
+
+  void on_activate(const sim::JobInfo& info) override { info_ = info; }
+
+  sim::SlotAction on_slot(const sim::SlotView& view) override {
+    sim::SlotAction action;
+    for (const Slot o : offsets_) {
+      if (o == view.since_release) {
+        action.transmit = true;
+        action.message = sim::make_data(info_.id);
+        action.declared_prob = 1.0;
+      }
+    }
+    return action;
+  }
+
+  void on_feedback(const sim::SlotView&, const sim::SlotFeedback& fb) override {
+    log_->push_back({fb.outcome, fb.message.has_value()});
+  }
+
+  [[nodiscard]] bool done() const override { return false; }
+
+ private:
+  std::vector<Slot> offsets_;
+  std::shared_ptr<std::vector<Perceived>> log_;
+  sim::JobInfo info_;
+};
+
+/// Captures the ChannelCaps the simulator hands to on_activate.
+class CapsProbeProtocol final : public sim::Protocol {
+ public:
+  explicit CapsProbeProtocol(std::shared_ptr<sim::ChannelCaps> out)
+      : out_(std::move(out)) {}
+  void on_activate(const sim::JobInfo& info) override { *out_ = info.caps; }
+  sim::SlotAction on_slot(const sim::SlotView&) override { return {}; }
+  void on_feedback(const sim::SlotView&, const sim::SlotFeedback&) override {}
+  [[nodiscard]] bool done() const override { return false; }
+
+ private:
+  std::shared_ptr<sim::ChannelCaps> out_;
+};
+
+/// Three-job fixture: jobs 0 and 1 collide in slot 0, job 0 transmits
+/// alone in slot 2, job 2 only listens. Slots 1 and 3 are empty. Returns
+/// (listener log, job-0 transmitter log, result).
+struct ScenarioLogs {
+  std::shared_ptr<std::vector<Perceived>> listener =
+      std::make_shared<std::vector<Perceived>>();
+  std::shared_ptr<std::vector<Perceived>> transmitter =
+      std::make_shared<std::vector<Perceived>>();
+  sim::SimResult result;
+};
+
+ScenarioLogs run_scenario(const sim::FeedbackModel& model) {
+  ScenarioLogs logs;
+  workload::Instance instance;
+  instance.jobs = {{0, 4}, {0, 4}, {0, 4}};
+  const sim::ProtocolFactory factory = [&](const sim::JobInfo& info,
+                                           util::Rng) {
+    if (info.id == 0) {
+      return std::unique_ptr<sim::Protocol>(std::make_unique<
+          RecordingProtocol>(std::vector<Slot>{0, 2}, logs.transmitter));
+    }
+    if (info.id == 1) {
+      // Second collider; its own perceptions are not asserted on.
+      return std::unique_ptr<sim::Protocol>(std::make_unique<
+          RecordingProtocol>(std::vector<Slot>{0},
+                             std::make_shared<std::vector<Perceived>>()));
+    }
+    return std::unique_ptr<sim::Protocol>(
+        std::make_unique<RecordingProtocol>(std::vector<Slot>{},
+                                            logs.listener));
+  };
+  sim::SimConfig config;
+  config.seed = 7;
+  config.feedback = model;
+  logs.result = sim::run(instance, factory, config);
+  return logs;
+}
+
+// ---------------------------------------------------------------------------
+// Ternary bit-identity
+// ---------------------------------------------------------------------------
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].success, b.jobs[i].success) << "job " << i;
+    EXPECT_EQ(a.jobs[i].success_slot, b.jobs[i].success_slot) << "job " << i;
+    EXPECT_EQ(a.jobs[i].transmissions, b.jobs[i].transmissions)
+        << "job " << i;
+  }
+  EXPECT_EQ(a.metrics.slots_simulated, b.metrics.slots_simulated);
+  EXPECT_EQ(a.metrics.silent_slots, b.metrics.silent_slots);
+  EXPECT_EQ(a.metrics.success_slots, b.metrics.success_slots);
+  EXPECT_EQ(a.metrics.noise_slots, b.metrics.noise_slots);
+  EXPECT_EQ(a.metrics.feedback_flips, b.metrics.feedback_flips);
+}
+
+sim::SimResult run_aligned_batch(const sim::SimConfig& config) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 9;
+  return sim::run(workload::gen_batch(24, 512, 0),
+                  core::aligned::make_aligned_factory(params), config);
+}
+
+TEST(TernaryBitIdentity, ExplicitTernaryMatchesDefault) {
+  sim::SimConfig defaults;
+  defaults.seed = 20260806;
+  sim::SimConfig explicit_ternary = defaults;
+  explicit_ternary.feedback = sim::FeedbackModel::ternary();
+  expect_identical(run_aligned_batch(defaults),
+                   run_aligned_batch(explicit_ternary));
+}
+
+TEST(TernaryBitIdentity, NoisyWithZeroEpsMatchesTernary) {
+  // eps = 0 never draws from the flip stream, so the trajectories — not
+  // just the aggregates — match the ternary run exactly.
+  sim::SimConfig defaults;
+  defaults.seed = 20260806;
+  sim::SimConfig noisy0 = defaults;
+  noisy0.feedback = sim::FeedbackModel::noisy(0.0);
+  const auto a = run_aligned_batch(defaults);
+  const auto b = run_aligned_batch(noisy0);
+  expect_identical(a, b);
+  EXPECT_EQ(b.metrics.feedback_flips, 0);
+}
+
+TEST(TernaryBitIdentity, RunOptionsFormMatchesPositionalForm) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  const auto factory = core::aligned::make_aligned_factory(params);
+  const analysis::InstanceGen gen = [](util::Rng&) {
+    return workload::gen_batch(16, 256, 0);
+  };
+  const auto legacy = analysis::run_replications(gen, factory, 3, 11);
+  analysis::RunOptions options;  // default ternary feedback
+  const auto via_options =
+      analysis::run_replications(gen, factory, 3, 11, options);
+  EXPECT_EQ(legacy.outcomes.overall().successes(),
+            via_options.outcomes.overall().successes());
+  EXPECT_EQ(legacy.outcomes.overall().trials(),
+            via_options.outcomes.overall().trials());
+  EXPECT_EQ(legacy.channel.slots_simulated,
+            via_options.channel.slots_simulated);
+  EXPECT_EQ(legacy.channel.noise_slots, via_options.channel.noise_slots);
+  EXPECT_EQ(legacy.replications, via_options.replications);
+}
+
+// ---------------------------------------------------------------------------
+// No-CD indistinguishability
+// ---------------------------------------------------------------------------
+
+TEST(CollisionAsSilence, EmptyAndCollidedSlotsIndistinguishable) {
+  const auto logs = run_scenario(sim::FeedbackModel::collision_as_silence());
+  // Slot 0 collided on the channel; slot 1 (and 3) were empty.
+  EXPECT_EQ(logs.result.metrics.noise_slots, 1);
+  const auto& listener = *logs.listener;
+  ASSERT_GE(listener.size(), 4u);
+  // A listener provably cannot tell the collided slot from an empty one:
+  // the *entire perceived feedback* is equal, not just the outcome.
+  EXPECT_EQ(listener[0], listener[1]);
+  EXPECT_EQ(listener[0].outcome, sim::SlotOutcome::kSilence);
+  EXPECT_FALSE(listener[0].has_message);
+  // The success is still delivered to listeners.
+  EXPECT_EQ(listener[2].outcome, sim::SlotOutcome::kSuccess);
+  EXPECT_TRUE(listener[2].has_message);
+}
+
+TEST(CollisionAsSilence, TransmittersGetNoFailureCue) {
+  const auto logs = run_scenario(sim::FeedbackModel::collision_as_silence());
+  const auto& tx = *logs.transmitter;
+  // Job 0 transmitted into the slot-0 collision: while transmitting it
+  // cannot listen, so the failure reads as silence — no ACK channel.
+  ASSERT_GE(tx.size(), 3u);
+  EXPECT_EQ(tx[0].outcome, sim::SlotOutcome::kSilence);
+  EXPECT_FALSE(tx[0].has_message);
+  // Its solo transmission in slot 2 is still perceived as its success.
+  EXPECT_EQ(tx[2].outcome, sim::SlotOutcome::kSuccess);
+  // True successes are credited from the channel, not from perception.
+  EXPECT_TRUE(logs.result.jobs[0].success);
+}
+
+TEST(BinaryAck, ListenersHearNothingTransmittersKeepAck) {
+  const auto logs = run_scenario(sim::FeedbackModel::binary_ack());
+  const auto& listener = *logs.listener;
+  ASSERT_GE(listener.size(), 4u);
+  // Pure listeners perceive silence in every slot — even the successful
+  // broadcast in slot 2 never reaches them.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(listener[i].outcome, sim::SlotOutcome::kSilence) << "slot " << i;
+    EXPECT_FALSE(listener[i].has_message) << "slot " << i;
+  }
+  // Transmitters keep the true outcome: failure ACK in slot 0, own
+  // success in slot 2.
+  const auto& tx = *logs.transmitter;
+  ASSERT_GE(tx.size(), 3u);
+  EXPECT_EQ(tx[0].outcome, sim::SlotOutcome::kNoise);
+  EXPECT_EQ(tx[2].outcome, sim::SlotOutcome::kSuccess);
+}
+
+TEST(Ternary, ScenarioPerceivedExactly) {
+  const auto logs = run_scenario(sim::FeedbackModel::ternary());
+  const auto& listener = *logs.listener;
+  ASSERT_GE(listener.size(), 4u);
+  EXPECT_EQ(listener[0].outcome, sim::SlotOutcome::kNoise);
+  EXPECT_EQ(listener[1].outcome, sim::SlotOutcome::kSilence);
+  EXPECT_EQ(listener[2].outcome, sim::SlotOutcome::kSuccess);
+  EXPECT_TRUE(listener[2].has_message);
+}
+
+// ---------------------------------------------------------------------------
+// Noisy model determinism
+// ---------------------------------------------------------------------------
+
+sim::SimResult run_noisy(std::uint64_t seed, double eps) {
+  sim::SimConfig config;
+  config.seed = seed;
+  config.feedback = sim::FeedbackModel::noisy(eps);
+  core::Params params;
+  return sim::run(workload::gen_batch(32, 256, 0),
+                  core::make_uniform_factory(params), config);
+}
+
+TEST(NoisyModel, DeterministicFromSeedAndEps) {
+  const auto a = run_noisy(21, 0.2);
+  const auto b = run_noisy(21, 0.2);
+  expect_identical(a, b);
+  // ~20% of 256 slots flip; the run is long enough that zero flips would
+  // mean the stream is not being drawn at all.
+  EXPECT_GT(a.metrics.feedback_flips, 0);
+  EXPECT_LT(a.metrics.feedback_flips, a.metrics.slots_simulated);
+}
+
+TEST(NoisyModel, EpsOneFlipsEverySlot) {
+  const auto r = run_noisy(3, 1.0);
+  EXPECT_EQ(r.metrics.feedback_flips, r.metrics.slots_simulated);
+}
+
+TEST(NoisyModel, FlipStreamVariesWithSeed) {
+  // Different seeds produce different flip patterns. Comparing flip slots
+  // via counts alone could collide, so compare against several seeds: at
+  // least one must differ (all-equal would require a constant stream).
+  const auto base = run_noisy(100, 0.3);
+  bool any_different = false;
+  for (std::uint64_t seed : {101, 102, 103}) {
+    const auto other = run_noisy(seed, 0.3);
+    if (other.metrics.feedback_flips != base.metrics.feedback_flips ||
+        other.metrics.success_slots != base.metrics.success_slots ||
+        other.metrics.noise_slots != base.metrics.noise_slots) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// ---------------------------------------------------------------------------
+// Capability round-trips
+// ---------------------------------------------------------------------------
+
+TEST(Capabilities, CapsMatchModelSemantics) {
+  const auto ternary = sim::FeedbackModel::ternary().caps();
+  EXPECT_TRUE(ternary.collision_detection);
+  EXPECT_TRUE(ternary.listener_success_visible);
+  EXPECT_TRUE(ternary.transmitter_ack);
+  EXPECT_TRUE(ternary.reliable);
+
+  const auto ack = sim::FeedbackModel::binary_ack().caps();
+  EXPECT_FALSE(ack.collision_detection);
+  EXPECT_FALSE(ack.listener_success_visible);
+  EXPECT_TRUE(ack.transmitter_ack);
+  EXPECT_TRUE(ack.reliable);
+
+  const auto no_cd = sim::FeedbackModel::collision_as_silence().caps();
+  EXPECT_FALSE(no_cd.collision_detection);
+  EXPECT_TRUE(no_cd.listener_success_visible);
+  EXPECT_FALSE(no_cd.transmitter_ack);
+  EXPECT_TRUE(no_cd.reliable);
+
+  const auto noisy = sim::FeedbackModel::noisy(0.1).caps();
+  EXPECT_TRUE(noisy.collision_detection);
+  EXPECT_FALSE(noisy.reliable);
+}
+
+TEST(Capabilities, ParseRoundTripsEveryModel) {
+  const sim::FeedbackModel models[] = {
+      sim::FeedbackModel::ternary(),
+      sim::FeedbackModel::binary_ack(),
+      sim::FeedbackModel::collision_as_silence(),
+      sim::FeedbackModel::noisy(0.05),
+  };
+  for (const auto& model : models) {
+    const auto parsed = sim::parse_feedback_model(model.spec());
+    ASSERT_TRUE(parsed.has_value()) << model.spec();
+    EXPECT_EQ(*parsed, model) << model.spec();
+  }
+  // Bare "noisy" defaults eps.
+  const auto bare = sim::parse_feedback_model("noisy");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->kind, sim::FeedbackKind::kNoisy);
+  EXPECT_DOUBLE_EQ(bare->eps, 0.05);
+}
+
+TEST(Capabilities, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(sim::parse_feedback_model("").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("bogus").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("ternary:0.5").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:abc").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:0.5x").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:1.5").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:-0.1").has_value());
+}
+
+TEST(Capabilities, ValidateRejectsBadEps) {
+  EXPECT_THROW(sim::FeedbackModel::noisy(1.5).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(sim::FeedbackModel::noisy(-0.1).validate(),
+               std::invalid_argument);
+  sim::FeedbackModel stray;
+  stray.eps = 0.3;  // eps on a non-noisy kind
+  EXPECT_THROW(stray.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(sim::FeedbackModel::noisy(0.5).validate());
+  EXPECT_NO_THROW(sim::FeedbackModel::ternary().validate());
+}
+
+TEST(Capabilities, LegacyAblationOnlyComposesWithTernary) {
+  sim::SimConfig config;
+  config.collision_detection = false;
+  EXPECT_NO_THROW(config.validate());
+  config.feedback = sim::FeedbackModel::binary_ack();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.collision_detection = true;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Capabilities, SimulatorAdvertisesModelCaps) {
+  for (const auto& model : {sim::FeedbackModel::ternary(),
+                            sim::FeedbackModel::binary_ack(),
+                            sim::FeedbackModel::collision_as_silence(),
+                            sim::FeedbackModel::noisy(0.1)}) {
+    auto seen = std::make_shared<sim::ChannelCaps>();
+    workload::Instance instance;
+    instance.jobs = {{0, 2}};
+    const sim::ProtocolFactory factory = [&](const sim::JobInfo&, util::Rng) {
+      return std::unique_ptr<sim::Protocol>(
+          std::make_unique<CapsProbeProtocol>(seen));
+    };
+    sim::SimConfig config;
+    config.feedback = model;
+    (void)sim::run(instance, factory, config);
+    EXPECT_EQ(*seen, model.caps()) << model.spec();
+  }
+}
+
+TEST(Capabilities, RegistryCatalogRoundTrips) {
+  const auto names = core::protocol_names();
+  const auto catalog = core::protocol_catalog();
+  ASSERT_EQ(names.size(), catalog.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, names[i]);
+    const auto info = core::protocol_info(names[i]);
+    ASSERT_TRUE(info.has_value()) << names[i];
+    EXPECT_EQ(info->name, catalog[i].name);
+    EXPECT_EQ(info->needs_collision_detection,
+              catalog[i].needs_collision_detection);
+  }
+  EXPECT_FALSE(core::protocol_info("nonesuch").has_value());
+
+  const auto aligned = core::protocol_info("aligned");
+  ASSERT_TRUE(aligned.has_value());
+  EXPECT_TRUE(aligned->needs_collision_detection);
+  EXPECT_TRUE(aligned->adapts_to_degraded_channel);
+  EXPECT_TRUE(aligned->supports(sim::FeedbackModel::ternary().caps()));
+  EXPECT_FALSE(aligned->supports(sim::FeedbackModel::binary_ack().caps()));
+
+  const auto uniform = core::protocol_info("uniform");
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_FALSE(uniform->needs_collision_detection);
+  EXPECT_TRUE(uniform->supports(
+      sim::FeedbackModel::collision_as_silence().caps()));
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode fallbacks
+// ---------------------------------------------------------------------------
+
+TEST(DegradedMode, AlignedFallsBackToBlindSchedule) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  core::aligned::AlignedProtocol proto(params, util::Rng(5));
+  sim::JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 256;
+  info.caps = sim::FeedbackModel::binary_ack().caps();
+  proto.on_activate(info);
+  EXPECT_TRUE(proto.degraded());
+  // Blind mode transmits with the anarchist probability and never gives
+  // up: silence forever must not trip the truncation give-up.
+  bool declared_positive = false;
+  for (Slot t = 0; t < 256; ++t) {
+    const auto action = proto.on_slot({t, t});
+    declared_positive |= action.declared_prob > 0.0;
+    proto.on_feedback({t, t}, {});
+    ASSERT_FALSE(proto.done()) << "slot " << t;
+  }
+  EXPECT_TRUE(declared_positive);
+  EXPECT_EQ(proto.stage(), core::aligned::AlignedProtocol::Stage::kRunning);
+}
+
+TEST(DegradedMode, AlignedStillValidatesWindowAlignment) {
+  core::Params params;
+  core::aligned::AlignedProtocol proto(params, util::Rng(5));
+  sim::JobInfo info;
+  info.release = 3;  // not aligned to the window size
+  info.deadline = 3 + 256;
+  info.caps = sim::FeedbackModel::binary_ack().caps();
+  EXPECT_THROW(proto.on_activate(info), std::invalid_argument);
+}
+
+TEST(DegradedMode, PunctualEntersDesperateWithoutCollisionDetection) {
+  core::Params params;
+  core::punctual::PunctualProtocol proto(params, util::Rng(5));
+  sim::JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 1 << 12;  // far above punctual_min_window
+  info.caps = sim::FeedbackModel::collision_as_silence().caps();
+  proto.on_activate(info);
+  EXPECT_EQ(proto.stage(), core::punctual::PunctualProtocol::Stage::kDesperate);
+  EXPECT_TRUE(proto.was_anarchist());
+}
+
+TEST(DegradedMode, FullChannelKeepsFullMachinery) {
+  core::Params params;
+  core::punctual::PunctualProtocol proto(params, util::Rng(5));
+  sim::JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 1 << 12;
+  info.caps = sim::FeedbackModel::noisy(0.1).caps();  // CD present
+  proto.on_activate(info);
+  EXPECT_NE(proto.stage(), core::punctual::PunctualProtocol::Stage::kDesperate);
+
+  core::Params aparams;
+  aparams.min_class = 8;
+  core::aligned::AlignedProtocol aproto(aparams, util::Rng(5));
+  sim::JobInfo ainfo;
+  ainfo.release = 0;
+  ainfo.deadline = 256;
+  aproto.on_activate(ainfo);  // default caps: full ternary
+  EXPECT_FALSE(aproto.degraded());
+}
+
+}  // namespace
+}  // namespace crmd

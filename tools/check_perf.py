@@ -21,6 +21,16 @@ Modes:
       accidental O(total jobs) slot cost), not few-percent drift. Track
       drift by diffing the uploaded JSON artifacts across runs instead.
 
+  check_perf.py second.json --self-check first.json [--threshold 0.65]
+      Self-relative gate: both files come from the SAME machine in the
+      SAME CI job (the harness run twice back to back), so cross-machine
+      variance is gone and the comparison can block. Every sweep point of
+      the first run must be present in the second; fail (exit 1) when any
+      point's second-run throughput collapses below threshold x the
+      first run (default 0.65 = a >35% run-to-run drop, which on an idle
+      runner means a real pathology — a warmup-order dependency, a leak,
+      or state accumulated by the first run).
+
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 """
 
@@ -57,17 +67,64 @@ def load_rows(path):
     return meta, rows
 
 
+def run_self_check(args, current):
+    """Blocking same-machine comparison; see the module docstring."""
+    threshold = 0.65 if args.threshold is None else args.threshold
+    if threshold <= 0:
+        print("check_perf: --threshold must be > 0", file=sys.stderr)
+        return 2
+    try:
+        _, first = load_rows(args.self_check)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL: {e}", file=sys.stderr)
+        return 1
+
+    missing = sorted(set(first) - set(current))
+    if missing:
+        print(f"check_perf: FAIL: second run is missing sweep points "
+              f"{missing}", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'scenario':<40} {'jobs':>6} {'run 1':>12} {'run 2':>12} "
+          f"{'ratio':>7}")
+    for key in sorted(first):
+        base = float(first[key]["slots_per_sec"])
+        cur = float(current[key]["slots_per_sec"])
+        ratio = cur / base
+        flag = "" if ratio >= threshold else "  << COLLAPSE"
+        print(f"{key[0]:<40} {key[1]:>6} {base:>12.4g} {cur:>12.4g} "
+              f"{ratio:>7.2f}{flag}")
+        if ratio < threshold:
+            failures.append((key, ratio))
+
+    if failures:
+        print(f"check_perf: FAIL: {len(failures)} point(s) collapsed below "
+              f"{threshold}x of the same-machine first run", file=sys.stderr)
+        return 1
+    print(f"check_perf: ok: {len(first)} points >= {threshold}x of the "
+          f"same-machine first run")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="slot-engine perf comparator (see module docstring)")
     parser.add_argument("current", help="bench_slot_engine --json output")
     parser.add_argument("--baseline",
                         default="bench/baselines/slot_engine.json")
-    parser.add_argument("--threshold", type=float, default=0.35,
+    parser.add_argument("--threshold", type=float, default=None,
                         help="fail when current/baseline slots_per_sec "
-                             "drops below this ratio (default: %(default)s)")
+                             "drops below this ratio (default: 0.35, or "
+                             "0.65 with --self-check)")
     parser.add_argument("--check-only", action="store_true",
                         help="validate the JSON shape only; no comparison")
+    parser.add_argument("--self-check", metavar="FIRST_RUN",
+                        help="blocking same-machine gate: compare against "
+                             "FIRST_RUN (an earlier run of the same harness "
+                             "in the same job); every FIRST_RUN point must "
+                             "be present and within --threshold "
+                             "(default 0.65 in this mode)")
     args = parser.parse_args()
 
     try:
@@ -81,13 +138,17 @@ def main():
               f"points, meta keys {sorted(meta)}")
         return 0
 
+    if args.self_check:
+        return run_self_check(args, current)
+
     try:
         _, baseline = load_rows(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"check_perf: FAIL: {e}", file=sys.stderr)
         return 1
 
-    if args.threshold <= 0:
+    threshold = 0.35 if args.threshold is None else args.threshold
+    if threshold <= 0:
         print("check_perf: --threshold must be > 0", file=sys.stderr)
         return 2
 
@@ -104,10 +165,10 @@ def main():
         base = float(baseline[key]["slots_per_sec"])
         cur = float(current[key]["slots_per_sec"])
         ratio = cur / base
-        flag = "" if ratio >= args.threshold else "  << REGRESSION"
+        flag = "" if ratio >= threshold else "  << REGRESSION"
         print(f"{key[0]:<18} {key[1]:>6} {base:>12.4g} {cur:>12.4g} "
               f"{ratio:>7.2f}{flag}")
-        if ratio < args.threshold:
+        if ratio < threshold:
             failures.append((key, ratio))
 
     only_current = sorted(set(current) - set(baseline))
@@ -117,9 +178,9 @@ def main():
 
     if failures:
         print(f"check_perf: FAIL: {len(failures)} point(s) below "
-              f"{args.threshold}x of baseline", file=sys.stderr)
+              f"{threshold}x of baseline", file=sys.stderr)
         return 1
-    print(f"check_perf: ok: {len(shared)} points >= {args.threshold}x of "
+    print(f"check_perf: ok: {len(shared)} points >= {threshold}x of "
           f"baseline")
     return 0
 
