@@ -73,11 +73,8 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   if (const auto model = sim::parse_feedback_model(spec)) {
     c.feedback = *model;
   } else {
-    std::cerr << "unknown --feedback spec '" << spec << "' (expected one of:";
-    for (const auto& name : sim::feedback_model_names()) {
-      std::cerr << ' ' << name;
-    }
-    std::cerr << ", optionally noisy:<eps>)\n";
+    std::cerr << "error: bad --feedback spec '" << spec
+              << "': " << sim::feedback_usage() << "\n";
     std::exit(2);
   }
   return c;

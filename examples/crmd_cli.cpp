@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
         std::cout << (info.adapts_to_degraded_channel
                           ? " [needs CD; blind fallback without it]"
                           : " [needs CD]");
+      } else if (info.no_cd_native) {
+        std::cout << " [no-CD native]";
       }
       std::cout << "\n";
     }
@@ -143,7 +145,8 @@ int main(int argc, char** argv) {
   const std::string feedback_spec = args.get("feedback", "ternary");
   const auto feedback = sim::parse_feedback_model(feedback_spec);
   if (!feedback) {
-    std::cerr << "unknown --feedback spec '" << feedback_spec << "'\n";
+    std::cerr << "error: bad --feedback spec '" << feedback_spec
+              << "': " << sim::feedback_usage() << "\n";
     return 2;
   }
 

@@ -63,7 +63,11 @@ sim::SlotAction AlignedProtocol::on_slot(const sim::SlotView& view) {
     if (stage_ != Stage::kRunning) {
       return action;  // defensive; the simulator retires done jobs
     }
-    const double p = params_.anarchist_tx_prob(info_.window());
+    // Deadline-aware blind schedule: the anarchist formula over the slots
+    // actually left, so a near-deadline job ramps up instead of silently
+    // starving (equals anarchist_tx_prob at full laxity).
+    const double p = params_.degraded_floor_tx_prob(
+        info_.window(), info_.window() - view.since_release);
     action.declared_prob = p;
     if (rng_.bernoulli(p)) {
       action.transmit = true;

@@ -64,6 +64,22 @@ double Params::anarchist_tx_prob(Slot window) const noexcept {
   return std::min(p, max_tx_prob);
 }
 
+double Params::degraded_floor_tx_prob(Slot window,
+                                      Slot remaining) const noexcept {
+  const Slot horizon = std::max<Slot>(1, std::min(window, remaining));
+  const double lg = util::log2_at_least(static_cast<double>(window), 1.0);
+  const double p = static_cast<double>(lambda) *
+                   std::pow(lg, anarchist_log_exp) /
+                   static_cast<double>(horizon);
+  return std::min(p, max_tx_prob);
+}
+
+double Params::nocd_floor_tx_prob(Slot remaining) const noexcept {
+  const double p = static_cast<double>(lambda) /
+                   static_cast<double>(std::max<Slot>(1, remaining));
+  return std::min(p, max_tx_prob);
+}
+
 void Params::validate() const {
   if (lambda < 1) {
     throw std::invalid_argument("Params: lambda must be >= 1");
@@ -96,6 +112,12 @@ void Params::validate() const {
   }
   if (desync_tolerance < 0) {
     throw std::invalid_argument("Params: desync_tolerance must be >= 0");
+  }
+  if (nocd_epoch_len < 1) {
+    throw std::invalid_argument("Params: nocd_epoch_len must be >= 1");
+  }
+  if (nocd_dry_sweep_limit < 1) {
+    throw std::invalid_argument("Params: nocd_dry_sweep_limit must be >= 1");
   }
 }
 

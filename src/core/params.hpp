@@ -102,6 +102,22 @@ struct Params {
   /// needlessly demote healthy followers.
   int desync_tolerance = 0;
 
+  // --- NOCD (no-collision-detection family, DESIGN.md §6g) ------------------
+
+  /// Slots per success-only inference epoch. A NOCD job aggregates the
+  /// successes it perceives over one epoch before updating its density
+  /// exponent; longer epochs average out noise at the cost of slower
+  /// re-estimation (Jiang–Zheng's batches, collapsed to a constant length
+  /// runnable at laptop scale).
+  std::int64_t nocd_epoch_len = 8;
+
+  /// Consecutive fully-dry backoff ladders (k_max+1 epochs each, zero
+  /// successes perceived anywhere) the robust variant tolerates before
+  /// concluding the silence is unexplained — adversarial jamming, or a
+  /// channel that emptied unheard — and probing by halving its density
+  /// exponent (escalating toward p = 1/2 while the silence persists).
+  int nocd_dry_sweep_limit = 2;
+
   // --- derived quantities ---------------------------------------------------
 
   /// T_ℓ = λℓ²: total steps of the size-estimation protocol for class ℓ.
@@ -131,6 +147,21 @@ struct Params {
 
   /// Anarchist transmission probability for window size w (capped).
   [[nodiscard]] double anarchist_tx_prob(Slot window) const noexcept;
+
+  /// Deadline-aware blind-fallback probability: the anarchist formula with
+  /// the window replaced by the slots the job actually has left, so a
+  /// near-deadline job ramps up instead of silently starving on a no-CD
+  /// channel. Equals anarchist_tx_prob(window) at full laxity
+  /// (remaining >= window), rises monotonically as `remaining` shrinks,
+  /// and is capped at max_tx_prob.
+  [[nodiscard]] double degraded_floor_tx_prob(Slot window,
+                                              Slot remaining) const noexcept;
+
+  /// NOCD's aging floor: keeps every live job at expected Θ(λ) floor
+  /// transmissions over its remaining laxity (λ / remaining, capped), so
+  /// the robust variant never stalls however wrong its contention
+  /// estimate is driven by jamming.
+  [[nodiscard]] double nocd_floor_tx_prob(Slot remaining) const noexcept;
 
   /// Throws std::invalid_argument when any field is out of range.
   void validate() const;

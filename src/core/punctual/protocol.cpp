@@ -25,6 +25,7 @@ void PunctualProtocol::on_activate(const sim::JobInfo& info) {
     // a grid that cannot exist.
     set_stage(Stage::kDesperate, 0);
     was_anarchist_ = true;
+    no_cd_blind_ = true;
   } else if (effective_window_ < params_.punctual_min_window) {
     // Degenerate windows cannot afford the round machinery; just transmit.
     set_stage(Stage::kDesperate, 0);
@@ -49,7 +50,14 @@ sim::SlotAction PunctualProtocol::on_slot(const sim::SlotView& view) {
 
   switch (stage_) {
     case Stage::kDesperate: {
-      const double p = params_.anarchist_tx_prob(effective_window_);
+      // The no-CD blind fallback scales by remaining laxity so jobs ramp
+      // up toward their deadline; the tiny-window and desync flavors keep
+      // the flat schedule (their ternary trajectories are digest-pinned).
+      const double p =
+          no_cd_blind_
+              ? params_.degraded_floor_tx_prob(effective_window_,
+                                               effective_window_ - t)
+              : params_.anarchist_tx_prob(effective_window_);
       action.declared_prob = p;
       if (rng_.bernoulli(p)) {
         action.transmit = true;

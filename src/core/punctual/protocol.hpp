@@ -163,6 +163,12 @@ class PunctualProtocol final : public sim::Protocol {
   // Graceful degradation (see Params::desync_tolerance).
   std::int64_t desync_evidence_ = 0;
   bool desync_fallback_ = false;
+  /// kDesperate because the channel has no collision detection (§6f blind
+  /// fallback) — as opposed to tiny windows or desync fallback, which run
+  /// under trustworthy ternary feedback. Only this flavor uses the
+  /// deadline-aware floor; the others keep the flat anarchist schedule so
+  /// ternary trajectories (and their pinned digests) are untouched.
+  bool no_cd_blind_ = false;
 };
 
 /// Human-readable stage name.

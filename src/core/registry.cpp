@@ -4,13 +4,15 @@
 #include "baselines/beb.hpp"
 #include "baselines/sawtooth.hpp"
 #include "core/aligned/protocol.hpp"
+#include "core/nocd/protocol.hpp"
 #include "core/punctual/protocol.hpp"
 #include "core/uniform.hpp"
 
 namespace crmd::core {
 
 std::vector<std::string> protocol_names() {
-  return {"uniform", "aligned", "punctual", "beb", "sawtooth", "aloha"};
+  return {"uniform", "aligned",   "punctual", "nocd",
+          "nocd_robust", "beb", "sawtooth", "aloha"};
 }
 
 std::vector<ProtocolInfo> protocol_catalog() {
@@ -31,6 +33,21 @@ std::vector<ProtocolInfo> protocol_catalog() {
        .uses_listener_feedback = true,
        .needs_collision_detection = true,
        .adapts_to_degraded_channel = true},
+      {.name = "nocd",
+       .description =
+           "NOCD (§6g): success-only epoch backoff, no collision detection",
+       .uses_listener_feedback = true,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = true,
+       .no_cd_native = true},
+      {.name = "nocd_robust",
+       .description =
+           "NOCD-ROBUST (§6g): NOCD + jamming tolerance (aging floor, "
+           "adversarial-silence re-estimation)",
+       .uses_listener_feedback = true,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = true,
+       .no_cd_native = true},
       {.name = "beb",
        .description = "binary exponential backoff baseline",
        .uses_listener_feedback = false,
@@ -77,6 +94,12 @@ std::optional<sim::ProtocolFactory> make_protocol(const std::string& name,
   }
   if (name == "punctual") {
     return punctual::make_punctual_factory(params);
+  }
+  if (name == "nocd") {
+    return nocd::make_nocd_factory(params, /*robust=*/false);
+  }
+  if (name == "nocd_robust") {
+    return nocd::make_nocd_factory(params, /*robust=*/true);
   }
   if (name == "beb") {
     return baselines::make_beb_factory();

@@ -16,6 +16,10 @@
 ///   "uniform"   — UNIFORM (§2)
 ///   "aligned"   — ALIGNED (§3; requires power-of-2-aligned windows)
 ///   "punctual"  — PUNCTUAL (§4)
+///   "nocd"        — no-collision-detection family (Jiang–Zheng style
+///                   success-only epoch backoff, DESIGN.md §6g)
+///   "nocd_robust" — jamming-tolerant NOCD variant (aging floor +
+///                   adversarial-silence re-estimation)
 ///   "beb"       — binary exponential backoff baseline
 ///   "sawtooth"  — sawtooth backoff baseline
 ///   "aloha"     — slotted ALOHA with per-window probability scale/window
@@ -40,6 +44,13 @@ struct ProtocolInfo {
   /// Protocols with needs_collision_detection but no adaptation run
   /// their full logic on garbage cues.
   bool adapts_to_degraded_channel = false;
+  /// The protocol's *full* logic is designed for channels without
+  /// collision detection (success-only inference, DESIGN.md §6g) — it
+  /// neither needs the noise-vs-silence cue nor degrades to a blind
+  /// schedule without it. Sweep harnesses use this to assert the stronger
+  /// ladder invariant (no-CD throughput comparable to ternary) that
+  /// degraded-fallback protocols cannot meet.
+  bool no_cd_native = false;
 
   /// True when the protocol can run its *full* (non-degraded) logic on a
   /// channel with these capabilities.

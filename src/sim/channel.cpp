@@ -135,6 +135,11 @@ std::vector<std::string> feedback_model_names() {
   return {"ternary", "binary_ack", "collision_as_silence", "noisy"};
 }
 
+std::string feedback_usage() {
+  return "expected ternary | binary_ack | collision_as_silence | "
+         "noisy[:eps] with eps in [0, 1]";
+}
+
 SlotFeedback degrade_feedback(const SlotFeedback& truth) noexcept {
   SlotFeedback degraded;
   switch (truth.outcome) {

@@ -154,6 +154,12 @@ struct FeedbackModel {
 /// sweep harnesses). The "noisy" entry is the bare kind name.
 [[nodiscard]] std::vector<std::string> feedback_model_names();
 
+/// One-line usage hint for `--feedback=` error messages, shared by every
+/// bench harness and `crmd_cli` so a malformed spec ("noisy:junk",
+/// "ternary:0.5", eps outside [0,1], unknown model) always produces the
+/// same diagnostic and a nonzero exit, never an uncaught exception.
+[[nodiscard]] std::string feedback_usage();
+
 /// One degradation step of the ternary outcome (success -> noise, noise ->
 /// silence, silence -> noise). Never fabricates message content. Shared by
 /// the kNoisy model and the fault layer's per-listener corruption so the

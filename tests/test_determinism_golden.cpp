@@ -24,6 +24,7 @@
 #include "baselines/beb.hpp"
 #include "baselines/sawtooth.hpp"
 #include "core/aligned/protocol.hpp"
+#include "core/nocd/protocol.hpp"
 #include "core/punctual/protocol.hpp"
 #include "core/uniform.hpp"
 #include "workload/generators.hpp"
@@ -122,6 +123,8 @@ constexpr Golden kGolden[] = {
     {"uniform", 0xae737dffa1b5093bULL},
     {"aligned", 0x62650eb9b68e28feULL},
     {"punctual", 0x11281381ef74d150ULL},
+    {"nocd", 0x50dabc885b81f78eULL},
+    {"nocd_robust", 0x6c7b9ea8671ee578ULL},
     {"aloha", 0x12dcf80c482edf41ULL},
     {"beb", 0x901e13c705aed951ULL},
     {"sawtooth", 0x2c19ba5a0ea3928dULL},
@@ -141,6 +144,10 @@ std::uint64_t run_digest(const std::string& name) {
     gen = golden_aligned_gen();
   } else if (name == "punctual") {
     factory = core::punctual::make_punctual_factory(params);
+  } else if (name == "nocd") {
+    factory = core::nocd::make_nocd_factory(params, /*robust=*/false);
+  } else if (name == "nocd_robust") {
+    factory = core::nocd::make_nocd_factory(params, /*robust=*/true);
   } else if (name == "aloha") {
     factory = baselines::make_aloha_window_factory(4.0);
   } else if (name == "beb") {
@@ -175,14 +182,19 @@ TEST(DeterminismGolden, DigestsAreThreadCountInvariant) {
   params.lambda = 2;
   params.tau = 8;
   params.min_class = 8;
-  const auto factory = core::punctual::make_punctual_factory(params);
-  const auto serial =
-      digest(run_replications(golden_gen(), factory, 3, kSeed));
-  for (const int threads : {2, 8}) {
-    EXPECT_EQ(digest(run_replications(golden_gen(), factory, 3, kSeed,
-                                      nullptr, {}, nullptr, threads)),
-              serial)
-        << "threads=" << threads;
+  const sim::ProtocolFactory factories[] = {
+      core::punctual::make_punctual_factory(params),
+      core::nocd::make_nocd_factory(params, /*robust=*/true),
+  };
+  for (const auto& factory : factories) {
+    const auto serial =
+        digest(run_replications(golden_gen(), factory, 3, kSeed));
+    for (const int threads : {2, 8}) {
+      EXPECT_EQ(digest(run_replications(golden_gen(), factory, 3, kSeed,
+                                        nullptr, {}, nullptr, threads)),
+                serial)
+          << "threads=" << threads;
+    }
   }
 }
 

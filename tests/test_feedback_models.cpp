@@ -453,6 +453,91 @@ TEST(DegradedMode, AlignedFallsBackToBlindSchedule) {
   EXPECT_EQ(proto.stage(), core::aligned::AlignedProtocol::Stage::kRunning);
 }
 
+TEST(DegradedMode, FloorFormulaIsDeadlineAware) {
+  core::Params params;
+  const Slot w = 1 << 10;
+  // Full laxity reproduces the anarchist schedule exactly.
+  EXPECT_DOUBLE_EQ(params.degraded_floor_tx_prob(w, w),
+                   params.anarchist_tx_prob(w));
+  EXPECT_DOUBLE_EQ(params.degraded_floor_tx_prob(w, w + 99),
+                   params.anarchist_tx_prob(w));
+  // Shrinking laxity only ever raises the probability (monotone aging)...
+  double prev = 0.0;
+  for (Slot remaining = w; remaining >= 1; --remaining) {
+    const double p = params.degraded_floor_tx_prob(w, remaining);
+    EXPECT_GE(p, prev) << "remaining=" << remaining;
+    prev = p;
+  }
+  // ...up to the global cap, never beyond.
+  EXPECT_DOUBLE_EQ(params.degraded_floor_tx_prob(w, 1), params.max_tx_prob);
+}
+
+TEST(DegradedMode, AlignedBlindScheduleRampsTowardDeadline) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  core::aligned::AlignedProtocol proto(params, util::Rng(5));
+  sim::JobInfo info;
+  info.id = 0;
+  info.release = 0;
+  info.deadline = 256;
+  info.caps = sim::FeedbackModel::collision_as_silence().caps();
+  proto.on_activate(info);
+  ASSERT_TRUE(proto.degraded());
+  std::vector<double> declared;
+  for (Slot t = 0; t < 256; ++t) {
+    declared.push_back(proto.on_slot({t, t}).declared_prob);
+    proto.on_feedback({t, t}, {});
+  }
+  // Slot 0 is the plain anarchist schedule; the last slot has ramped to
+  // the cap; the ramp never decreases in between.
+  EXPECT_DOUBLE_EQ(declared.front(), params.anarchist_tx_prob(256));
+  EXPECT_DOUBLE_EQ(declared.back(), params.max_tx_prob);
+  for (std::size_t i = 1; i < declared.size(); ++i) {
+    EXPECT_GE(declared[i], declared[i - 1]) << "slot " << i;
+  }
+}
+
+TEST(DegradedMode, PunctualNoCdDesperateRampsButTinyWindowStaysFlat) {
+  core::Params params;
+  // The no-CD desperate flavor uses the deadline-aware floor...
+  {
+    core::punctual::PunctualProtocol proto(params, util::Rng(5));
+    sim::JobInfo info;
+    info.id = 0;
+    info.release = 0;
+    info.deadline = 1 << 12;
+    info.caps = sim::FeedbackModel::collision_as_silence().caps();
+    proto.on_activate(info);
+    ASSERT_EQ(proto.stage(),
+              core::punctual::PunctualProtocol::Stage::kDesperate);
+    const double early = proto.on_slot({0, 0}).declared_prob;
+    proto.on_feedback({0, 0}, {});
+    const double late =
+        proto.on_slot({(1 << 12) - 1, (1 << 12) - 1}).declared_prob;
+    EXPECT_DOUBLE_EQ(early, params.anarchist_tx_prob(1 << 12));
+    EXPECT_DOUBLE_EQ(late, params.max_tx_prob);
+  }
+  // ...while the tiny-window desperate flavor keeps the flat anarchist
+  // schedule (its ternary trajectory is digest-pinned).
+  {
+    core::punctual::PunctualProtocol proto(params, util::Rng(5));
+    sim::JobInfo info;
+    info.id = 0;
+    info.release = 0;
+    info.deadline = 32;  // below punctual_min_window
+    proto.on_activate(info);
+    ASSERT_EQ(proto.stage(),
+              core::punctual::PunctualProtocol::Stage::kDesperate);
+    const double early = proto.on_slot({0, 0}).declared_prob;
+    proto.on_feedback({0, 0}, {});
+    const double late = proto.on_slot({31, 31}).declared_prob;
+    EXPECT_DOUBLE_EQ(early, params.anarchist_tx_prob(32));
+    EXPECT_DOUBLE_EQ(late, early);
+  }
+}
+
 TEST(DegradedMode, AlignedStillValidatesWindowAlignment) {
   core::Params params;
   core::aligned::AlignedProtocol proto(params, util::Rng(5));

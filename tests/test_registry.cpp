@@ -11,7 +11,7 @@ namespace {
 
 TEST(Registry, ListsAllProtocols) {
   const auto names = protocol_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 8u);
   for (const auto& name : names) {
     EXPECT_TRUE(is_protocol(name)) << name;
   }
@@ -46,9 +46,33 @@ TEST(Registry, EveryProtocolRunsOnAnAlignedBatch) {
 TEST(Registry, InvalidParamsRejectedForCoreProtocols) {
   Params bad;
   bad.lambda = 0;
-  for (const auto& name : {"uniform", "aligned", "punctual"}) {
+  for (const auto& name :
+       {"uniform", "aligned", "punctual", "nocd", "nocd_robust"}) {
     EXPECT_THROW((void)make_protocol(name, bad), std::invalid_argument)
         << name;
+  }
+}
+
+TEST(Registry, NocdFamilyAdvertisesNoCdNative) {
+  for (const auto& name : {"nocd", "nocd_robust"}) {
+    const auto info = protocol_info(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_TRUE(info->no_cd_native) << name;
+    EXPECT_FALSE(info->needs_collision_detection) << name;
+    EXPECT_TRUE(info->uses_listener_feedback) << name;
+    // Full logic runs on every rung of the degradation ladder.
+    for (const auto& spec :
+         {"ternary", "binary_ack", "collision_as_silence", "noisy"}) {
+      const auto model = sim::parse_feedback_model(spec);
+      ASSERT_TRUE(model.has_value()) << spec;
+      EXPECT_TRUE(info->supports(model->caps())) << name << " on " << spec;
+    }
+  }
+  // The ternary-native protocols never claim the flag.
+  for (const auto& name : {"uniform", "aligned", "punctual", "beb"}) {
+    const auto info = protocol_info(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_FALSE(info->no_cd_native) << name;
   }
 }
 

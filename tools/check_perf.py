@@ -11,6 +11,11 @@ Modes:
       Validate the JSON shape only (meta present, required columns, positive
       throughput). Exit 1 on malformed output. This is the CI smoke gate.
 
+Every mode also honors repeatable --expect SUBSTR flags: each SUBSTR must
+match at least one scenario key in the current file, so a sweep that
+silently drops a point (a skipped protocol x feedback-model cell, a
+renamed scenario) fails loudly instead of sailing through shape checks.
+
   check_perf.py result.json [--baseline bench/baselines/slot_engine.json]
                             [--threshold 0.35]
       For every sweep point present in both files, compute
@@ -65,6 +70,18 @@ def load_rows(path):
     if not rows:
         raise ValueError(f"{path}: no rows")
     return meta, rows
+
+
+def check_expected(expects, current):
+    """Each --expect substring must match >= 1 scenario key. Returns the
+    number of unmatched expectations (0 = all present)."""
+    unmatched = 0
+    for expect in expects:
+        if not any(expect in scenario for scenario, _ in current):
+            print(f"check_perf: FAIL: no sweep point matches "
+                  f"--expect '{expect}'", file=sys.stderr)
+            unmatched += 1
+    return unmatched
 
 
 def run_self_check(args, current):
@@ -125,6 +142,10 @@ def main():
                              "in the same job); every FIRST_RUN point must "
                              "be present and within --threshold "
                              "(default 0.65 in this mode)")
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="require >= 1 scenario key containing SUBSTR "
+                             "(repeatable; applies in every mode)")
     args = parser.parse_args()
 
     try:
@@ -133,9 +154,17 @@ def main():
         print(f"check_perf: FAIL: {e}", file=sys.stderr)
         return 1
 
+    unmatched = check_expected(args.expect, current)
+    if unmatched:
+        print(f"check_perf: FAIL: {unmatched} expected sweep point(s) "
+              f"missing", file=sys.stderr)
+        return 1
+
     if args.check_only:
         print(f"check_perf: ok: {args.current} has {len(current)} sweep "
-              f"points, meta keys {sorted(meta)}")
+              f"points, meta keys {sorted(meta)}"
+              + (f", {len(args.expect)} expectation(s) matched"
+                 if args.expect else ""))
         return 0
 
     if args.self_check:
