@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/15);
+  auto trace = bench::make_trace_session(common);
 
   // ---- (a) τ sweep on an ALIGNED batch -------------------------------------
   {
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < common.reps; ++rep) {
         sim::SimConfig config;
         config.seed = common.seed * 101 + static_cast<std::uint64_t>(rep);
+        config.tracer = trace.get();
         const auto result = sim::run(
             workload::gen_batch(batch, Slot{1} << level, 0), factory,
             config);
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
     bench::emit(table,
                 "E14a — tau ablation (ALIGNED batch of 16, window 2^13): "
                 "bigger tau buys safety margin with channel time",
-                common);
+                common, &trace);
   }
 
   // ---- (b) λ sweep under jamming stress ------------------------------------
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < reps; ++rep) {
         sim::SimConfig config;
         config.seed = common.seed * 3 + static_cast<std::uint64_t>(rep);
+        config.tracer = trace.get();
         const auto result =
             sim::run(workload::gen_batch(batch, Slot{1} << level, 0),
                      factory, config, sim::make_reactive_jammer(0.7));
@@ -100,7 +103,7 @@ int main(int argc, char** argv) {
     bench::emit(table,
                 "E14b — lambda ablation (ALIGNED batch of 4, window 2^12, "
                 "reactive jam p=0.7): reliability vs channel time",
-                common);
+                common, &trace);
   }
 
   // ---- (c) PUNCTUAL anarchist fallback -------------------------------------
@@ -125,7 +128,7 @@ int main(int argc, char** argv) {
       };
       const auto report = analysis::run_replications(
           gen, core::punctual::make_punctual_factory(p), common.reps,
-          common.seed, nullptr, {}, nullptr, common.threads);
+          common.seed, nullptr, {}, trace.get(), common.threads);
       double worst = 1.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {
         worst = std::min(worst, bucket.deadline_met.rate());
@@ -138,7 +141,7 @@ int main(int argc, char** argv) {
     bench::emit(table,
                 "E14c — PUNCTUAL truncation-fallback extension vs the "
                 "paper's give-up rule (gamma=1/16 general instances)",
-                common);
+                common, &trace);
   }
 
   // ---- (d) pecking order on/off --------------------------------------------
@@ -165,7 +168,7 @@ int main(int argc, char** argv) {
       };
       const auto report = analysis::run_replications(
           gen, core::aligned::make_aligned_factory(p), common.reps,
-          common.seed, nullptr, {}, nullptr, common.threads);
+          common.seed, nullptr, {}, trace.get(), common.threads);
       double worst = 0.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {
         worst = std::max(worst, bucket.deadline_met.failure_rate());
@@ -181,7 +184,7 @@ int main(int argc, char** argv) {
                 "E14d — pecking-order ablation on aligned laminar "
                 "instances (classes 10..14, gamma=1/256; the paper's rule "
                 "is failure-free here)",
-                common);
+                common, &trace);
   }
   return 0;
 }

@@ -26,13 +26,15 @@ using namespace crmd;
 
 util::SuccessCounter run_batches(const core::Params& params, int level,
                                  std::int64_t batch, int reps,
-                                 std::uint64_t seed, double p_jam) {
+                                 std::uint64_t seed, double p_jam,
+                                 obs::Tracer* tracer) {
   const auto factory = core::aligned::make_aligned_factory(params);
   const Slot w = util::pow2(level);
   util::SuccessCounter counter;
   for (int rep = 0; rep < reps; ++rep) {
     sim::SimConfig config;
     config.seed = seed * 7919 + static_cast<std::uint64_t>(rep * 131 + level);
+    config.tracer = tracer;
     auto jammer = p_jam > 0.0 ? sim::make_reactive_jammer(p_jam) : nullptr;
     const auto result = sim::run(workload::gen_batch(batch, w, 0), factory,
                                  config, std::move(jammer));
@@ -48,6 +50,7 @@ util::SuccessCounter run_batches(const core::Params& params, int level,
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/40);
+  auto trace = bench::make_trace_session(common);
 
   // ---- (1) clean channel, proportional load --------------------------------
   {
@@ -71,7 +74,8 @@ int main(int argc, char** argv) {
             2, static_cast<int>(common.reps * 16 /
                                 std::max<std::int64_t>(batch, 1)));
         const auto counter =
-            run_batches(params, level, batch, reps, common.seed, 0.0);
+            run_batches(params, level, batch, reps, common.seed, 0.0,
+                        trace.get());
         const auto [lo, hi] = counter.wilson95();
         (void)hi;
         table.add_row(
@@ -86,7 +90,7 @@ int main(int argc, char** argv) {
                     std::to_string(load_divisor) +
                     ", tau=8: failures stay below the measurement floor at "
                     "every window size",
-                common);
+                common, &trace);
   }
 
   // ---- (2) jam-stressed decay ----------------------------------------------
@@ -109,7 +113,8 @@ int main(int argc, char** argv) {
         params.min_class = level;
         const int reps = std::max(2, trials / static_cast<int>(batch));
         const auto counter =
-            run_batches(params, level, batch, reps, common.seed + 1, p_jam);
+            run_batches(params, level, batch, reps, common.seed + 1, p_jam,
+                        trace.get());
         const auto [lo, hi] = counter.wilson95();
         const double fail = counter.failure_rate();
         table.add_row(
@@ -128,7 +133,7 @@ int main(int argc, char** argv) {
                     util::fmt(p_jam, 2) +
                     " (beyond the analyzed 1/2) makes the polynomial decay "
                     "of the failure rate in the window size visible",
-                common);
+                common, &trace);
   }
   return 0;
 }

@@ -35,6 +35,7 @@ struct Bucket {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/5);
+  auto trace = bench::make_trace_session(common);
 
   // Two configurations: the paper's claim rate (s=1: at laptop-scale
   // windows nobody elects, so *every* job releases the slingshot — the
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
 
     sim::SimConfig sc;
     sc.seed = common.seed * 17 + static_cast<std::uint64_t>(rep);
+    sc.tracer = trace.get();
     sim::Simulation sim(instance, factory, sc);
     std::set<JobId> anarchists;
     while (!sim.finished()) {
@@ -113,7 +115,7 @@ int main(int argc, char** argv) {
               "(PUNCTUAL on general pow2 instances, gamma=1/32, lambda=4, "
               "claim scale s=" +
                   util::fmt(scale, 0) + ")",
-              common);
+              common, &trace);
   }
 
   // Focused follow-path demonstration: at the window sizes above, a
@@ -141,6 +143,7 @@ int main(int argc, char** argv) {
             instance, workload::gen_batch(followers, 1 << 14, 1024));
         sim::SimConfig sc;
         sc.seed = common.seed * 97 + static_cast<std::uint64_t>(rep);
+        sc.tracer = trace.get();
         const auto result = sim::run(instance, factory, sc);
         for (const auto& job : result.jobs) {
           if (job.window() == (1 << 14)) {
@@ -158,7 +161,7 @@ int main(int argc, char** argv) {
                 "E11.3 — FOLLOW-THE-LEADER at viable scale (leader window "
                 "2^15, lambda=1, tau=4, claim scale 256): followers run "
                 "ALIGNED inside the aligned slots and deliver",
-                common);
+                common, &trace);
   }
   return 0;
 }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/10);
+  auto trace = bench::make_trace_session(common);
 
   std::vector<std::int64_t> sizes{8, 16, 32, 64, 128};
   if (common.quick) {
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < common.reps; ++rep) {
         sim::SimConfig config;
         config.seed = common.seed * 17 + static_cast<std::uint64_t>(rep);
+        config.tracer = trace.get();
         const auto result = sim::run(
             workload::gen_batch(n, util::pow2(level), 0), *factory, config);
         Slot last = 0;
@@ -61,6 +63,6 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "E16 — batch makespan vs n (window 128n; makespan/n flat = "
               "linear drain, growing = superlinear)",
-              common);
+              common, &trace);
   return 0;
 }

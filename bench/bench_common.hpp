@@ -11,7 +11,10 @@
 // serial; results are bit-identical for every value — the determinism
 // contract, see analysis/runner.hpp), --trace-events=path.json (Chrome
 // trace-event export of every simulated run; open in chrome://tracing or
-// Perfetto), --feedback=<model>[:eps] (channel feedback semantics:
+// Perfetto), --timeline=path.json (slot-bucketed telemetry aggregated
+// over every simulated run — obs/timeline.hpp; bit-identical for every
+// --threads value), --metrics=path.json (metrics-registry snapshot),
+// --feedback=<model>[:eps] (channel feedback semantics:
 // ternary | binary_ack | collision_as_silence | noisy[:eps]; see
 // sim/channel.hpp).
 //
@@ -23,13 +26,16 @@
 // runs.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "analysis/runner.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -43,6 +49,11 @@ struct CommonArgs {
   std::string csv;
   std::string json;
   std::string trace_events;
+  /// Slot-bucketed telemetry JSON from --timeline=PATH (obs/timeline.hpp);
+  /// empty = off. Aggregates every traced run of the harness.
+  std::string timeline;
+  /// Metrics-registry snapshot JSON from --metrics=PATH; empty = off.
+  std::string metrics;
   bool quick;
   /// Replication workers as requested by --threads= (0 = hardware default);
   /// pass to run_replications, which resolves and clamps it.
@@ -68,6 +79,8 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   c.csv = args.get("csv", "");
   c.json = args.get("json", "");
   c.trace_events = args.get("trace-events", "");
+  c.timeline = args.get("timeline", "");
+  c.metrics = args.get("metrics", "");
   c.threads = static_cast<int>(args.get_int("threads", 0));
   const std::string spec = args.get("feedback", "ternary");
   if (const auto model = sim::parse_feedback_model(spec)) {
@@ -80,13 +93,16 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   return c;
 }
 
-/// Owns the optional tracing session built from --trace-events=PATH.
-/// `get()` is null when tracing is off, which every consumer treats as
-/// "emit nothing" (see CRMD_TRACE); pass it to run_replications or
-/// SimConfig::tracer. Call finish() (or let the destructor run) to flush
-/// and write the Chrome trace file.
+/// Owns the optional tracing session built from --trace-events and/or
+/// --timeline. `get()` is null when tracing is off, which every consumer
+/// treats as "emit nothing" (see CRMD_TRACE); pass it to run_replications
+/// or SimConfig::tracer. Call finish() (or let the destructor run) to
+/// flush and write the Chrome trace / timeline files.
 struct TraceSession {
   std::unique_ptr<obs::Tracer> tracer;
+  std::shared_ptr<obs::Timeline> timeline;
+  std::string timeline_path;
+  bool timeline_written = false;
 
   TraceSession() = default;
   TraceSession(TraceSession&&) = default;
@@ -94,24 +110,70 @@ struct TraceSession {
 
   [[nodiscard]] obs::Tracer* get() const noexcept { return tracer.get(); }
 
+  /// Flushes pending events and writes the timeline JSON (idempotent; a
+  /// later finish() will not rewrite it). Also stamps trace.emitted /
+  /// trace.dropped_events into the global metrics registry so a --metrics
+  /// snapshot records trace completeness.
+  void export_artifacts() {
+    if (tracer) {
+      tracer->flush();
+      obs::Registry& reg = obs::global_registry();
+      reg.counter("trace.emitted")
+          .inc(static_cast<std::int64_t>(tracer->emitted()) -
+               reg.counter("trace.emitted").value());
+      reg.counter("trace.dropped_events")
+          .inc(static_cast<std::int64_t>(tracer->dropped()) -
+               reg.counter("trace.dropped_events").value());
+    }
+    if (timeline) {
+      // Rewritten on every call so multi-table harnesses end with the
+      // full aggregate; the message prints once.
+      const bool ok = timeline->save_json(timeline_path);
+      if (!timeline_written) {
+        timeline_written = true;
+        if (ok) {
+          std::cout << "(timeline written to " << timeline_path << ")\n";
+        } else {
+          std::cout << "(FAILED to write timeline to " << timeline_path
+                    << ")\n";
+        }
+      }
+    }
+  }
+
   void finish() {
     if (tracer) {
       tracer->close();
-      tracer.reset();
+      if (tracer->dropped() > 0) {
+        std::cerr << "warning: trace dropped " << tracer->dropped()
+                  << " event(s); exported traces are incomplete\n";
+      }
     }
+    export_artifacts();
+    tracer.reset();
+    timeline.reset();
   }
 
   ~TraceSession() { finish(); }
 };
 
-/// Builds the tracing session requested by --trace-events (off by default).
+/// Builds the tracing session requested by --trace-events / --timeline
+/// (off by default: a null tracer and bit-identical results).
 inline TraceSession make_trace_session(const CommonArgs& common) {
   TraceSession session;
+  if (common.trace_events.empty() && common.timeline.empty()) {
+    return session;
+  }
+  session.tracer = std::make_unique<obs::Tracer>();
   if (!common.trace_events.empty()) {
-    session.tracer = std::make_unique<obs::Tracer>();
     session.tracer->add_sink(
         std::make_shared<obs::ChromeTraceSink>(common.trace_events));
     std::cout << "(tracing to " << common.trace_events << ")\n";
+  }
+  if (!common.timeline.empty()) {
+    session.timeline = std::make_shared<obs::Timeline>();
+    session.tracer->add_sink(session.timeline);
+    session.timeline_path = common.timeline;
   }
   return session;
 }
@@ -153,10 +215,40 @@ inline void stamp_profile(util::Table& table, int threads = 1) {
   table.set_meta("phase_ms", phases.str());
 }
 
-/// Prints the table (and saves CSV/JSON when requested). `header` names the
-/// experiment and its paper anchor. JSON output gains the profiler meta.
+/// Stamps profiler gauges into the global metrics registry and writes the
+/// --metrics=PATH snapshot (Registry::write_json). Trace counters land in
+/// the registry from TraceSession::export_artifacts before this runs.
+inline void export_metrics(const CommonArgs& common, int threads) {
+  if (common.metrics.empty()) {
+    return;
+  }
+  obs::Registry& reg = obs::global_registry();
+  const obs::RunProfiler& prof = obs::global_profiler();
+  reg.gauge("profile.wall_ms").set(prof.wall_ms());
+  reg.gauge("profile.slots_simulated")
+      .set(static_cast<double>(prof.slots()));
+  reg.gauge("run.threads").set(static_cast<double>(threads));
+  std::ofstream out(common.metrics);
+  if (out) {
+    reg.write_json(out);
+  }
+  if (out) {
+    std::cout << "(metrics written to " << common.metrics << ")\n";
+  } else {
+    std::cout << "(FAILED to write metrics to " << common.metrics << ")\n";
+  }
+}
+
+/// Prints the table (and saves CSV/JSON/metrics when requested). `header`
+/// names the experiment and its paper anchor. JSON output gains the
+/// profiler meta; when a TraceSession is passed its timeline is written
+/// first and stamped into the JSON meta (timeline path, bucket geometry,
+/// trace completeness), so artifacts cross-reference each other.
 inline void emit(util::Table& table, const std::string& header,
-                 const CommonArgs& common) {
+                 const CommonArgs& common, TraceSession* session = nullptr) {
+  if (session != nullptr) {
+    session->export_artifacts();
+  }
   table.print(std::cout, header);
   if (!common.csv.empty()) {
     if (table.save_csv(common.csv)) {
@@ -167,12 +259,27 @@ inline void emit(util::Table& table, const std::string& header,
   }
   if (!common.json.empty()) {
     stamp_profile(table, analysis::resolve_threads(common.threads));
+    if (session != nullptr && session->tracer) {
+      table.set_meta("trace_emitted", std::to_string(session->tracer->emitted()));
+      table.set_meta("trace_dropped_events",
+                     std::to_string(session->tracer->dropped()));
+    }
+    if (session != nullptr && session->timeline) {
+      table.set_meta("timeline", "\"" + session->timeline_path + "\"");
+      table.set_meta("timeline_bucket_width",
+                     std::to_string(session->timeline->bucket_width()));
+      table.set_meta("timeline_buckets",
+                     std::to_string(session->timeline->bucket_count()));
+      table.set_meta("timeline_events",
+                     std::to_string(session->timeline->events_seen()));
+    }
     if (table.save_json(common.json)) {
       std::cout << "(json written to " << common.json << ")\n";
     } else {
       std::cout << "(FAILED to write json to " << common.json << ")\n";
     }
   }
+  export_metrics(common, analysis::resolve_threads(common.threads));
   std::cout << "\n";
 }
 

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/200000);
+  auto trace = bench::make_trace_session(common);
 
   const int n = static_cast<int>(args.get_int("jobs", 32));
   const std::vector<double> contentions{0.125, 0.25, 0.5, 1.0,
@@ -54,6 +55,6 @@ int main(int argc, char** argv) {
               "probability (" +
                   std::to_string(n) + " jobs, " +
                   std::to_string(common.reps) + " trials per row)",
-              common);
+              common, &trace);
   return 0;
 }

@@ -45,6 +45,7 @@ std::int64_t simulate_estimate(const core::Params& params, int level,
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/200);
+  auto trace = bench::make_trace_session(common);
 
   core::Params params;
   params.lambda = static_cast<int>(args.get_int("lambda", 4));
@@ -88,6 +89,6 @@ int main(int argc, char** argv) {
                   std::to_string(level) + ", lambda=" +
                   std::to_string(params.lambda) + ", tau=" +
                   std::to_string(params.tau) + ", reactive jamming)",
-              common);
+              common, &trace);
   return 0;
 }

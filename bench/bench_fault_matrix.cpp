@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/10);
+  auto trace = bench::make_trace_session(common);
 
   core::Params params;
   params.lambda = static_cast<int>(args.get_int("lambda", 2));
@@ -127,7 +128,7 @@ int main(int argc, char** argv) {
     }
     const auto clean =
         analysis::run_replications(gen, *factory, common.reps, common.seed,
-                                   nullptr, {}, nullptr, common.threads);
+                                   nullptr, {}, trace.get(), common.threads);
     const Baseline base = snapshot(clean);
 
     for (const auto& axis : axes) {
@@ -142,7 +143,7 @@ int main(int argc, char** argv) {
         }
         const auto report = analysis::run_replications(
             gen, *factory, common.reps, common.seed, jam_gen, axis.plan(x),
-            nullptr, common.threads);
+            trace.get(), common.threads);
 
         std::string verdict = "-";
         if (x == 0.0) {
@@ -166,7 +167,7 @@ int main(int argc, char** argv) {
               "Robustness — delivery under injected faults (batch " +
                   std::to_string(batch) + " jobs, window 2^" +
                   std::to_string(level) + ", crash intensity = rate*64)",
-              common);
+              common, &trace);
   if (mismatches != 0) {
     std::cerr << "FAIL: " << mismatches
               << " zero-intensity row(s) differ from the fault-free "

@@ -68,6 +68,7 @@ std::string jam_tag(double jam) {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const bench::CommonArgs common = bench::parse_common(args, /*reps=*/8);
+  auto trace = bench::make_trace_session(common);
 
   // Aligned instances work for every protocol (power-of-2-aligned windows
   // satisfy ALIGNED's precondition; everyone else is indifferent).
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
         analysis::RunOptions options;
         options.feedback = model;
         options.threads = common.threads;
+        options.tracer = trace.get();
         if (jam > 0.0) {
           options.jammer_gen = [jam](util::Rng) {
             return sim::make_blanket_jammer(jam);
@@ -169,7 +171,7 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "Feedback-model robustness — protocol x channel feedback "
               "model x blanket jamming (DESIGN.md §6f degradation ladder)",
-              common);
+              common, &trace);
 
   // Self-check: the degradation ladder must hold at zero jamming. The
   // tolerance absorbs replication noise only; a real inversion (a protocol

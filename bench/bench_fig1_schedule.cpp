@@ -36,6 +36,7 @@ struct WindowStats {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/1);
+  auto trace = bench::make_trace_session(common);
 
   core::Params p;
   p.lambda = 1;
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   sim::SimConfig config;
   config.seed = common.seed;
   config.horizon = horizon;
+  config.tracer = trace.get();
   sim::Simulation sim(instance, core::aligned::make_aligned_factory(p),
                       config);
 
@@ -139,7 +141,7 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "E1 / Figure 1 — pecking-order schedule (ALIGNED, lambda=1, "
               "tau=2)",
-              common);
+              common, &trace);
 
   // Compressed timeline: one char per 64-slot bucket, rows ordered small ->
   // large as in Figure 1. 'E' estimation, 'B' broadcast, '*' both, '|' at

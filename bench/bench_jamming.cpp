@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/20);
+  auto trace = bench::make_trace_session(common);
 
   core::Params params;
   params.lambda = static_cast<int>(args.get_int("lambda", 2));
@@ -54,8 +55,8 @@ int main(int argc, char** argv) {
         return adv.make(p_jam);
       };
       const auto report = analysis::run_replications(
-          gen, factory, common.reps, common.seed, jam_gen, {}, nullptr,
-          common.threads);
+          gen, factory, common.reps, common.seed, jam_gen, {},
+          trace.get(), common.threads);
       const auto [lo, hi] = report.outcomes.overall().wilson95();
       (void)hi;
       table.add_row(
@@ -73,6 +74,6 @@ int main(int argc, char** argv) {
               "adversaries (batch " +
                   std::to_string(batch) + " jobs, window 2^" +
                   std::to_string(level) + ")",
-              common);
+              common, &trace);
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/8);
+  auto trace = bench::make_trace_session(common);
 
   core::Params params;
   params.lambda = 4;
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
       const auto instance = workload::gen_general(config, rng);
       sim::SimConfig sc;
       sc.seed = common.seed * 3 + static_cast<std::uint64_t>(rep);
+      sc.tracer = trace.get();
       const auto result = sim::run(instance, *factory, sc);
       for (const auto& job : result.jobs) {
         delivered.add(job.success);
@@ -58,6 +60,6 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "E15 — delivery latency as a fraction of the window "
               "(general gamma=1/32 instances)",
-              common);
+              common, &trace);
   return 0;
 }

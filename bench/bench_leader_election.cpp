@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/25);
+  auto trace = bench::make_trace_session(common);
   const int level = static_cast<int>(args.get_int("level", 12));
   const Slot w = Slot{1} << level;
 
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
         config.seed = common.seed * 104729 +
                       static_cast<std::uint64_t>(rep * 13 + batch);
         config.record_slots = false;
+        config.tracer = trace.get();
         Slot first_claim = kNoSlot;
         sim::Simulation sim(workload::gen_batch(batch, w, 0), factory,
                             config);
@@ -90,6 +92,6 @@ int main(int argc, char** argv) {
                   std::to_string(level) +
                   "; paper scale s=1 needs asymptotic windows — the "
                   "documented constants gap)",
-              common);
+              common, &trace);
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/10);
+  auto trace = bench::make_trace_session(common);
 
   util::Table table(
       {"protocol", "collision detection", "delivered", "noise slots/rep"});
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       sim::SimConfig sc;
       sc.seed = common.seed * 7 + static_cast<std::uint64_t>(rep);
       sc.collision_detection = cd;
+      sc.tracer = trace.get();
       const auto result = sim::run(instance, factory, sc);
       delivered.add_many(static_cast<std::uint64_t>(result.successes()),
                          static_cast<std::uint64_t>(result.jobs.size()));
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
       sim::SimConfig sc;
       sc.seed = common.seed * 11 + static_cast<std::uint64_t>(rep);
       sc.collision_detection = cd;
+      sc.tracer = trace.get();
       const auto result = sim::run(instance, factory, sc);
       delivered.add_many(static_cast<std::uint64_t>(result.successes()),
                          static_cast<std::uint64_t>(result.jobs.size()));
@@ -89,6 +92,6 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "E17 — collision-detection ablation: which algorithm "
               "actually needs the §1.1 assumption",
-              common);
+              common, &trace);
   return 0;
 }

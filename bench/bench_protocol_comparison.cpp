@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
   bench::emit(table_a,
               "E13a / §1 — protocol comparison on gamma=1/32 general "
               "instances (windows 2^10..2^13)",
-              common);
+              common, &trace);
 
   // ---- (b) the starvation instance ----------------------------------------
   const std::int64_t n = args.get_int("starvation-n", 1024);
@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < reps; ++rep) {
       sim::SimConfig config;
       config.seed = common.seed * 7 + static_cast<std::uint64_t>(rep);
+      config.tracer = trace.get();
       const auto result = sim::run(instance, factory, config);
       for (std::size_t i = 0; i < result.jobs.size(); ++i) {
         overall.add(result.jobs[i].success);
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
   bench::emit(table_b,
               "E13b / Lemma 5 workload — who starves the urgent jobs "
               "(n=" + std::to_string(n) + ", w_j = 4j)",
-              common);
+              common, &trace);
 
   // ---- (c) periodic industrial traffic (the paper's motivation) -----------
   {
@@ -183,7 +184,7 @@ int main(int argc, char** argv) {
     for (const auto& contender : contenders()) {
       const auto report = analysis::run_replications(
           periodic_gen, contender.factory, common.reps, common.seed, nullptr,
-          {}, nullptr, common.threads);
+          {}, trace.get(), common.threads);
       double worst = 1.0;
       double worst_latency_frac = 0.0;
       for (const auto& [w, bucket] : report.outcomes.by_window()) {
@@ -202,7 +203,7 @@ int main(int argc, char** argv) {
     bench::emit(table_c,
                 "E13c / §1 motivation — periodic WirelessHART-style flows "
                 "(24 flows, periods 2^10..2^13, gamma=1/32)",
-                common);
+                common, &trace);
   }
   return 0;
 }

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
               "E12 / §4 end-to-end — PUNCTUAL per-window-size failure on "
               "general clockless instances (lambda=" +
                   std::to_string(params.lambda) + ")",
-              common);
+              common, &trace);
   trace.finish();
   return 0;
 }

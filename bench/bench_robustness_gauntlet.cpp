@@ -28,6 +28,13 @@
 //      (every jammer and the crash/restart fault plan) on every model it
 //      runs: no cell drives it to zero.
 //
+//   5. timeline rebound — a dedicated traced run (local obs::Timeline
+//      sink) puts NOCD-ROBUST under a hard jam window in the middle of
+//      its deadline window and checks the slot-resolved telemetry: the
+//      jammed region shows zero successes, and once the jam lifts the
+//      protocol's transmit attempts and successes *rebound* instead of
+//      stalling — the time-resolved shape behind check 3's scalar.
+//
 // Rows carry the slot-engine timing columns (scenario, jobs, slots,
 // wall_ms, slots_per_sec) so `tools/check_perf.py --check-only --expect`
 // can validate both the artifact shape and sweep completeness.
@@ -43,9 +50,11 @@
 #include "analysis/runner.hpp"
 #include "bench_common.hpp"
 #include "core/registry.hpp"
+#include "obs/timeline.hpp"
 #include "sim/channel.hpp"
 #include "sim/faults.hpp"
 #include "sim/jammer.hpp"
+#include "sim/simulator.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -67,11 +76,30 @@ struct Faults {
 /// (protocol, model, adversary, faults) -> success rate.
 using Key = std::tuple<std::string, std::string, std::string, std::string>;
 
+/// Deterministic hard jam over [from, to): every slot in the interval is
+/// jammed with certainty, nothing outside it. Used by self-check 5, where
+/// the *boundary* of the outage must be sharp so the timeline's jammed /
+/// post-jam regions are unambiguous.
+class WindowedJammer final : public sim::Jammer {
+ public:
+  WindowedJammer(Slot from, Slot to) : from_(from), to_(to) {}
+  [[nodiscard]] bool wants_jam(Slot slot, sim::SlotOutcome,
+                               const sim::Message*) override {
+    return slot >= from_ && slot < to_;
+  }
+  [[nodiscard]] double p_jam() const noexcept override { return 1.0; }
+
+ private:
+  Slot from_;
+  Slot to_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const bench::CommonArgs common = bench::parse_common(args, /*reps=*/8);
+  auto trace = bench::make_trace_session(common);
 
   // Saturated batch: n = w/2 jobs sharing one power-of-2-aligned window
   // (valid for every protocol; the load where the feedback/robustness
@@ -160,6 +188,7 @@ int main(int argc, char** argv) {
           options.jammer_gen = adversary.gen;
           options.faults = faults.plan;
           options.threads = common.threads;
+          options.tracer = trace.get();
 
           const auto start = std::chrono::steady_clock::now();
           const analysis::ReplicationReport report =
@@ -194,7 +223,7 @@ int main(int argc, char** argv) {
               "Adversarial robustness gauntlet — protocol x feedback model "
               "x jammer x fault plan, saturated batch (DESIGN.md §6g, "
               "EXPERIMENTS.md E20)",
-              common);
+              common, &trace);
 
   // ---- self-checks (see file comment) --------------------------------------
   const auto rate = [&](const std::string& proto, const std::string& model,
@@ -260,6 +289,68 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 5. Timeline rebound: slot-resolved telemetry of NOCD-ROBUST under a
+  // hard jam covering the second quarter of the deadline window. A local
+  // Timeline sink keeps the check independent of --timeline/--trace-events.
+  {
+    obs::Tracer tracer;
+    // 64 buckets over a 2^level window settle at width window/64, so the
+    // jam boundaries (quarters of the window) fall on bucket edges.
+    auto timeline = std::make_shared<obs::Timeline>(64);
+    tracer.add_sink(timeline);
+    const Slot jam_from = window / 4;
+    const Slot jam_to = window / 2;
+    const auto robust = core::make_protocol("nocd_robust", params);
+    sim::SimConfig sc;
+    sc.seed = common.seed * 131 + 7;
+    sc.feedback = sim::FeedbackModel::collision_as_silence();
+    sc.tracer = &tracer;
+    (void)sim::run(workload::gen_batch(batch, window, 0), *robust, sc,
+                   std::make_unique<WindowedJammer>(jam_from, jam_to));
+    tracer.close();
+
+    std::int64_t jam_attempts = 0;
+    std::int64_t jam_success = 0;
+    std::int64_t post_attempts = 0;
+    std::int64_t post_success = 0;
+    const std::int64_t bw = timeline->bucket_width();
+    for (std::size_t i = 0; i < timeline->bucket_count(); ++i) {
+      const Slot lo = static_cast<Slot>(i) * bw;
+      const Slot hi = lo + bw;
+      const obs::TimelineBucket& b = timeline->bucket(i);
+      if (lo >= jam_from && hi <= jam_to) {
+        jam_attempts += b.attempts;
+        jam_success += b.true_success;
+      } else if (lo >= jam_to) {
+        post_attempts += b.attempts;
+        post_success += b.true_success;
+      }
+    }
+    if (timeline->events_seen() == 0) {
+      fail("timeline rebound: the traced run produced no events");
+    }
+    if (jam_success != 0) {
+      fail("timeline rebound: " + std::to_string(jam_success) +
+           " success(es) inside the hard jam window — the jammer or the "
+           "bucket accounting is broken");
+    }
+    if (jam_attempts <= 0) {
+      fail("timeline rebound: nocd_robust stopped transmitting during the "
+           "jam (collision_as_silence hides the outage, so probing must "
+           "continue)");
+    }
+    if (post_attempts <= 0 || post_success <= 0) {
+      fail("timeline rebound: no post-jam recovery (attempts " +
+           std::to_string(post_attempts) + ", successes " +
+           std::to_string(post_success) +
+           ") — nocd_robust failed to rebound after the jam lifted");
+    }
+    std::cerr << "timeline rebound: jam [" << jam_from << ", " << jam_to
+              << ") attempts " << jam_attempts << " successes "
+              << jam_success << "; post-jam attempts " << post_attempts
+              << " successes " << post_success << "\n";
+  }
+
   if (violations > 0) {
     std::cerr << "self-check: " << violations
               << " robustness violation(s)\n";
@@ -267,6 +358,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "self-check: robustness gauntlet holds (no-CD parity for "
                "the NOCD family; >= 10x blind-fallback gap for ALIGNED; "
-               "bounded jamming degradation; nocd_robust never stalls)\n";
+               "bounded jamming degradation; nocd_robust never stalls; "
+               "timeline shows post-jam rebound)\n";
   return 0;
 }

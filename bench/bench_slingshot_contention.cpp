@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using core::punctual::SlotType;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/5);
+  auto trace = bench::make_trace_session(common);
 
   core::Params params;
   params.lambda = 2;
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
 
     sim::SimConfig sc;
     sc.seed = common.seed * 31 + static_cast<std::uint64_t>(rep);
+    sc.tracer = trace.get();
     sim::Simulation sim(instance, factory, sc);
 
     Slot anchor = kNoSlot;
@@ -107,6 +109,6 @@ int main(int argc, char** argv) {
               "(general instances, gamma=1/16); election-slot contention "
               "must stay << 1 (mean of per-rep maxima: " +
                   util::fmt_sci(election_max.mean(), 2) + ")",
-              common);
+              common, &trace);
   return 0;
 }

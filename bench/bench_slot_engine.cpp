@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   // reps here are timing repetitions per sweep point, not replications.
   const bench::CommonArgs common = bench::parse_common(args, /*reps=*/4);
+  auto trace = bench::make_trace_session(common);
 
   std::vector<std::int64_t> job_counts = {256, 1024, 8192};
   if (common.quick) {
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
                                sim::SimConfig config;
                                config.seed = common.seed + rep;
                                config.horizon = horizon;
+                               config.tracer = trace.get();
                                return sim::Simulation(
                                    workload::gen_batch(n, window), uniform,
                                    config);
@@ -116,6 +118,7 @@ int main(int argc, char** argv) {
                                config.seed = common.seed + rep;
                                config.horizon = horizon;
                                config.collision_detection = false;
+                               config.tracer = trace.get();
                                return sim::Simulation(
                                    workload::gen_batch(n, window), aloha,
                                    config);
@@ -136,6 +139,7 @@ int main(int argc, char** argv) {
           config.faults.crash_rate = 0.0005;
           config.faults.stall_min = 4;
           config.faults.stall_max = 16;
+          config.tracer = trace.get();
           return sim::Simulation(std::move(instance), uniform, config);
         }));
   }
@@ -147,6 +151,6 @@ int main(int argc, char** argv) {
   }
 
   bench::emit(table, "Slot-engine throughput (single-replication slots/sec)",
-              common);
+              common, &trace);
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/3);
+  auto trace = bench::make_trace_session(common);
   const Slot window = args.get_int("window", 1 << 12);
   const Slot horizon = args.get_int("horizon", 1 << 14);
 
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
         }
         sim::SimConfig sc;
         sc.seed = rng.next_u64();
+        sc.tracer = trace.get();
         const auto result = sim::run(instance, *factory, sc);
         for (const auto& job : result.jobs) {
           delivered.add(job.success);
@@ -68,6 +70,6 @@ int main(int argc, char** argv) {
   bench::emit(table,
               "E18 — capacity under Poisson arrivals (window 2^12): "
               "delivered fraction vs offered load",
-              common);
+              common, &trace);
   return 0;
 }

@@ -64,6 +64,6 @@ int main(int argc, char** argv) {
               "instances (classes 10..14, lambda=" +
                   std::to_string(params.lambda) + ", tau=" +
                   std::to_string(params.tau) + ")",
-              common);
+              common, &trace);
   return 0;
 }

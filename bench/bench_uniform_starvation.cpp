@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace crmd;
   const util::Args args(argc, argv);
   const auto common = bench::parse_common(args, /*default_reps=*/60);
+  auto trace = bench::make_trace_session(common);
   const double gamma = args.get_double("gamma", 0.25);
 
   core::Params params;
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < reps; ++rep) {
       sim::SimConfig config;
       config.seed = common.seed * 1000003 + static_cast<std::uint64_t>(rep);
+      config.tracer = trace.get();
       const auto result = sim::run(instance, factory, config);
       // Jobs are normalized by (release, deadline): index == j-1 of the
       // construction, so index order is window order.
@@ -72,6 +74,6 @@ int main(int argc, char** argv) {
                   util::fmt(gamma, 3) +
                   "); early-cohort success should vanish as n grows while "
                   "the overall fraction stays constant",
-              common);
+              common, &trace);
   return 0;
 }

@@ -74,6 +74,6 @@ int main(int argc, char** argv) {
               "E3 / Lemma 4 — UNIFORM delivers a constant fraction on "
               "slack-feasible instances (attempts=" +
                   std::to_string(params.uniform_attempts) + ")",
-              common);
+              common, &trace);
   return 0;
 }

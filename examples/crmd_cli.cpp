@@ -9,11 +9,14 @@
 // Workloads: aligned | general | batch | starvation | periodic.
 // Protocols: see --list.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "analysis/runner.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/trace.hpp"
@@ -37,6 +40,9 @@ int usage() {
          "  --window=W             batch window (default 8192)\n"
          "  --horizon=H            generator horizon (default 65536)\n"
          "  --lambda=L --tau=T --min-class=C   protocol constants\n"
+         "  --claim-scale=S        PUNCTUAL leader-claim probability scale\n"
+         "                         (paper: 1; raise to elect at small "
+         "windows)\n"
          "  --reps=R --seed=S      replication controls\n"
          "  --feedback=MODEL       channel feedback semantics: ternary |\n"
          "                         binary_ack | collision_as_silence |\n"
@@ -55,8 +61,28 @@ int usage() {
          "  --trace-jsonl=PATH     save the raw event stream (JSONL) of "
          "one run\n"
          "  --watchdog             check protocol invariants on the event "
-         "stream\n";
+         "stream\n"
+         "  --watchdog-strict      like --watchdog, but exit 1 on any "
+         "violation\n"
+         "  --watchdog-cap=C       opt-in: flag slots with contention > C\n"
+         "  --watchdog-settle=N    skip the first N slots of contention "
+         "checks\n"
+         "  --timeline=PATH        save slot-bucketed telemetry (JSON) of "
+         "the\n"
+         "                         replicated sweep (bit-identical for "
+         "every --threads)\n"
+         "  --metrics=PATH         save a metrics-registry snapshot "
+         "(JSON)\n";
   return 2;
+}
+
+/// Warns when a tracer lost events (sinks detached mid-run / emit after
+/// close); exported artifacts would silently be partial otherwise.
+void warn_if_dropped(const obs::Tracer& tracer) {
+  if (tracer.dropped() > 0) {
+    std::cerr << "warning: trace dropped " << tracer.dropped()
+              << " event(s); exported traces are incomplete\n";
+  }
 }
 
 }  // namespace
@@ -88,6 +114,8 @@ int main(int argc, char** argv) {
   params.tau = args.get_int("tau", params.tau);
   params.min_class =
       static_cast<int>(args.get_int("min-class", params.min_class));
+  params.pullback_prob_scale =
+      args.get_double("claim-scale", params.pullback_prob_scale);
   const auto factory = core::make_protocol(protocol, params);
   if (!factory) {
     std::cerr << "unknown protocol '" << protocol << "' (try --list)\n";
@@ -156,7 +184,14 @@ int main(int argc, char** argv) {
   const std::string faults_path = args.get("faults-csv", "");
   const std::string events_path = args.get("trace-events", "");
   const std::string jsonl_path = args.get("trace-jsonl", "");
-  const bool watchdog_on = args.has("watchdog");
+  const std::string timeline_path = args.get("timeline", "");
+  const std::string metrics_path = args.get("metrics", "");
+  const bool watchdog_strict = args.has("watchdog-strict");
+  const bool watchdog_on = args.has("watchdog") || watchdog_strict;
+  obs::WatchdogConfig wd_config;
+  wd_config.contention_cap = args.get_double("watchdog-cap", 0.0);
+  wd_config.settle_slots = args.get_int("watchdog-settle", 0);
+  std::int64_t watchdog_violations = 0;
   if (!trace_path.empty() || !jobs_path.empty() || !faults_path.empty() ||
       !events_path.empty() || !jsonl_path.empty() || watchdog_on) {
     util::Rng rng(seed);
@@ -178,7 +213,7 @@ int main(int argc, char** argv) {
         tracer->add_sink(std::make_shared<obs::JsonlFileSink>(jsonl_path));
       }
       if (watchdog_on) {
-        watchdog = std::make_shared<obs::Watchdog>();
+        watchdog = std::make_shared<obs::Watchdog>(wd_config);
         tracer->add_sink(watchdog);
       }
       config.tracer = tracer.get();
@@ -186,6 +221,10 @@ int main(int argc, char** argv) {
     const auto result = sim::run(gen(rng), *factory, config);
     if (tracer) {
       tracer->close();
+      warn_if_dropped(*tracer);
+      obs::global_registry()
+          .counter("trace.dropped_events")
+          .inc(static_cast<std::int64_t>(tracer->dropped()));
     }
     if (!trace_path.empty() &&
         sim::save_slot_trace_csv(trace_path, result.slots)) {
@@ -206,6 +245,10 @@ int main(int argc, char** argv) {
       std::cout << "(event jsonl written to " << jsonl_path << ")\n";
     }
     if (watchdog) {
+      watchdog_violations = watchdog->violation_count();
+      obs::global_registry()
+          .counter("watchdog.violations")
+          .inc(watchdog_violations);
       if (watchdog->ok()) {
         std::cout << "(watchdog: 0 violations)\n";
       } else {
@@ -216,11 +259,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The replicated sweep. A --timeline tracer rides the sweep itself (the
+  // runner replays parallel replications in replication order, so the
+  // aggregate is bit-identical for every --threads value).
+  std::unique_ptr<obs::Tracer> sweep_tracer;
+  std::shared_ptr<obs::Timeline> timeline;
+  if (!timeline_path.empty()) {
+    sweep_tracer = std::make_unique<obs::Tracer>();
+    timeline = std::make_shared<obs::Timeline>();
+    sweep_tracer->add_sink(timeline);
+  }
   analysis::RunOptions options;
   options.feedback = *feedback;
   options.threads = threads;
+  options.tracer = sweep_tracer.get();
   const auto report =
       analysis::run_replications(gen, *factory, reps, seed, options);
+  if (sweep_tracer) {
+    sweep_tracer->close();
+    warn_if_dropped(*sweep_tracer);
+    obs::Registry& reg = obs::global_registry();
+    reg.counter("trace.emitted")
+        .inc(static_cast<std::int64_t>(sweep_tracer->emitted()));
+    reg.counter("trace.dropped_events")
+        .inc(static_cast<std::int64_t>(sweep_tracer->dropped()));
+    if (timeline->save_json(timeline_path)) {
+      std::cout << "(timeline written to " << timeline_path << ")\n";
+    } else {
+      std::cout << "(FAILED to write timeline to " << timeline_path << ")\n";
+    }
+  }
 
   util::Table table({"window", "jobs", "delivered", "mean latency",
                      "mean tx/job"});
@@ -243,5 +311,29 @@ int main(int argc, char** argv) {
             << "); channel: " << report.channel.slots_simulated
             << " slots, mean contention "
             << util::fmt(report.channel.contention.mean(), 3) << "\n";
+
+  if (!metrics_path.empty()) {
+    obs::Registry& reg = obs::global_registry();
+    reg.gauge("sim.slots_simulated")
+        .set(static_cast<double>(report.channel.slots_simulated));
+    reg.gauge("sim.delivery_rate").set(report.outcomes.overall().rate());
+    reg.gauge("sim.mean_contention").set(report.channel.contention.mean());
+    reg.gauge("run.reps").set(static_cast<double>(reps));
+    reg.gauge("run.threads")
+        .set(static_cast<double>(analysis::resolve_threads(threads)));
+    std::ofstream out(metrics_path);
+    if (out) {
+      reg.write_json(out);
+      std::cout << "(metrics written to " << metrics_path << ")\n";
+    } else {
+      std::cout << "(FAILED to write metrics to " << metrics_path << ")\n";
+    }
+  }
+
+  if (watchdog_strict && watchdog_violations > 0) {
+    std::cerr << "watchdog-strict: " << watchdog_violations
+              << " violation(s) — failing\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/types.hpp"
@@ -34,6 +35,8 @@ enum class EventKind : std::uint8_t {
   kTransmit,       ///< one transmission; a=MessageKind, x=declared prob
   kSlotResolved,   ///< slot resolved; a=SlotOutcome, b=transmitters,
                    ///< x=contention C(t)
+  kSlotPerceived,  ///< listener-perceived outcome after the feedback model
+                   ///< (before per-job faults); a=SlotOutcome, b=live jobs
   kSuccessCredit,  ///< data delivery credited; job=winner
   kFault,          ///< injected fault; a=FaultKind (see sim/faults.hpp)
 
@@ -49,8 +52,17 @@ enum class EventKind : std::uint8_t {
   kSchedule,       ///< UNIFORM picked its slots; a=attempts, x=per-slot p
 };
 
+/// Number of EventKind values (kSchedule is last by construction; the
+/// static_assert in taxonomy.cpp trips if a new kind forgets to move it).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kSchedule) + 1;
+
 /// Human-readable kind name (stable; used by the JSONL sink and tests).
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// Inverse of to_string: parses a kind name as the JSONL sink writes it.
+/// Returns false (out untouched) on an unknown name.
+[[nodiscard]] bool parse_event_kind(const char* name, EventKind& out) noexcept;
 
 /// One observed fact. 48 bytes; trivially copyable by design.
 struct TraceEvent {

@@ -1,0 +1,104 @@
+#include "obs/taxonomy.hpp"
+
+namespace crmd::obs {
+
+static_assert(kEventKindCount == 16,
+              "new EventKind added: extend the taxonomy tables and keep "
+              "kSchedule last (or update kEventKindCount)");
+
+const std::vector<EventKind>& channel_taxonomy() {
+  static const std::vector<EventKind> kinds = {
+      EventKind::kJobActivate,  EventKind::kJobRetire,
+      EventKind::kTransmit,     EventKind::kSlotResolved,
+      EventKind::kSlotPerceived, EventKind::kSuccessCredit,
+  };
+  return kinds;
+}
+
+namespace {
+
+// Stage indices mirror core::PunctualProtocol::Stage; see taxonomy.hpp for
+// the duplication rationale (drift-checked in test_trace_analysis.cpp).
+// Transitions are the edges the state machine can legally take: activation
+// self-edges, the sync/probe/slingshot walk of §4, the desync fallback
+// (any pre-terminal stage can drop to desperate), and terminal entries.
+ProtocolTaxonomy make_punctual() {
+  ProtocolTaxonomy t;
+  t.family = "punctual";
+  t.expected_kinds = {EventKind::kStage, EventKind::kRoundSync,
+                      EventKind::kBecomeLeader, EventKind::kWindowTrim};
+  t.stages = {"sync-listen", "sync-announce", "probe",     "slingshot",
+              "recheck",     "follow-wait",   "follow-run", "lead",
+              "lead-handoff", "anarchist",    "desperate",  "succeeded",
+              "gave-up"};
+  t.transitions = {
+      {0, 0},                  // activation (stage field starts at 0)
+      {0, 1},  {0, 2},         // idle announce / sync pair heard
+      {1, 2},                  // announce done -> probe
+      {2, 3},  {2, 5},         // probe -> slingshot / follow a leader
+      {3, 4},  {3, 5}, {3, 7}, // pullback out / follow / claim won
+      {4, 5},  {4, 7}, {4, 9}, // recheck -> follow / lead / anarchy
+      {5, 6},  {5, 9},         // core built / no core left
+      {6, 5},  {6, 9}, {6, 11}, {6, 12},  // restart / truncation / done
+      {7, 8},  {7, 11}, {7, 12},          // deposed / success / jammed out
+      {8, 11}, {8, 12},                   // handoff delivered / lost
+      {9, 11},                            // anarchy success
+      {10, 11},                           // desperate success
+      // Desync fallback: evidence of an untrustworthy grid drops any
+      // pre-terminal stage to desperate (note_desync_evidence).
+      {0, 10}, {1, 10}, {2, 10}, {3, 10}, {4, 10},
+      {5, 10}, {6, 10}, {7, 10}, {8, 10}, {9, 10},
+  };
+  return t;
+}
+
+ProtocolTaxonomy make_aligned() {
+  ProtocolTaxonomy t;
+  t.family = "aligned";
+  t.expected_kinds = {EventKind::kStage, EventKind::kEstimate,
+                      EventKind::kClassActive, EventKind::kSubphase};
+  t.stages = {"running", "succeeded", "gave-up"};
+  // No activation event: "running" is the constructed state, observed only
+  // as the from-side of a terminal transition.
+  t.transitions = {{0, 1}, {0, 2}};
+  return t;
+}
+
+ProtocolTaxonomy make_nocd() {
+  ProtocolTaxonomy t;
+  t.family = "nocd";
+  t.expected_kinds = {EventKind::kEstimate};
+  return t;
+}
+
+ProtocolTaxonomy make_uniform() {
+  ProtocolTaxonomy t;
+  t.family = "uniform";
+  t.expected_kinds = {EventKind::kSchedule};
+  return t;
+}
+
+}  // namespace
+
+const std::vector<ProtocolTaxonomy>& protocol_taxonomies() {
+  static const std::vector<ProtocolTaxonomy> families = {
+      make_punctual(), make_aligned(), make_nocd(), make_uniform()};
+  return families;
+}
+
+const ProtocolTaxonomy* taxonomy_for_protocol(
+    std::string_view protocol_name) noexcept {
+  const ProtocolTaxonomy* best = nullptr;
+  std::size_t best_len = 0;
+  for (const ProtocolTaxonomy& t : protocol_taxonomies()) {
+    const std::string_view family = t.family;
+    if (protocol_name.substr(0, family.size()) == family &&
+        family.size() > best_len) {
+      best = &t;
+      best_len = family.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace crmd::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+
+/// \file taxonomy.hpp (obs)
+/// The *declared* event taxonomy per protocol family: which EventKinds a
+/// healthy saturated run is expected to fire, the stage-name inventory of
+/// the family's state machine, and the legal stage transitions. This is
+/// what `crmd_trace coverage` audits an observed JSONL stream against —
+/// an unhit kind or transition means either dead instrumentation or a
+/// scenario that never exercised that path.
+///
+/// Layering: obs sits below core, so the stage-name tables here are
+/// deliberate literal duplicates of core's to_string(Stage) tables. A
+/// drift check in tests/test_trace_analysis.cpp compares them entry by
+/// entry against the core tables; editing one side without the other
+/// fails that test, not a user's coverage report.
+
+namespace crmd::obs {
+
+/// One legal stage transition (indices into ProtocolTaxonomy::stages).
+struct StageTransition {
+  int from;
+  int to;
+};
+
+/// Declared taxonomy of one protocol family.
+struct ProtocolTaxonomy {
+  /// Family key ("punctual", "aligned", "nocd", "uniform"). Protocol
+  /// registry names map onto families by longest-prefix match, so
+  /// "nocd_robust" and "punctual_gap" audit against their base family.
+  const char* family;
+  /// Protocol-level kinds a saturated run of this family must fire (the
+  /// channel-level base set from channel_taxonomy() is implied).
+  std::vector<EventKind> expected_kinds;
+  /// Stage names, indexed by the core Stage enum value; empty when the
+  /// family has no stage machine.
+  std::vector<const char*> stages;
+  /// Legal transitions of the stage machine (empty when stages is empty).
+  std::vector<StageTransition> transitions;
+};
+
+/// Channel-level kinds every simulated run fires regardless of protocol.
+[[nodiscard]] const std::vector<EventKind>& channel_taxonomy();
+
+/// All declared families.
+[[nodiscard]] const std::vector<ProtocolTaxonomy>& protocol_taxonomies();
+
+/// Longest-prefix match of a protocol registry name ("punctual",
+/// "nocd_robust", "aligned_gap", ...) onto a declared family; null when
+/// no family matches (baselines such as beb audit channel-level only).
+[[nodiscard]] const ProtocolTaxonomy* taxonomy_for_protocol(
+    std::string_view protocol_name) noexcept;
+
+}  // namespace crmd::obs

@@ -1,0 +1,208 @@
+#include "obs/timeline.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace crmd::obs {
+
+namespace {
+
+// SlotOutcome values as emitted in kSlotResolved/kSlotPerceived payloads.
+// obs sits below sim, so the enum cannot be named here; the mapping is
+// drift-checked against sim::SlotOutcome in test_timeline.cpp.
+constexpr std::int64_t kOutcomeSilence = 0;
+constexpr std::int64_t kOutcomeSuccess = 1;
+constexpr std::int64_t kOutcomeNoise = 2;
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Round-trippable shortest double rendering (JSON-safe: finite inputs).
+void write_double(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void TimelineBucket::merge(const TimelineBucket& other) noexcept {
+  resolved_slots += other.resolved_slots;
+  live_job_slots += other.live_job_slots;
+  attempts += other.attempts;
+  contention_sum += other.contention_sum;
+  true_silence += other.true_silence;
+  true_success += other.true_success;
+  true_noise += other.true_noise;
+  seen_silence += other.seen_silence;
+  seen_success += other.seen_success;
+  seen_noise += other.seen_noise;
+  activations += other.activations;
+  retires += other.retires;
+  expiries += other.expiries;
+  faults += other.faults;
+  for (std::size_t i = 0; i < kProbLevels; ++i) {
+    prob_level[i] += other.prob_level[i];
+  }
+}
+
+bool TimelineBucket::empty() const noexcept {
+  if (resolved_slots != 0 || live_job_slots != 0 || attempts != 0 ||
+      contention_sum != 0.0 || true_silence != 0 || true_success != 0 ||
+      true_noise != 0 || seen_silence != 0 || seen_success != 0 ||
+      seen_noise != 0 || activations != 0 || retires != 0 || expiries != 0 ||
+      faults != 0) {
+    return false;
+  }
+  for (const std::int64_t n : prob_level) {
+    if (n != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Timeline::Timeline(std::size_t bucket_count)
+    : buckets_(round_up_pow2(bucket_count)) {}
+
+void Timeline::rescale() {
+  // Double the width: bucket i absorbs old buckets 2i and 2i+1; the upper
+  // half of the array becomes untouched windows of the new width.
+  const std::size_t n = buckets_.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    TimelineBucket merged = buckets_[2 * i];
+    merged.merge(buckets_[2 * i + 1]);
+    buckets_[i] = merged;
+  }
+  for (std::size_t i = n / 2; i < n; ++i) {
+    buckets_[i] = TimelineBucket{};
+  }
+  ++width_log2_;
+}
+
+void Timeline::on_event(const TraceEvent& ev) {
+  ++events_seen_;
+  if (ev.slot > max_slot_) {
+    max_slot_ = ev.slot;
+  }
+  assert(ev.slot >= 0);
+  auto idx = static_cast<std::uint64_t>(ev.slot) >>
+             static_cast<unsigned>(width_log2_);
+  while (idx >= buckets_.size()) {
+    rescale();
+    idx = static_cast<std::uint64_t>(ev.slot) >>
+          static_cast<unsigned>(width_log2_);
+  }
+  TimelineBucket& b = buckets_[idx];
+
+  switch (ev.kind) {
+    case EventKind::kJobActivate:
+      ++b.activations;
+      return;
+    case EventKind::kJobRetire:
+      if (ev.a != 0) {
+        ++b.retires;
+      } else {
+        ++b.expiries;
+      }
+      return;
+    case EventKind::kTransmit: {
+      ++b.attempts;
+      // Backoff depth from the declared probability: level 0 is p > 1/2,
+      // deeper levels halve; p <= 0 clamps to the deepest level.
+      std::size_t level = TimelineBucket::kProbLevels - 1;
+      if (ev.x > 0.0) {
+        const double depth = -std::log2(ev.x);
+        if (depth <= 0.0) {
+          level = 0;
+        } else if (depth < static_cast<double>(TimelineBucket::kProbLevels)) {
+          level = static_cast<std::size_t>(depth);
+        }
+      }
+      ++b.prob_level[level];
+      return;
+    }
+    case EventKind::kSlotResolved:
+      ++b.resolved_slots;
+      b.contention_sum += ev.x;
+      if (ev.a == kOutcomeSilence) {
+        ++b.true_silence;
+      } else if (ev.a == kOutcomeSuccess) {
+        ++b.true_success;
+      } else if (ev.a == kOutcomeNoise) {
+        ++b.true_noise;
+      }
+      return;
+    case EventKind::kSlotPerceived:
+      b.live_job_slots += ev.b;
+      if (ev.a == kOutcomeSilence) {
+        ++b.seen_silence;
+      } else if (ev.a == kOutcomeSuccess) {
+        ++b.seen_success;
+      } else if (ev.a == kOutcomeNoise) {
+        ++b.seen_noise;
+      }
+      return;
+    case EventKind::kFault:
+      ++b.faults;
+      return;
+    default:
+      return;  // protocol-level kinds are not aggregated (JSONL keeps them)
+  }
+}
+
+void Timeline::write_json(std::ostream& out) const {
+  out << "{\"meta\": {\"schema\": \"crmd-timeline-v1\", \"bucket_width\": "
+      << bucket_width() << ", \"bucket_count\": " << buckets_.size()
+      << ", \"max_slot\": " << max_slot_ << ", \"events\": " << events_seen_
+      << "},\n\"buckets\": [";
+  const std::size_t used =
+      max_slot_ < 0 ? 0
+                    : (static_cast<std::uint64_t>(max_slot_) >>
+                       static_cast<unsigned>(width_log2_)) +
+                          1;
+  for (std::size_t i = 0; i < used; ++i) {
+    const TimelineBucket& b = buckets_[i];
+    const std::int64_t lo = static_cast<std::int64_t>(i) * bucket_width();
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"slot_lo\": " << lo
+        << ", \"slot_hi\": " << lo + bucket_width() - 1
+        << ", \"resolved_slots\": " << b.resolved_slots
+        << ", \"live_job_slots\": " << b.live_job_slots
+        << ", \"attempts\": " << b.attempts << ", \"contention_sum\": ";
+    write_double(out, b.contention_sum);
+    out << ", \"true_silence\": " << b.true_silence
+        << ", \"true_success\": " << b.true_success
+        << ", \"true_noise\": " << b.true_noise
+        << ", \"seen_silence\": " << b.seen_silence
+        << ", \"seen_success\": " << b.seen_success
+        << ", \"seen_noise\": " << b.seen_noise
+        << ", \"activations\": " << b.activations
+        << ", \"retires\": " << b.retires << ", \"expiries\": " << b.expiries
+        << ", \"faults\": " << b.faults << ", \"prob_level\": [";
+    for (std::size_t lvl = 0; lvl < TimelineBucket::kProbLevels; ++lvl) {
+      out << (lvl == 0 ? "" : ", ") << b.prob_level[lvl];
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+bool Timeline::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace crmd::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -19,6 +20,8 @@ const char* to_string(EventKind kind) noexcept {
       return "transmit";
     case EventKind::kSlotResolved:
       return "slot-resolved";
+    case EventKind::kSlotPerceived:
+      return "slot-perceived";
     case EventKind::kSuccessCredit:
       return "success-credit";
     case EventKind::kFault:
@@ -43,6 +46,20 @@ const char* to_string(EventKind kind) noexcept {
       return "schedule";
   }
   return "unknown";
+}
+
+bool parse_event_kind(const char* name, EventKind& out) noexcept {
+  if (name == nullptr) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (std::strcmp(name, to_string(kind)) == 0) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -86,6 +103,7 @@ void Tracer::add_sink(std::shared_ptr<EventSink> sink) {
 void Tracer::emit(EventKind kind, Slot slot, JobId job, std::int64_t a,
                   std::int64_t b, double x, const char* label) {
   if (closed_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   TraceEvent ev;
@@ -106,6 +124,15 @@ void Tracer::emit(EventKind kind, Slot slot, JobId job, std::int64_t a,
 
 void Tracer::flush() {
   const std::lock_guard<std::mutex> lock(drain_mu_);
+  // Draining with zero sinks is the one place events are lost (the
+  // "tracing on, no sink" discard path); count them so truncated traces
+  // cannot masquerade as complete.
+  if (sinks_.empty()) {
+    std::uint64_t lost = 0;
+    ring_.pop_all([&lost](const TraceEvent&) { ++lost; });
+    dropped_.fetch_add(lost, std::memory_order_relaxed);
+    return;
+  }
   ring_.pop_all([this](const TraceEvent& ev) {
     for (const auto& sink : sinks_) {
       sink->on_event(ev);
@@ -120,6 +147,12 @@ void Tracer::close() {
   // Late emitters may still be pushing; after `closed_` flips they stop,
   // and this final drain publishes everything already in the ring.
   const std::lock_guard<std::mutex> lock(drain_mu_);
+  if (sinks_.empty()) {
+    std::uint64_t lost = 0;
+    ring_.pop_all([&lost](const TraceEvent&) { ++lost; });
+    dropped_.fetch_add(lost, std::memory_order_relaxed);
+    return;
+  }
   ring_.pop_all([this](const TraceEvent& ev) {
     for (const auto& sink : sinks_) {
       sink->on_event(ev);
@@ -239,6 +272,7 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
       return;
     }
     case EventKind::kTransmit:
+    case EventKind::kSlotPerceived:
       return;  // too dense for a span view; JSONL keeps them
     default: {
       s.name_thread(ev.job);

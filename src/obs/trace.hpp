@@ -87,11 +87,23 @@ class Tracer {
     return next_seq_.load(std::memory_order_relaxed);
   }
 
+  /// Events that never reached a sink: drained while no sink was attached
+  /// (ring overflow with zero sinks discards oldest-first) or emitted
+  /// after close(). With at least one sink attached for the whole session
+  /// this stays 0 — emit() blocks on a full ring by draining inline, so
+  /// sinks never miss events. A nonzero value means an exported trace is
+  /// incomplete; bench_common and crmd_cli surface it as a warning and a
+  /// metrics-registry counter.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   EventRing ring_;
   std::mutex drain_mu_;  // serializes sink access (flush/close/add_sink)
   std::vector<std::shared_ptr<EventSink>> sinks_;
   std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   std::atomic<bool> closed_{false};
 };
 

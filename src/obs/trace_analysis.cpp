@@ -1,0 +1,461 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace crmd::obs {
+
+namespace {
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+}
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                          s[i] == '\n')) {
+    ++i;
+  }
+}
+
+/// Parses a JSON string without escapes (our labels are plain kind/stage
+/// names); escapes are rejected rather than mis-decoded.
+bool parse_json_string(std::string_view s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  ++i;
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      return false;
+    }
+    ++i;
+  }
+  if (i >= s.size()) {
+    return false;
+  }
+  out.assign(s.substr(start, i - start));
+  ++i;  // closing quote
+  return true;
+}
+
+/// Parses a JSON number as a double (integers pass through exactly up to
+/// 2^53, far beyond any slot index a simulation reaches).
+bool parse_json_number(std::string_view s, std::size_t& i, double& out) {
+  const std::size_t start = i;
+  while (i < s.size() && (s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                          s[i] == 'e' || s[i] == 'E' ||
+                          (s[i] >= '0' && s[i] <= '9'))) {
+    ++i;
+  }
+  if (i == start) {
+    return false;
+  }
+  const std::string text(s.substr(start, i - start));
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::optional<ParsedEvent> parse_event_jsonl(std::string_view line,
+                                             std::string* error) {
+  ParsedEvent ev;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') {
+    set_error(error, "expected '{'");
+    return std::nullopt;
+  }
+  ++i;
+  bool have_kind = false;
+  bool first = true;
+  while (true) {
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      break;
+    }
+    if (!first) {
+      if (i >= line.size() || line[i] != ',') {
+        set_error(error, "expected ',' between members");
+        return std::nullopt;
+      }
+      ++i;
+      skip_ws(line, i);
+    }
+    first = false;
+    std::string key;
+    if (!parse_json_string(line, i, key)) {
+      set_error(error, "expected a key string");
+      return std::nullopt;
+    }
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') {
+      set_error(error, "expected ':' after key \"" + key + "\"");
+      return std::nullopt;
+    }
+    ++i;
+    skip_ws(line, i);
+    if (key == "kind" || key == "label") {
+      std::string value;
+      if (!parse_json_string(line, i, value)) {
+        set_error(error, "expected a string value for \"" + key + "\"");
+        return std::nullopt;
+      }
+      if (key == "label") {
+        ev.label = value;
+      } else {
+        if (!parse_event_kind(value.c_str(), ev.kind)) {
+          set_error(error, "unknown event kind \"" + value + "\"");
+          return std::nullopt;
+        }
+        have_kind = true;
+      }
+    } else {
+      double value = 0.0;
+      if (!parse_json_number(line, i, value)) {
+        set_error(error, "expected a number value for \"" + key + "\"");
+        return std::nullopt;
+      }
+      if (key == "seq") {
+        ev.seq = static_cast<std::uint64_t>(value);
+      } else if (key == "slot") {
+        ev.slot = static_cast<Slot>(value);
+      } else if (key == "job") {
+        ev.job = static_cast<JobId>(value);
+      } else if (key == "a") {
+        ev.a = static_cast<std::int64_t>(value);
+      } else if (key == "b") {
+        ev.b = static_cast<std::int64_t>(value);
+      } else if (key == "x") {
+        ev.x = value;
+      } else {
+        set_error(error, "unknown key \"" + key + "\"");
+        return std::nullopt;
+      }
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) {
+    set_error(error, "trailing characters after '}'");
+    return std::nullopt;
+  }
+  if (!have_kind) {
+    set_error(error, "missing \"kind\"");
+    return std::nullopt;
+  }
+  return ev;
+}
+
+std::vector<ParsedEvent> load_trace_jsonl(std::istream& in) {
+  std::vector<ParsedEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    skip_ws(line, i);
+    if (i == line.size()) {
+      continue;  // blank line
+    }
+    std::string error;
+    const auto ev = parse_event_jsonl(line, &error);
+    if (!ev) {
+      throw std::runtime_error("line " + std::to_string(line_no) + ": " +
+                               error);
+    }
+    events.push_back(*ev);
+  }
+  return events;
+}
+
+std::vector<ParsedEvent> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  try {
+    return load_trace_jsonl(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+// ---- summary ---------------------------------------------------------------
+
+TraceSummary summarize(const std::vector<ParsedEvent>& events) {
+  TraceSummary s;
+  s.events = events.size();
+  std::set<JobId> jobs;
+  bool first = true;
+  for (const ParsedEvent& ev : events) {
+    if (first) {
+      s.first_slot = ev.slot;
+      s.last_slot = ev.slot;
+      first = false;
+    } else {
+      s.first_slot = std::min(s.first_slot, ev.slot);
+      s.last_slot = std::max(s.last_slot, ev.slot);
+    }
+    if (ev.job != kNoJob) {
+      jobs.insert(ev.job);
+    }
+    ++s.kind_counts[static_cast<std::size_t>(ev.kind)];
+    switch (ev.kind) {
+      case EventKind::kJobActivate:
+        ++s.activations;
+        break;
+      case EventKind::kJobRetire:
+        if (ev.a != 0) {
+          ++s.success_retires;
+        } else {
+          ++s.expiries;
+        }
+        break;
+      case EventKind::kTransmit:
+        ++s.attempts;
+        break;
+      case EventKind::kSlotResolved:
+        ++s.resolved_slots;
+        s.contention_sum += ev.x;
+        if (ev.a == 1) {
+          ++s.true_success;
+        }
+        break;
+      case EventKind::kSlotPerceived:
+        if (ev.a == 1) {
+          ++s.seen_success;
+        }
+        break;
+      case EventKind::kFault:
+        ++s.faults;
+        break;
+      default:
+        break;
+    }
+  }
+  s.jobs_seen = static_cast<std::int64_t>(jobs.size());
+  return s;
+}
+
+void write_summary(std::ostream& out, const TraceSummary& s) {
+  out << "events          " << s.events << "\n";
+  out << "slots           " << s.first_slot << " .. " << s.last_slot << "\n";
+  out << "jobs            " << s.jobs_seen << "\n";
+  out << "activations     " << s.activations << " (retired ok "
+      << s.success_retires << ", expired " << s.expiries << ")\n";
+  out << "attempts        " << s.attempts << "\n";
+  out << "resolved slots  " << s.resolved_slots << " (true successes "
+      << s.true_success << ", perceived " << s.seen_success << ")\n";
+  if (s.resolved_slots > 0) {
+    out << "mean contention "
+        << s.contention_sum / static_cast<double>(s.resolved_slots) << "\n";
+  }
+  out << "faults          " << s.faults << "\n";
+  out << "by kind:\n";
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if (s.kind_counts[i] > 0) {
+      out << "  " << to_string(static_cast<EventKind>(i)) << "  "
+          << s.kind_counts[i] << "\n";
+    }
+  }
+}
+
+// ---- coverage --------------------------------------------------------------
+
+double CoverageReport::kind_coverage() const noexcept {
+  if (expected.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(hit_kinds.size()) /
+         static_cast<double>(expected.size());
+}
+
+bool CoverageReport::complete() const noexcept {
+  return missing_kinds.empty() && missing_stages.empty() &&
+         missing_transitions.empty();
+}
+
+CoverageReport audit_coverage(const std::vector<ParsedEvent>& events,
+                              const ProtocolTaxonomy* taxonomy,
+                              const std::vector<EventKind>& required) {
+  CoverageReport report;
+  report.taxonomy = taxonomy;
+
+  // Expected kinds: channel base + family + caller-required, deduplicated
+  // in enum order so reports render stably.
+  bool expected_set[kEventKindCount] = {};
+  for (const EventKind k : channel_taxonomy()) {
+    expected_set[static_cast<std::size_t>(k)] = true;
+  }
+  if (taxonomy != nullptr) {
+    for (const EventKind k : taxonomy->expected_kinds) {
+      expected_set[static_cast<std::size_t>(k)] = true;
+    }
+  }
+  for (const EventKind k : required) {
+    expected_set[static_cast<std::size_t>(k)] = true;
+  }
+
+  bool observed_set[kEventKindCount] = {};
+  std::set<std::int64_t> observed_stages;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> transitions;
+  for (const ParsedEvent& ev : events) {
+    observed_set[static_cast<std::size_t>(ev.kind)] = true;
+    if (ev.kind == EventKind::kStage) {
+      observed_stages.insert(ev.a);
+      observed_stages.insert(ev.b);
+      ++transitions[{ev.a, ev.b}];
+    }
+  }
+
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (expected_set[i]) {
+      report.expected.push_back(kind);
+      (observed_set[i] ? report.hit_kinds : report.missing_kinds)
+          .push_back(kind);
+    } else if (observed_set[i]) {
+      report.extra_kinds.push_back(kind);
+    }
+  }
+
+  for (const auto& [edge, count] : transitions) {
+    report.transitions.push_back({edge.first, edge.second, count});
+  }
+
+  if (taxonomy != nullptr && !taxonomy->stages.empty()) {
+    for (std::size_t i = 0; i < taxonomy->stages.size(); ++i) {
+      const auto idx = static_cast<std::int64_t>(i);
+      (observed_stages.count(idx) != 0 ? report.hit_stages
+                                       : report.missing_stages)
+          .push_back(taxonomy->stages[i]);
+    }
+    for (const StageTransition& t : taxonomy->transitions) {
+      if (transitions.find({t.from, t.to}) == transitions.end()) {
+        report.missing_transitions.push_back(t);
+      }
+    }
+    for (const auto& [edge, count] : transitions) {
+      const bool declared = std::any_of(
+          taxonomy->transitions.begin(), taxonomy->transitions.end(),
+          [&edge](const StageTransition& t) {
+            return t.from == edge.first && t.to == edge.second;
+          });
+      if (!declared) {
+        report.undeclared_transitions.push_back(
+            {edge.first, edge.second, count});
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+const char* stage_name(const ProtocolTaxonomy* taxonomy, std::int64_t idx) {
+  if (taxonomy != nullptr && idx >= 0 &&
+      idx < static_cast<std::int64_t>(taxonomy->stages.size())) {
+    return taxonomy->stages[static_cast<std::size_t>(idx)];
+  }
+  return nullptr;
+}
+
+void write_stage(std::ostream& out, const ProtocolTaxonomy* taxonomy,
+                 std::int64_t idx) {
+  if (const char* name = stage_name(taxonomy, idx)) {
+    out << name;
+  } else {
+    out << "#" << idx;
+  }
+}
+
+}  // namespace
+
+void write_coverage(std::ostream& out, const CoverageReport& r) {
+  out << "family: " << (r.taxonomy != nullptr ? r.taxonomy->family : "(none)")
+      << "\n";
+  out << "kind coverage: " << r.hit_kinds.size() << "/" << r.expected.size();
+  {
+    std::ostringstream pct;
+    pct.precision(1);
+    pct << std::fixed << 100.0 * r.kind_coverage();
+    out << " (" << pct.str() << "%)\n";
+  }
+  for (const EventKind k : r.missing_kinds) {
+    out << "  MISSING kind: " << to_string(k) << "\n";
+  }
+  for (const EventKind k : r.extra_kinds) {
+    out << "  extra kind (not in taxonomy): " << to_string(k) << "\n";
+  }
+  if (r.taxonomy != nullptr && !r.taxonomy->stages.empty()) {
+    out << "stages hit: " << r.hit_stages.size() << "/"
+        << r.taxonomy->stages.size() << "\n";
+    for (const char* name : r.missing_stages) {
+      out << "  unhit stage: " << name << "\n";
+    }
+    out << "transitions observed: " << r.transitions.size() << "\n";
+    for (const TransitionCount& t : r.transitions) {
+      out << "  ";
+      write_stage(out, r.taxonomy, t.from);
+      out << " -> ";
+      write_stage(out, r.taxonomy, t.to);
+      out << "  x" << t.count << "\n";
+    }
+    for (const StageTransition& t : r.missing_transitions) {
+      out << "  unhit transition: ";
+      write_stage(out, r.taxonomy, t.from);
+      out << " -> ";
+      write_stage(out, r.taxonomy, t.to);
+      out << "\n";
+    }
+    for (const TransitionCount& t : r.undeclared_transitions) {
+      out << "  UNDECLARED transition: ";
+      write_stage(out, r.taxonomy, t.from);
+      out << " -> ";
+      write_stage(out, r.taxonomy, t.to);
+      out << "  x" << t.count << "\n";
+    }
+  }
+}
+
+// ---- divergence ------------------------------------------------------------
+
+Divergence first_divergence(const std::vector<ParsedEvent>& a,
+                            const std::vector<ParsedEvent>& b) {
+  Divergence d;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      d.diverged = true;
+      d.index = i;
+      d.a = a[i];
+      d.b = b[i];
+      return d;
+    }
+  }
+  if (a.size() != b.size()) {
+    d.diverged = true;
+    d.index = n;
+    if (n < a.size()) {
+      d.a = a[n];
+    }
+    if (n < b.size()) {
+      d.b = b[n];
+    }
+  }
+  return d;
+}
+
+}  // namespace crmd::obs

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/taxonomy.hpp"
+
+/// \file trace_analysis.hpp (obs)
+/// Offline analysis of JSONL event streams (the JsonlFileSink /
+/// --trace-jsonl format): parsing back into events, a per-kind summary, a
+/// coverage audit against the declared taxonomy (taxonomy.hpp), and a
+/// first-divergence diff of two streams. This is the library behind the
+/// `crmd_trace` binary (tools/crmd_trace.cpp); it lives in src/obs so
+/// unit tests can exercise the logic without shelling out.
+
+namespace crmd::obs {
+
+/// One event parsed back from JSONL. Mirrors TraceEvent but owns its
+/// label (the JSONL line is the only storage backing it).
+struct ParsedEvent {
+  std::uint64_t seq = 0;
+  Slot slot = 0;
+  EventKind kind = EventKind::kSlotResolved;
+  JobId job = kNoJob;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  double x = 0.0;
+  std::string label;  ///< empty when the line had no label
+
+  [[nodiscard]] bool operator==(const ParsedEvent& other) const = default;
+};
+
+/// Parses one JSONL line as written by write_event_jsonl. Keys may appear
+/// in any order; absent optional keys take the writer's defaults (job =
+/// kNoJob, x = 0, label empty). Returns std::nullopt and fills `error`
+/// (when non-null) on malformed input or an unknown kind.
+[[nodiscard]] std::optional<ParsedEvent> parse_event_jsonl(
+    std::string_view line, std::string* error = nullptr);
+
+/// Reads a whole JSONL stream; blank lines are skipped. Throws
+/// std::runtime_error naming the first malformed line.
+[[nodiscard]] std::vector<ParsedEvent> load_trace_jsonl(std::istream& in);
+
+/// load_trace_jsonl from a path; throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] std::vector<ParsedEvent> load_trace_file(
+    const std::string& path);
+
+/// Per-stream roll-up (the `crmd_trace summary` payload).
+struct TraceSummary {
+  std::uint64_t events = 0;
+  Slot first_slot = 0;
+  Slot last_slot = 0;
+  std::int64_t jobs_seen = 0;       ///< distinct job ids
+  std::int64_t kind_counts[kEventKindCount] = {};
+  std::int64_t activations = 0;
+  std::int64_t success_retires = 0;
+  std::int64_t expiries = 0;
+  std::int64_t attempts = 0;        ///< kTransmit events
+  std::int64_t resolved_slots = 0;
+  std::int64_t true_success = 0;    ///< kSlotResolved successes
+  std::int64_t seen_success = 0;    ///< kSlotPerceived successes
+  std::int64_t faults = 0;
+  double contention_sum = 0.0;      ///< over kSlotResolved
+};
+
+[[nodiscard]] TraceSummary summarize(const std::vector<ParsedEvent>& events);
+
+/// Renders the summary as aligned human-readable text.
+void write_summary(std::ostream& out, const TraceSummary& summary);
+
+/// One observed stage transition (kStage payload) with its event count.
+struct TransitionCount {
+  std::int64_t from = 0;
+  std::int64_t to = 0;
+  std::int64_t count = 0;
+};
+
+/// Coverage audit result: observed kinds/stages/transitions against the
+/// declared taxonomy of one protocol family (or channel-level only when
+/// the family is unknown).
+struct CoverageReport {
+  const ProtocolTaxonomy* taxonomy = nullptr;  ///< null = channel-only
+  std::vector<EventKind> expected;        ///< full expected-kind set
+  std::vector<EventKind> hit_kinds;       ///< expected kinds observed
+  std::vector<EventKind> missing_kinds;   ///< expected kinds never fired
+  std::vector<EventKind> extra_kinds;     ///< observed but not expected
+  std::vector<const char*> hit_stages;    ///< declared stages observed
+  std::vector<const char*> missing_stages;
+  std::vector<TransitionCount> transitions;        ///< observed, sorted
+  std::vector<StageTransition> missing_transitions;  ///< declared, unhit
+  std::vector<TransitionCount> undeclared_transitions;
+
+  /// Fraction of expected kinds observed (1.0 = full coverage).
+  [[nodiscard]] double kind_coverage() const noexcept;
+  /// True when every expected kind, declared stage, and declared
+  /// transition was observed.
+  [[nodiscard]] bool complete() const noexcept;
+};
+
+/// Audits `events` against the family taxonomy (null = channel base set
+/// only). `required` adds kinds that must appear regardless of family —
+/// the hook for asserting that a scenario exercised, say, kFault.
+[[nodiscard]] CoverageReport audit_coverage(
+    const std::vector<ParsedEvent>& events, const ProtocolTaxonomy* taxonomy,
+    const std::vector<EventKind>& required = {});
+
+/// Renders the coverage report as human-readable text.
+void write_coverage(std::ostream& out, const CoverageReport& report);
+
+/// Where two streams first part ways.
+struct Divergence {
+  bool diverged = false;       ///< false = streams identical
+  std::uint64_t index = 0;     ///< event index of the first difference
+  std::optional<ParsedEvent> a;  ///< event at `index` (absent: stream ended)
+  std::optional<ParsedEvent> b;
+};
+
+/// Compares two streams event by event (all fields, seq included) and
+/// reports the first difference; a pure prefix relation diverges at the
+/// shorter stream's end.
+[[nodiscard]] Divergence first_divergence(const std::vector<ParsedEvent>& a,
+                                          const std::vector<ParsedEvent>& b);
+
+}  // namespace crmd::obs

@@ -433,6 +433,14 @@ bool Simulation::step() {
              static_cast<std::int64_t>(fb.outcome),
              static_cast<std::int64_t>(s.transmissions.size()), contention,
              to_string(fb.outcome));
+  // The listener-perceived companion event: what the feedback model let
+  // pure listeners hear this slot (before per-job fault perturbation),
+  // plus the live-set size. The gap between this and kSlotResolved is the
+  // channel's perception error — what obs::Timeline charts per bucket.
+  CRMD_TRACE(s.config.tracer, obs::EventKind::kSlotPerceived, s.now, kNoJob,
+             static_cast<std::int64_t>(listener_fb.outcome),
+             static_cast<std::int64_t>(s.live.size()), 0.0,
+             to_string(listener_fb.outcome));
   if (s.config.record_slots) {
     s.slot_trace.push_back(rec);
   }

@@ -1,0 +1,367 @@
+// Tests for the offline trace analytics (src/obs/trace_analysis.cpp) and
+// the declared taxonomy (src/obs/taxonomy.cpp): JSONL round-trip parsing,
+// the per-stream summary, the coverage audit, first-divergence diffing —
+// and the drift checks the layering depends on: the taxonomy's literal
+// stage-name tables must match core's to_string(Stage) tables entry by
+// entry, and parse_event_kind must invert to_string for every kind.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/aligned/protocol.hpp"
+#include "core/punctual/protocol.hpp"
+#include "obs/events.hpp"
+#include "obs/taxonomy.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace crmd {
+namespace {
+
+obs::ParsedEvent parsed(obs::EventKind kind, Slot slot, std::uint64_t seq = 0,
+                        JobId job = kNoJob, std::int64_t a = 0,
+                        std::int64_t b = 0, double x = 0.0,
+                        std::string label = {}) {
+  obs::ParsedEvent ev;
+  ev.seq = seq;
+  ev.slot = slot;
+  ev.kind = kind;
+  ev.job = job;
+  ev.a = a;
+  ev.b = b;
+  ev.x = x;
+  ev.label = std::move(label);
+  return ev;
+}
+
+// ---- parse_event_kind ------------------------------------------------------
+
+TEST(ParseEventKind, InvertsToStringForEveryKind) {
+  for (std::size_t i = 0; i < obs::kEventKindCount; ++i) {
+    const auto kind = static_cast<obs::EventKind>(i);
+    obs::EventKind back = obs::EventKind::kSlotResolved;
+    ASSERT_TRUE(obs::parse_event_kind(obs::to_string(kind), back))
+        << obs::to_string(kind);
+    EXPECT_EQ(back, kind);
+  }
+}
+
+TEST(ParseEventKind, RejectsUnknownNamesUntouched) {
+  obs::EventKind out = obs::EventKind::kSchedule;
+  EXPECT_FALSE(obs::parse_event_kind("not_a_kind", out));
+  EXPECT_EQ(out, obs::EventKind::kSchedule);
+}
+
+// ---- JSONL parsing ---------------------------------------------------------
+
+TEST(ParseJsonl, RoundTripsTheWriterIncludingAllFields) {
+  obs::TraceEvent ev;
+  ev.seq = 7;
+  ev.slot = 42;
+  ev.kind = obs::EventKind::kStage;
+  ev.job = 3;
+  ev.a = 1;
+  ev.b = 2;
+  ev.x = 0.5;
+  ev.label = "probe";
+  std::ostringstream line;
+  obs::write_event_jsonl(line, ev);
+
+  const auto back = obs::parse_event_jsonl(line.str());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_EQ(back->slot, 42);
+  EXPECT_EQ(back->kind, obs::EventKind::kStage);
+  EXPECT_EQ(back->job, 3);
+  EXPECT_EQ(back->a, 1);
+  EXPECT_EQ(back->b, 2);
+  EXPECT_DOUBLE_EQ(back->x, 0.5);
+  EXPECT_EQ(back->label, "probe");
+}
+
+TEST(ParseJsonl, OmittedOptionalKeysTakeWriterDefaults) {
+  // The writer omits job/x/label when they hold their defaults; parsing a
+  // minimal line must restore exactly those defaults.
+  const auto ev =
+      obs::parse_event_jsonl(R"({"seq":9,"slot":5,"kind":"transmit","a":0,"b":1})");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->job, kNoJob);
+  EXPECT_DOUBLE_EQ(ev->x, 0.0);
+  EXPECT_TRUE(ev->label.empty());
+}
+
+TEST(ParseJsonl, AcceptsKeysInAnyOrder) {
+  const auto ev = obs::parse_event_jsonl(
+      R"({"kind":"slot-resolved","x":1.5,"slot":3,"b":2,"a":2,"seq":1})");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->kind, obs::EventKind::kSlotResolved);
+  EXPECT_EQ(ev->slot, 3);
+  EXPECT_DOUBLE_EQ(ev->x, 1.5);
+}
+
+TEST(ParseJsonl, ReportsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(obs::parse_event_jsonl("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      obs::parse_event_jsonl(R"({"seq":1,"slot":0,"kind":"bogus"})", &error)
+          .has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  // Missing the kind entirely.
+  EXPECT_FALSE(
+      obs::parse_event_jsonl(R"({"seq":1,"slot":0})", &error).has_value());
+  // Unknown key.
+  EXPECT_FALSE(
+      obs::parse_event_jsonl(R"({"kind":"fault","zzz":1})", &error)
+          .has_value());
+}
+
+TEST(LoadTraceJsonl, SkipsBlankLinesAndThrowsOnMalformedNamingTheLine) {
+  std::istringstream ok(
+      "{\"seq\":0,\"slot\":0,\"kind\":\"job-activate\",\"a\":0,\"b\":8}\n"
+      "\n"
+      "{\"seq\":1,\"slot\":1,\"kind\":\"transmit\",\"a\":0,\"b\":0}\n");
+  const auto events = obs::load_trace_jsonl(ok);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kTransmit);
+
+  std::istringstream bad(
+      "{\"seq\":0,\"slot\":0,\"kind\":\"transmit\",\"a\":0,\"b\":0}\n"
+      "garbage\n");
+  try {
+    (void)obs::load_trace_jsonl(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LoadTraceFile, ThrowsWhenTheFileCannotBeOpened) {
+  EXPECT_THROW((void)obs::load_trace_file("/nonexistent/trace.jsonl"),
+               std::runtime_error);
+}
+
+// ---- summary ---------------------------------------------------------------
+
+TEST(Summarize, RollsUpKindsJobsAndOutcomes) {
+  std::vector<obs::ParsedEvent> events = {
+      parsed(obs::EventKind::kJobActivate, 4, 0, 1),
+      parsed(obs::EventKind::kTransmit, 5, 1, 1),
+      parsed(obs::EventKind::kSlotResolved, 5, 2, kNoJob, /*a=*/1, 1, 1.0),
+      parsed(obs::EventKind::kSlotPerceived, 5, 3, kNoJob, /*a=*/1, 1),
+      parsed(obs::EventKind::kJobRetire, 6, 4, 1, /*a=*/1),
+      parsed(obs::EventKind::kJobRetire, 7, 5, 2, /*a=*/0),
+      parsed(obs::EventKind::kFault, 8, 6, 2, /*a=*/0),
+  };
+  const obs::TraceSummary s = obs::summarize(events);
+  EXPECT_EQ(s.events, 7u);
+  EXPECT_EQ(s.first_slot, 4);
+  EXPECT_EQ(s.last_slot, 8);
+  EXPECT_EQ(s.jobs_seen, 2);
+  EXPECT_EQ(s.activations, 1);
+  EXPECT_EQ(s.success_retires, 1);
+  EXPECT_EQ(s.expiries, 1);
+  EXPECT_EQ(s.attempts, 1);
+  EXPECT_EQ(s.resolved_slots, 1);
+  EXPECT_EQ(s.true_success, 1);
+  EXPECT_EQ(s.seen_success, 1);
+  EXPECT_EQ(s.faults, 1);
+  EXPECT_DOUBLE_EQ(s.contention_sum, 1.0);
+
+  std::ostringstream out;
+  obs::write_summary(out, s);
+  EXPECT_NE(out.str().find("events          7"), std::string::npos);
+  EXPECT_NE(out.str().find("job-retire"), std::string::npos);
+}
+
+// ---- coverage audit --------------------------------------------------------
+
+std::vector<obs::ParsedEvent> channel_base_events() {
+  std::vector<obs::ParsedEvent> events;
+  std::uint64_t seq = 0;
+  for (const obs::EventKind k : obs::channel_taxonomy()) {
+    events.push_back(parsed(k, 0, seq++));
+  }
+  return events;
+}
+
+TEST(AuditCoverage, ChannelOnlyFullCoverage) {
+  const auto events = channel_base_events();
+  const obs::CoverageReport r = obs::audit_coverage(events, nullptr);
+  EXPECT_EQ(r.taxonomy, nullptr);
+  EXPECT_EQ(r.expected.size(), obs::channel_taxonomy().size());
+  EXPECT_TRUE(r.missing_kinds.empty());
+  EXPECT_TRUE(r.extra_kinds.empty());
+  EXPECT_DOUBLE_EQ(r.kind_coverage(), 1.0);
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(AuditCoverage, MissingExpectedAndExtraObservedKinds) {
+  auto events = channel_base_events();
+  events.pop_back();  // drop one expected kind (kSuccessCredit)
+  events.push_back(parsed(obs::EventKind::kSchedule, 0, 99));  // unexpected
+  const obs::CoverageReport r = obs::audit_coverage(events, nullptr);
+  ASSERT_EQ(r.missing_kinds.size(), 1u);
+  EXPECT_EQ(r.missing_kinds[0], obs::EventKind::kSuccessCredit);
+  ASSERT_EQ(r.extra_kinds.size(), 1u);
+  EXPECT_EQ(r.extra_kinds[0], obs::EventKind::kSchedule);
+  EXPECT_LT(r.kind_coverage(), 1.0);
+  EXPECT_FALSE(r.complete());
+}
+
+TEST(AuditCoverage, RequiredKindsAreAuditedRegardlessOfFamily) {
+  const auto events = channel_base_events();
+  const obs::CoverageReport r =
+      obs::audit_coverage(events, nullptr, {obs::EventKind::kFault});
+  ASSERT_EQ(r.missing_kinds.size(), 1u);
+  EXPECT_EQ(r.missing_kinds[0], obs::EventKind::kFault);
+
+  auto with_fault = events;
+  with_fault.push_back(parsed(obs::EventKind::kFault, 1, 50));
+  const obs::CoverageReport r2 =
+      obs::audit_coverage(with_fault, nullptr, {obs::EventKind::kFault});
+  EXPECT_TRUE(r2.missing_kinds.empty());
+}
+
+TEST(AuditCoverage, StageMachineHitsMissesAndUndeclaredTransitions) {
+  const obs::ProtocolTaxonomy* punctual =
+      obs::taxonomy_for_protocol("punctual");
+  ASSERT_NE(punctual, nullptr);
+
+  std::vector<obs::ParsedEvent> events;
+  // One declared transition (sync-listen -> probe) seen twice, one
+  // undeclared edge (succeeded -> sync-listen: never legal).
+  events.push_back(parsed(obs::EventKind::kStage, 0, 0, 1, 0, 2));
+  events.push_back(parsed(obs::EventKind::kStage, 1, 1, 2, 0, 2));
+  events.push_back(parsed(obs::EventKind::kStage, 2, 2, 1, 11, 0));
+  const obs::CoverageReport r = obs::audit_coverage(events, punctual);
+
+  ASSERT_EQ(r.transitions.size(), 2u);  // sorted by (from, to)
+  EXPECT_EQ(r.transitions[0].from, 0);
+  EXPECT_EQ(r.transitions[0].to, 2);
+  EXPECT_EQ(r.transitions[0].count, 2);
+  ASSERT_EQ(r.undeclared_transitions.size(), 1u);
+  EXPECT_EQ(r.undeclared_transitions[0].from, 11);
+  EXPECT_EQ(r.undeclared_transitions[0].to, 0);
+
+  // Stages 0, 2, 11 observed; everything else unhit.
+  EXPECT_EQ(r.hit_stages.size(), 3u);
+  EXPECT_EQ(r.missing_stages.size(), punctual->stages.size() - 3);
+  // The declared edge {0,2} is hit; all other declared edges are missing.
+  EXPECT_EQ(r.missing_transitions.size(), punctual->transitions.size() - 1);
+  EXPECT_FALSE(r.complete());
+
+  std::ostringstream out;
+  obs::write_coverage(out, r);
+  EXPECT_NE(out.str().find("sync-listen -> probe  x2"), std::string::npos);
+  EXPECT_NE(out.str().find("UNDECLARED transition: succeeded -> sync-listen"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("unhit stage: slingshot"), std::string::npos);
+}
+
+// ---- first divergence ------------------------------------------------------
+
+TEST(FirstDivergence, IdenticalStreamsDoNotDiverge) {
+  const std::vector<obs::ParsedEvent> a = {
+      parsed(obs::EventKind::kTransmit, 0, 0),
+      parsed(obs::EventKind::kSlotResolved, 0, 1),
+  };
+  const obs::Divergence d = obs::first_divergence(a, a);
+  EXPECT_FALSE(d.diverged);
+}
+
+TEST(FirstDivergence, ReportsFirstDifferingEvent) {
+  const std::vector<obs::ParsedEvent> a = {
+      parsed(obs::EventKind::kTransmit, 0, 0),
+      parsed(obs::EventKind::kSlotResolved, 7, 1, kNoJob, 1),
+      parsed(obs::EventKind::kTransmit, 9, 2),
+  };
+  std::vector<obs::ParsedEvent> b = a;
+  b[1].a = 2;  // same slot, different outcome
+  const obs::Divergence d = obs::first_divergence(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  ASSERT_TRUE(d.a.has_value());
+  ASSERT_TRUE(d.b.has_value());
+  EXPECT_EQ(d.a->slot, 7);
+  EXPECT_EQ(d.a->a, 1);
+  EXPECT_EQ(d.b->a, 2);
+}
+
+TEST(FirstDivergence, PrefixRelationDivergesAtTheShorterEnd) {
+  const std::vector<obs::ParsedEvent> a = {
+      parsed(obs::EventKind::kTransmit, 0, 0),
+      parsed(obs::EventKind::kTransmit, 3, 1),
+  };
+  const std::vector<obs::ParsedEvent> b(a.begin(), a.begin() + 1);
+  const obs::Divergence d = obs::first_divergence(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  ASSERT_TRUE(d.a.has_value());
+  EXPECT_EQ(d.a->slot, 3);
+  EXPECT_FALSE(d.b.has_value());
+}
+
+// ---- taxonomy --------------------------------------------------------------
+
+TEST(Taxonomy, LongestPrefixMatchMapsRegistryNamesToFamilies) {
+  ASSERT_NE(obs::taxonomy_for_protocol("punctual"), nullptr);
+  EXPECT_STREQ(obs::taxonomy_for_protocol("punctual")->family, "punctual");
+  EXPECT_STREQ(obs::taxonomy_for_protocol("punctual_gap")->family,
+               "punctual");
+  EXPECT_STREQ(obs::taxonomy_for_protocol("nocd_robust")->family, "nocd");
+  EXPECT_STREQ(obs::taxonomy_for_protocol("aligned_gap")->family, "aligned");
+  EXPECT_STREQ(obs::taxonomy_for_protocol("uniform")->family, "uniform");
+  EXPECT_EQ(obs::taxonomy_for_protocol("beb"), nullptr);
+  EXPECT_EQ(obs::taxonomy_for_protocol(""), nullptr);
+}
+
+// The obs taxonomy duplicates core's stage-name tables literally (obs sits
+// below core; see taxonomy.hpp). These drift checks compare them entry by
+// entry so an edit to one side without the other fails here, not in a
+// user's coverage report.
+
+TEST(TaxonomyDrift, PunctualStageTableMatchesCoreToString) {
+  using Stage = core::punctual::PunctualProtocol::Stage;
+  const obs::ProtocolTaxonomy* t = obs::taxonomy_for_protocol("punctual");
+  ASSERT_NE(t, nullptr);
+  const auto stage_count = static_cast<std::size_t>(Stage::kGaveUp) + 1;
+  ASSERT_EQ(t->stages.size(), stage_count);
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    EXPECT_STREQ(t->stages[i],
+                 core::punctual::to_string(static_cast<Stage>(i)))
+        << "stage index " << i;
+  }
+}
+
+TEST(TaxonomyDrift, AlignedStageTableMatchesCoreToString) {
+  using Stage = core::aligned::AlignedProtocol::Stage;
+  const obs::ProtocolTaxonomy* t = obs::taxonomy_for_protocol("aligned");
+  ASSERT_NE(t, nullptr);
+  const auto stage_count = static_cast<std::size_t>(Stage::kGaveUp) + 1;
+  ASSERT_EQ(t->stages.size(), stage_count);
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    EXPECT_STREQ(t->stages[i],
+                 core::aligned::to_string(static_cast<Stage>(i)))
+        << "stage index " << i;
+  }
+}
+
+TEST(TaxonomyDrift, StageTransitionIndicesAreInRange) {
+  for (const obs::ProtocolTaxonomy& t : obs::protocol_taxonomies()) {
+    const auto n = static_cast<int>(t.stages.size());
+    for (const obs::StageTransition& tr : t.transitions) {
+      EXPECT_GE(tr.from, 0) << t.family;
+      EXPECT_LT(tr.from, n) << t.family;
+      EXPECT_GE(tr.to, 0) << t.family;
+      EXPECT_LT(tr.to, n) << t.family;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crmd

@@ -10,6 +10,11 @@ Modes:
   check_perf.py result.json --check-only
       Validate the JSON shape only (meta present, required columns, positive
       throughput). Exit 1 on malformed output. This is the CI smoke gate.
+      Timeline JSONs (--timeline=FILE, schema "crmd-timeline-v1") are
+      recognized and get their own structural validation instead: bucket
+      geometry (power-of-two width/count, contiguous slot windows),
+      non-negative counters, and a prob_level histogram that sums to the
+      bucket's attempts.
 
 Every mode also honors repeatable --expect SUBSTR flags: each SUBSTR must
 match at least one scenario key in the current file, so a sweep that
@@ -44,6 +49,77 @@ import json
 import sys
 
 REQUIRED_COLUMNS = ("scenario", "jobs", "slots", "wall_ms", "slots_per_sec")
+
+TIMELINE_SCHEMA = "crmd-timeline-v1"
+TIMELINE_COUNT_FIELDS = (
+    "resolved_slots", "live_job_slots", "attempts",
+    "true_silence", "true_success", "true_noise",
+    "seen_silence", "seen_success", "seen_noise",
+    "activations", "retires", "expiries", "faults",
+)
+TIMELINE_PROB_LEVELS = 16
+
+
+def validate_timeline(path, doc):
+    """Structural check of a crmd-timeline-v1 document (see obs/timeline.hpp).
+
+    Returns the number of populated buckets; raises ValueError on any shape
+    violation.
+    """
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError(f"{path}: timeline 'meta' is not an object")
+    if meta.get("schema") != TIMELINE_SCHEMA:
+        raise ValueError(f"{path}: timeline schema is {meta.get('schema')!r}, "
+                         f"expected {TIMELINE_SCHEMA!r}")
+    width = meta.get("bucket_width")
+    count = meta.get("bucket_count")
+    for name, value in (("bucket_width", width), ("bucket_count", count)):
+        if not isinstance(value, int) or value < 1 or value & (value - 1):
+            raise ValueError(f"{path}: meta.{name} must be a positive power "
+                             f"of two, got {value!r}")
+    if not isinstance(meta.get("events"), int) or meta["events"] < 0:
+        raise ValueError(f"{path}: meta.events must be a non-negative int")
+    buckets = doc.get("buckets")
+    if not isinstance(buckets, list):
+        raise ValueError(f"{path}: 'buckets' is not a list")
+    if len(buckets) > count:
+        raise ValueError(f"{path}: {len(buckets)} buckets exceed "
+                         f"bucket_count {count}")
+    for i, bucket in enumerate(buckets):
+        lo, hi = bucket.get("slot_lo"), bucket.get("slot_hi")
+        if lo != i * width or hi != lo + width - 1:
+            raise ValueError(f"{path}: bucket {i} window [{lo}, {hi}] does "
+                             f"not match contiguous width-{width} windows")
+        for field in TIMELINE_COUNT_FIELDS:
+            value = bucket.get(field)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(f"{path}: bucket {i} field '{field}' must "
+                                 f"be a non-negative int, got {value!r}")
+        if not isinstance(bucket.get("contention_sum"), (int, float)):
+            raise ValueError(f"{path}: bucket {i} contention_sum is not a "
+                             f"number")
+        levels = bucket.get("prob_level")
+        if (not isinstance(levels, list)
+                or len(levels) != TIMELINE_PROB_LEVELS
+                or any(not isinstance(n, int) or n < 0 for n in levels)):
+            raise ValueError(f"{path}: bucket {i} prob_level must be "
+                             f"{TIMELINE_PROB_LEVELS} non-negative ints")
+        if sum(levels) != bucket["attempts"]:
+            raise ValueError(f"{path}: bucket {i} prob_level sums to "
+                             f"{sum(levels)} but attempts is "
+                             f"{bucket['attempts']}")
+    max_slot = meta.get("max_slot")
+    if not isinstance(max_slot, int):
+        raise ValueError(f"{path}: meta.max_slot must be an int")
+    if buckets:
+        last = buckets[-1]
+        if not last["slot_lo"] <= max_slot <= last["slot_hi"]:
+            raise ValueError(f"{path}: meta.max_slot {max_slot} falls "
+                             f"outside the last bucket window")
+    elif max_slot >= 0:
+        raise ValueError(f"{path}: meta.max_slot {max_slot} but no buckets")
+    return len(buckets)
 
 
 def load_rows(path):
@@ -147,6 +223,26 @@ def main():
                         help="require >= 1 scenario key containing SUBSTR "
                              "(repeatable; applies in every mode)")
     args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL: {e}", file=sys.stderr)
+        return 1
+    if isinstance(doc, dict) and "buckets" in doc:
+        if not args.check_only:
+            print("check_perf: timeline JSONs only support --check-only",
+                  file=sys.stderr)
+            return 2
+        try:
+            n = validate_timeline(args.current, doc)
+        except ValueError as e:
+            print(f"check_perf: FAIL: {e}", file=sys.stderr)
+            return 1
+        print(f"check_perf: ok: {args.current} is a valid "
+              f"{TIMELINE_SCHEMA} document with {n} bucket(s)")
+        return 0
 
     try:
         meta, current = load_rows(args.current)

@@ -16,6 +16,14 @@ optionally a series column; everything else is matplotlib defaults. Values
 with thousands separators ("16,384") are parsed. The input format is picked
 by extension: .json expects the Table::write_json array-of-objects shape,
 anything else is read as CSV.
+
+Timeline JSONs (--timeline=FILE, schema "crmd-timeline-v1") are also
+accepted: each slot bucket becomes one row keyed by slot_lo/slot_hi, with
+the prob_level histogram flattened to prob_level_0..15 and the derived
+per-bucket columns mean_contention, attempts_per_slot, and success_rate:
+
+    bench_jamming --timeline=tl.json
+    tools/plot_results.py tl.json --x=slot_lo --y=attempts_per_slot
 """
 
 import argparse
@@ -32,16 +40,44 @@ def parse_number(text):
         return None
 
 
+def timeline_row(bucket):
+    """Flattens one crmd-timeline-v1 bucket into a plottable row."""
+    row = {}
+    for key, value in bucket.items():
+        if key == "prob_level":
+            for level, count in enumerate(value):
+                row[f"prob_level_{level}"] = str(count)
+        else:
+            row[key] = str(value)
+    resolved = float(bucket.get("resolved_slots", 0))
+    width = float(bucket["slot_hi"]) - float(bucket["slot_lo"]) + 1
+    row["mean_contention"] = str(
+        float(bucket.get("contention_sum", 0.0)) / resolved if resolved else 0.0
+    )
+    row["attempts_per_slot"] = str(float(bucket.get("attempts", 0)) / width)
+    row["success_rate"] = str(
+        float(bucket.get("true_success", 0)) / resolved if resolved else 0.0
+    )
+    return row
+
+
 def load_rows(path):
     """Returns a list of {column: string-value} dicts from CSV or JSON.
 
-    JSON accepts both Table::write_json shapes: the plain array of row
-    objects, and the meta-bearing {"meta": {...}, "rows": [...]} object
-    emitted when a harness stamps profiler metadata.
+    JSON accepts both Table::write_json shapes — the plain array of row
+    objects and the meta-bearing {"meta": {...}, "rows": [...]} object
+    emitted when a harness stamps profiler metadata — plus the
+    {"meta": {...}, "buckets": [...]} timeline shape (one row per bucket).
     """
     if path.endswith(".json"):
         with open(path) as f:
             data = json.load(f)
+        if (
+            isinstance(data, dict)
+            and isinstance(data.get("meta"), dict)
+            and data["meta"].get("schema") == "crmd-timeline-v1"
+        ):
+            return [timeline_row(b) for b in data.get("buckets", [])]
         if isinstance(data, dict) and "rows" in data:
             data = data["rows"]
         if not isinstance(data, list):

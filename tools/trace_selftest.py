@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""End-to-end selftest of the crmd_trace analyzer against real traces.
+
+Usage: trace_selftest.py CRMD_CLI_BINARY CRMD_TRACE_BINARY
+
+Generates JSONL traces with crmd_cli, then checks:
+  1. `summary` runs and reports the exact event count of the file.
+  2. `diff` of a trace against itself exits 0 ("identical").
+  3. `diff` of a base run vs. a run with one seeded perturbation
+     (--fault-loss) exits 1 and reports the first divergent slot that this
+     script computes independently from the raw JSONL.
+  4. `coverage --protocol=punctual --strict` reaches 100% kind coverage on
+     a mixed-window general workload with elections enabled
+     (--claim-scale).
+  5. `coverage --require=fault --strict` on the fault-free trace exits 1
+     (the deliberately-unreachable event is flagged, not ignored).
+
+Exits nonzero with a one-line FAIL per broken property.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"ok: {name}")
+    else:
+        failures.append(name)
+        print(f"FAIL: {name}{': ' + detail if detail else ''}")
+
+
+def run(cmd, **kwargs):
+    return subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, **kwargs
+    )
+
+
+def load_events(path):
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def first_divergent_slot(a, b):
+    """Slot of the earliest differing event (None when streams match)."""
+    for ev_a, ev_b in zip(a, b):
+        if ev_a != ev_b:
+            return min(ev_a["slot"], ev_b["slot"])
+    if len(a) != len(b):
+        longer = a if len(a) > len(b) else b
+        return longer[min(len(a), len(b))]["slot"]
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    cli, trace_tool = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="crmd_trace_selftest.") as tmp:
+        tmp = Path(tmp)
+        base = tmp / "base.jsonl"
+        perturbed = tmp / "perturbed.jsonl"
+        punctual = tmp / "punctual.jsonl"
+
+        # Base and perturbed runs: identical except for one fault knob.
+        common = [
+            cli,
+            "--protocol=punctual",
+            "--workload=batch",
+            "--n=24",
+            "--window=2048",
+            "--reps=1",
+            "--seed=11",
+        ]
+        r = run(common + [f"--trace-jsonl={base}"])
+        check("base run exits 0", r.returncode == 0, r.stderr.strip())
+        r = run(common + [f"--trace-jsonl={perturbed}", "--fault-loss=0.02"])
+        check("perturbed run exits 0", r.returncode == 0, r.stderr.strip())
+
+        # 1. summary reports the exact event count.
+        n_events = len(load_events(base))
+        r = run([trace_tool, "summary", base])
+        check(
+            "summary exits 0 and counts events",
+            r.returncode == 0
+            and re.search(rf"events\s+{n_events}\b", r.stdout) is not None,
+            f"rc={r.returncode}, expected 'events {n_events}' in output",
+        )
+
+        # 2. self-diff is identical.
+        r = run([trace_tool, "diff", base, base])
+        check(
+            "self-diff exits 0 and says identical",
+            r.returncode == 0 and "identical" in r.stdout,
+            f"rc={r.returncode}: {r.stdout.strip()}",
+        )
+
+        # 3. diff pins the first divergent slot this script computes.
+        expected_slot = first_divergent_slot(
+            load_events(base), load_events(perturbed)
+        )
+        check(
+            "perturbation actually diverges the streams",
+            expected_slot is not None,
+        )
+        r = run([trace_tool, "diff", base, perturbed])
+        check(
+            "diff exits 1 on divergence",
+            r.returncode == 1,
+            f"rc={r.returncode}",
+        )
+        check(
+            f"diff reports first divergent slot {expected_slot}",
+            f"(slot {expected_slot})" in r.stdout,
+            r.stdout.strip().splitlines()[0] if r.stdout.strip() else "",
+        )
+
+        # 4. PUNCTUAL over mixed window sizes with elections enabled: 100%
+        # kind coverage. The general workload matters — window-trim only
+        # fires when a job in recheck hears a leader whose deadline is at
+        # least half its own but short of it, which needs heterogeneous
+        # deadlines; a batch (uniform-window) run can never trim.
+        r = run(
+            [
+                cli,
+                "--protocol=punctual",
+                "--workload=general",
+                "--gamma=0.0625",
+                "--horizon=16384",
+                "--claim-scale=128",
+                "--reps=1",
+                "--seed=5",
+                f"--trace-jsonl={punctual}",
+            ]
+        )
+        check("coverage scenario run exits 0", r.returncode == 0)
+        r = run(
+            [trace_tool, "coverage", punctual, "--protocol=punctual",
+             "--strict"]
+        )
+        check(
+            "punctual coverage is 100% under --strict",
+            r.returncode == 0 and "(100.0%)" in r.stdout,
+            f"rc={r.returncode}\n{r.stdout}",
+        )
+
+        # 5. Requiring an event the scenario cannot fire must fail --strict.
+        r = run(
+            [trace_tool, "coverage", punctual, "--protocol=punctual",
+             "--require=fault", "--strict"]
+        )
+        check(
+            "--require=fault fails --strict on a fault-free trace",
+            r.returncode == 1 and "MISSING kind: fault" in r.stdout,
+            f"rc={r.returncode}",
+        )
+
+    if failures:
+        print(f"{len(failures)} selftest failure(s)")
+        return 1
+    print("crmd_trace selftest: all properties hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
