@@ -14,9 +14,11 @@
 // Perfetto), --timeline=path.json (slot-bucketed telemetry aggregated
 // over every simulated run — obs/timeline.hpp; bit-identical for every
 // --threads value), --metrics=path.json (metrics-registry snapshot),
-// --feedback=<model>[:eps] (channel feedback semantics:
-// ternary | binary_ack | collision_as_silence | noisy[:eps]; see
-// sim/channel.hpp).
+// --feedback=<model>[:param] (channel feedback semantics:
+// ternary | binary_ack | collision_as_silence | noisy[:eps] |
+// capture[:alpha]; see sim/channel.hpp), --collision-cost=c (a perceived
+// collision freezes the channel for c-1 extra slots; default 1 = the
+// paper's channel; see sim/simulator.hpp).
 //
 // JSON outputs carry a "meta" object with run-profiler timings (wall_ms,
 // slots_per_sec, per-phase breakdown) plus the worker count ("threads")
@@ -58,12 +60,17 @@ struct CommonArgs {
   /// Replication workers as requested by --threads= (0 = hardware default);
   /// pass to run_replications, which resolves and clamps it.
   int threads;
-  /// Channel feedback semantics from --feedback=<model>[:eps] (see
+  /// Channel feedback semantics from --feedback=<model>[:param] (see
   /// channel.hpp; "ternary", "binary_ack", "collision_as_silence",
-  /// "noisy[:eps]"). Defaults to ternary — bit-identical to a build
-  /// without the flag. Pass via analysis::RunOptions::feedback or
-  /// SimConfig::feedback.
+  /// "noisy[:eps]", "capture[:alpha]"). Defaults to ternary —
+  /// bit-identical to a build without the flag. Pass via
+  /// analysis::RunOptions::feedback or SimConfig::feedback.
   sim::FeedbackModel feedback;
+  /// Collision-cost physics from --collision-cost=c (>= 1; see
+  /// simulator.hpp SimConfig::collision_cost). Defaults to 1 — the
+  /// paper's channel, bit-identical to a build without the flag. Pass via
+  /// analysis::RunOptions::collision_cost or SimConfig::collision_cost.
+  int collision_cost;
 };
 
 /// Parses the shared flags with harness-specific defaults.
@@ -83,11 +90,15 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   c.metrics = args.get("metrics", "");
   c.threads = static_cast<int>(args.get_int("threads", 0));
   const std::string spec = args.get("feedback", "ternary");
-  if (const auto model = sim::parse_feedback_model(spec)) {
+  if (const auto model = sim::parse_feedback_spec(spec, std::cerr)) {
     c.feedback = *model;
   } else {
-    std::cerr << "error: bad --feedback spec '" << spec
-              << "': " << sim::feedback_usage() << "\n";
+    std::exit(2);
+  }
+  const std::string cost_spec = args.get("collision-cost", "1");
+  if (const auto cost = sim::parse_collision_cost(cost_spec, std::cerr)) {
+    c.collision_cost = *cost;
+  } else {
     std::exit(2);
   }
   return c;

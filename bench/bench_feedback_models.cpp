@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
       for (const double jam : jams) {
         analysis::RunOptions options;
         options.feedback = model;
+        options.collision_cost = common.collision_cost;
         options.threads = common.threads;
         options.tracer = trace.get();
         if (jam > 0.0) {

@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
         for (const Faults& faults : fault_plans) {
           analysis::RunOptions options;
           options.feedback = model;
+          options.collision_cost = common.collision_cost;
           options.jammer_gen = adversary.gen;
           options.faults = faults.plan;
           options.threads = common.threads;

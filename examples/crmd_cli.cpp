@@ -46,7 +46,12 @@ int usage() {
          "  --reps=R --seed=S      replication controls\n"
          "  --feedback=MODEL       channel feedback semantics: ternary |\n"
          "                         binary_ack | collision_as_silence |\n"
-         "                         noisy[:eps] (default ternary)\n"
+         "                         noisy[:eps] | capture[:alpha] (default "
+         "ternary)\n"
+         "  --collision-cost=C     a perceived collision freezes the "
+         "channel for\n"
+         "                         C-1 extra slots (default 1 = the paper's "
+         "channel)\n"
          "  --threads=N            replication workers (0 = one per "
          "hardware thread,\n"
          "                         1 = serial; results are bit-identical "
@@ -98,6 +103,9 @@ int main(int argc, char** argv) {
                           : " [needs CD]");
       } else if (info.no_cd_native) {
         std::cout << " [no-CD native]";
+      }
+      if (info.estimates_from_collisions) {
+        std::cout << " [estimator assumes lossless collisions]";
       }
       std::cout << "\n";
     }
@@ -171,10 +179,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int threads = static_cast<int>(args.get_int("threads", 0));
   const std::string feedback_spec = args.get("feedback", "ternary");
-  const auto feedback = sim::parse_feedback_model(feedback_spec);
+  const auto feedback = sim::parse_feedback_spec(feedback_spec, std::cerr);
   if (!feedback) {
-    std::cerr << "error: bad --feedback spec '" << feedback_spec
-              << "': " << sim::feedback_usage() << "\n";
+    return 2;
+  }
+  const auto collision_cost =
+      sim::parse_collision_cost(args.get("collision-cost", "1"), std::cerr);
+  if (!collision_cost) {
     return 2;
   }
 
@@ -198,6 +209,7 @@ int main(int argc, char** argv) {
     sim::SimConfig config;
     config.seed = seed;
     config.feedback = *feedback;
+    config.collision_cost = *collision_cost;
     config.record_slots = !trace_path.empty() || !faults_path.empty();
     config.faults.feedback_corrupt_rate = args.get_double("fault-corrupt", 0);
     config.faults.feedback_loss_rate = args.get_double("fault-loss", 0);
@@ -271,6 +283,7 @@ int main(int argc, char** argv) {
   }
   analysis::RunOptions options;
   options.feedback = *feedback;
+  options.collision_cost = *collision_cost;
   options.threads = threads;
   options.tracer = sweep_tracer.get();
   const auto report =

@@ -58,6 +58,7 @@ RepOutcome simulate_one(int rep, const util::Rng& master,
   config.seed = rep_rng.next_u64();
   config.faults = options.faults;
   config.feedback = options.feedback;
+  config.collision_cost = options.collision_cost;
   std::unique_ptr<obs::Tracer> local_tracer;
   std::shared_ptr<obs::CollectSink> collect;
   if (tracing) {
@@ -123,6 +124,7 @@ ReplicationReport run_serial(const InstanceGen& gen,
     config.seed = rep_rng.next_u64();
     config.faults = options.faults;
     config.feedback = options.feedback;
+    config.collision_cost = options.collision_cost;
     config.tracer = options.tracer;
     std::unique_ptr<sim::Jammer> jammer;
     if (options.jammer_gen) {

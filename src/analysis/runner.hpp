@@ -48,6 +48,10 @@ struct RunOptions {
   /// Channel feedback semantics for every replication (channel.hpp). The
   /// default ternary model is bit-identical to the pre-model engine.
   sim::FeedbackModel feedback;
+  /// Collision-cost channel physics for every replication
+  /// (simulator.hpp SimConfig::collision_cost). The default 1 is the
+  /// paper's channel and bit-identical to the pre-cost engine.
+  int collision_cost = 1;
   /// Optional tracing session (null = off = bit-identical results).
   obs::Tracer* tracer = nullptr;
   /// Worker count; see run_replications. 1 = exact serial loop.

@@ -27,12 +27,14 @@ std::vector<ProtocolInfo> protocol_catalog() {
            "ALIGNED (§3): pecking-order schedule over aligned windows",
        .uses_listener_feedback = true,
        .needs_collision_detection = true,
-       .adapts_to_degraded_channel = true},
+       .adapts_to_degraded_channel = true,
+       .estimates_from_collisions = true},
       {.name = "punctual",
        .description = "PUNCTUAL (§4): round grid with elected timekeepers",
        .uses_listener_feedback = true,
        .needs_collision_detection = true,
-       .adapts_to_degraded_channel = true},
+       .adapts_to_degraded_channel = true,
+       .estimates_from_collisions = true},
       {.name = "nocd",
        .description =
            "NOCD (§6g): success-only epoch backoff, no collision detection",

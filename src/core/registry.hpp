@@ -51,6 +51,13 @@ struct ProtocolInfo {
   /// ladder invariant (no-CD throughput comparable to ternary) that
   /// degraded-fallback protocols cannot meet.
   bool no_cd_native = false;
+  /// The protocol estimates contention from collision-vs-success counts
+  /// (ALIGNED's class estimator, PUNCTUAL's round grid). On a capture
+  /// channel (ChannelCaps::capture) collisions can leak a success, so
+  /// those estimators see optimistically biased samples; harnesses
+  /// annotate capture sweeps with this flag instead of protocols
+  /// re-deriving it in-band.
+  bool estimates_from_collisions = false;
 
   /// True when the protocol can run its *full* (non-degraded) logic on a
   /// channel with these capabilities.

@@ -39,6 +39,10 @@ enum class EventKind : std::uint8_t {
                    ///< (before per-job faults); a=SlotOutcome, b=live jobs
   kSuccessCredit,  ///< data delivery credited; job=winner
   kFault,          ///< injected fault; a=FaultKind (see sim/faults.hpp)
+  kCaptureWin,     ///< capture model leaked one winner out of a collision;
+                   ///< job=winner, a=colliders, x=alpha
+  kCostSlot,       ///< slot frozen by collision-cost recovery; a=remaining
+                   ///< freeze after this slot, b=transmitters wasted
 
   // --- protocol level ------------------------------------------------------
   kStage,          ///< stage transition; a=from, b=to, label=to-name

@@ -2,7 +2,7 @@
 
 namespace crmd::obs {
 
-static_assert(kEventKindCount == 16,
+static_assert(kEventKindCount == 18,
               "new EventKind added: extend the taxonomy tables and keep "
               "kSchedule last (or update kEventKindCount)");
 
@@ -11,6 +11,15 @@ const std::vector<EventKind>& channel_taxonomy() {
       EventKind::kJobActivate,  EventKind::kJobRetire,
       EventKind::kTransmit,     EventKind::kSlotResolved,
       EventKind::kSlotPerceived, EventKind::kSuccessCredit,
+  };
+  return kinds;
+}
+
+const std::vector<EventKind>& conditional_channel_taxonomy() {
+  static const std::vector<EventKind> kinds = {
+      EventKind::kFault,       // only fired by a configured FaultPlan
+      EventKind::kCaptureWin,  // only under --feedback=capture:alpha, a > 0
+      EventKind::kCostSlot,    // only under --collision-cost c > 1
   };
   return kinds;
 }

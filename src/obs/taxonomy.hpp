@@ -46,6 +46,16 @@ struct ProtocolTaxonomy {
 /// Channel-level kinds every simulated run fires regardless of protocol.
 [[nodiscard]] const std::vector<EventKind>& channel_taxonomy();
 
+/// Channel-level kinds that fire only when their physics is configured
+/// (kFault needs a FaultPlan, kCaptureWin a capture model with alpha > 0,
+/// kCostSlot a collision cost > 1). Not part of the always-expected set —
+/// auditing them on a run that enables the feature is done via
+/// `crmd_trace coverage --require=...`. Together with channel_taxonomy()
+/// this partitions every channel-level kind; a drift check in
+/// tests/test_trace_analysis.cpp trips when a new channel kind joins
+/// neither list.
+[[nodiscard]] const std::vector<EventKind>& conditional_channel_taxonomy();
+
 /// All declared families.
 [[nodiscard]] const std::vector<ProtocolTaxonomy>& protocol_taxonomies();
 

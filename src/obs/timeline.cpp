@@ -49,6 +49,8 @@ void TimelineBucket::merge(const TimelineBucket& other) noexcept {
   retires += other.retires;
   expiries += other.expiries;
   faults += other.faults;
+  capture_wins += other.capture_wins;
+  cost_slots += other.cost_slots;
   for (std::size_t i = 0; i < kProbLevels; ++i) {
     prob_level[i] += other.prob_level[i];
   }
@@ -59,7 +61,7 @@ bool TimelineBucket::empty() const noexcept {
       contention_sum != 0.0 || true_silence != 0 || true_success != 0 ||
       true_noise != 0 || seen_silence != 0 || seen_success != 0 ||
       seen_noise != 0 || activations != 0 || retires != 0 || expiries != 0 ||
-      faults != 0) {
+      faults != 0 || capture_wins != 0 || cost_slots != 0) {
     return false;
   }
   for (const std::int64_t n : prob_level) {
@@ -154,6 +156,12 @@ void Timeline::on_event(const TraceEvent& ev) {
     case EventKind::kFault:
       ++b.faults;
       return;
+    case EventKind::kCaptureWin:
+      ++b.capture_wins;
+      return;
+    case EventKind::kCostSlot:
+      ++b.cost_slots;
+      return;
     default:
       return;  // protocol-level kinds are not aggregated (JSONL keeps them)
   }
@@ -187,7 +195,9 @@ void Timeline::write_json(std::ostream& out) const {
         << ", \"seen_noise\": " << b.seen_noise
         << ", \"activations\": " << b.activations
         << ", \"retires\": " << b.retires << ", \"expiries\": " << b.expiries
-        << ", \"faults\": " << b.faults << ", \"prob_level\": [";
+        << ", \"faults\": " << b.faults
+        << ", \"capture_wins\": " << b.capture_wins
+        << ", \"cost_slots\": " << b.cost_slots << ", \"prob_level\": [";
     for (std::size_t lvl = 0; lvl < TimelineBucket::kProbLevels; ++lvl) {
       out << (lvl == 0 ? "" : ", ") << b.prob_level[lvl];
     }

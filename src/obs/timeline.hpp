@@ -62,6 +62,8 @@ struct TimelineBucket {
   std::int64_t retires = 0;          ///< kJobRetire with success (a=1)
   std::int64_t expiries = 0;         ///< kJobRetire without success (a=0)
   std::int64_t faults = 0;           ///< kFault injections
+  std::int64_t capture_wins = 0;     ///< kCaptureWin (capture model leaks)
+  std::int64_t cost_slots = 0;       ///< kCostSlot (collision-cost freezes)
   std::array<std::int64_t, kProbLevels> prob_level{};  ///< backoff ladder
 
   /// Folds `other` into this bucket (used when widths double).

@@ -26,6 +26,10 @@ const char* to_string(EventKind kind) noexcept {
       return "success-credit";
     case EventKind::kFault:
       return "fault";
+    case EventKind::kCaptureWin:
+      return "capture-win";
+    case EventKind::kCostSlot:
+      return "cost-slot";
     case EventKind::kStage:
       return "stage";
     case EventKind::kRoundSync:

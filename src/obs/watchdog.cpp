@@ -23,6 +23,10 @@ bool label_is(const char* label, const char* expected) noexcept {
 }  // namespace
 
 void Watchdog::on_event(const TraceEvent& ev) {
+  if (ev.slot < prev_slot_) {
+    cost_slot_ = -1;  // a new replication replays from slot 0
+  }
+  prev_slot_ = ev.slot;
   switch (ev.kind) {
     case EventKind::kJobActivate: {
       JobState& js = jobs_[ev.job];
@@ -81,7 +85,14 @@ void Watchdog::on_event(const TraceEvent& ev) {
       return;
     }
 
+    case EventKind::kCostSlot:
+      cost_slot_ = ev.slot;
+      return;
+
     case EventKind::kSuccessCredit: {
+      if (ev.slot == cost_slot_) {
+        flag(ev.slot, ev.job, "success-credit-during-cost-slot");
+      }
       const auto it = jobs_.find(ev.job);
       if (it == jobs_.end() || !it->second.live) {
         flag(ev.slot, ev.job, "success-credit-dead-job");

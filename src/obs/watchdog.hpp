@@ -22,6 +22,8 @@
 ///     anarchist/desperate stages are exempt because they are the
 ///     explicitly grid-free fallbacks),
 ///   * a success credited to a job that is dead or already succeeded,
+///   * a success credited during a collision-cost freeze (a kCostSlot
+///     marked the slot as channel recovery — nothing can be delivered),
 ///   * a job activated twice without retiring.
 ///
 /// Checks (opt-in via WatchdogConfig — they encode *expected* behavior of
@@ -101,6 +103,10 @@ class Watchdog final : public EventSink {
   std::vector<Violation> kept_;
   std::int64_t count_ = 0;
   std::int64_t resolved_slots_ = 0;
+  /// Slot of the last kCostSlot seen; reset when the stream's slot index
+  /// regresses (a new replication replaying from slot 0).
+  Slot cost_slot_ = -1;
+  Slot prev_slot_ = -1;
 };
 
 }  // namespace crmd::obs

@@ -1,5 +1,6 @@
 #include "sim/channel.hpp"
 
+#include <ostream>
 #include <stdexcept>
 
 namespace crmd::sim {
@@ -39,6 +40,8 @@ const char* to_string(FeedbackKind kind) noexcept {
       return "collision_as_silence";
     case FeedbackKind::kNoisy:
       return "noisy";
+    case FeedbackKind::kCapture:
+      return "capture";
   }
   return "unknown";
 }
@@ -59,6 +62,12 @@ ChannelCaps FeedbackModel::caps() const noexcept {
     case FeedbackKind::kNoisy:
       c.reliable = false;
       break;
+    case FeedbackKind::kCapture:
+      // alpha == 0 advertises exactly ternary's caps: the channel *is* the
+      // ternary channel then, and protocols must not be nudged into a
+      // different mode for a physically identical radio.
+      c.capture = alpha > 0.0;
+      break;
   }
   return c;
 }
@@ -67,6 +76,8 @@ std::string FeedbackModel::spec() const {
   std::string s = to_string(kind);
   if (kind == FeedbackKind::kNoisy) {
     s += ':' + std::to_string(eps);
+  } else if (kind == FeedbackKind::kCapture) {
+    s += ':' + std::to_string(alpha);
   }
   return s;
 }
@@ -81,6 +92,16 @@ void FeedbackModel::validate() const {
   } else if (eps != 0.0) {
     throw std::invalid_argument(
         "FeedbackModel: eps is meaningful only for the noisy kind");
+  }
+  if (kind == FeedbackKind::kCapture) {
+    if (!(alpha >= 0.0 && alpha <= 1.0)) {
+      throw std::invalid_argument(
+          "FeedbackModel: capture alpha must be in [0, 1], got " +
+          std::to_string(alpha));
+    }
+  } else if (alpha != 0.0) {
+    throw std::invalid_argument(
+        "FeedbackModel: alpha is meaningful only for the capture kind");
   }
 }
 
@@ -97,12 +118,15 @@ std::optional<FeedbackModel> parse_model_parts(const std::string& name,
   if (name == "collision_as_silence" && param.empty()) {
     return FeedbackModel::collision_as_silence();
   }
-  if (name == "noisy") {
-    double eps = 0.05;
+  if (name == "noisy" || name == "capture") {
+    // Both parameterized kinds share the strict numeric path: the full
+    // param must parse as a double in [0, 1] ("noisy:junk", "capture:1.5",
+    // "capture:0.5:extra" all reject).
+    double value = name == "noisy" ? 0.05 : 0.5;
     if (!param.empty()) {
       try {
         std::size_t used = 0;
-        eps = std::stod(param, &used);
+        value = std::stod(param, &used);
         if (used != param.size()) {
           return std::nullopt;
         }
@@ -110,10 +134,11 @@ std::optional<FeedbackModel> parse_model_parts(const std::string& name,
         return std::nullopt;
       }
     }
-    if (!(eps >= 0.0 && eps <= 1.0)) {
+    if (!(value >= 0.0 && value <= 1.0)) {
       return std::nullopt;
     }
-    return FeedbackModel::noisy(eps);
+    return name == "noisy" ? FeedbackModel::noisy(value)
+                           : FeedbackModel::capture(value);
   }
   return std::nullopt;
 }
@@ -132,12 +157,41 @@ std::optional<FeedbackModel> parse_feedback_model(const std::string& spec) {
 }
 
 std::vector<std::string> feedback_model_names() {
-  return {"ternary", "binary_ack", "collision_as_silence", "noisy"};
+  return {"ternary", "binary_ack", "collision_as_silence", "noisy",
+          "capture"};
 }
 
 std::string feedback_usage() {
   return "expected ternary | binary_ack | collision_as_silence | "
-         "noisy[:eps] with eps in [0, 1]";
+         "noisy[:eps] | capture[:alpha] with eps, alpha in [0, 1]";
+}
+
+std::optional<FeedbackModel> parse_feedback_spec(const std::string& spec,
+                                                 std::ostream& diag) {
+  auto model = parse_feedback_model(spec);
+  if (!model) {
+    diag << "error: bad --feedback spec '" << spec << "': "
+         << feedback_usage() << '\n';
+  }
+  return model;
+}
+
+std::optional<int> parse_collision_cost(const std::string& spec,
+                                        std::ostream& diag) {
+  int cost = 0;
+  bool ok = false;
+  try {
+    std::size_t used = 0;
+    cost = std::stoi(spec, &used);
+    ok = used == spec.size() && cost >= 1;
+  } catch (const std::exception&) {
+  }
+  if (!ok) {
+    diag << "error: bad --collision-cost '" << spec
+         << "': expected an integer >= 1\n";
+    return std::nullopt;
+  }
+  return cost;
 }
 
 SlotFeedback degrade_feedback(const SlotFeedback& truth) noexcept {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <string>
@@ -86,6 +87,16 @@ enum class FeedbackKind : std::uint8_t {
   /// per-listener fault injector composes on top rather than being
   /// duplicated.
   kNoisy,
+  /// Capture effect (SINR-style; Biswas–Chakraborty–Young,
+  /// arXiv:2408.11275): when k >= 2 stations transmit simultaneously, one
+  /// seeded-deterministically-drawn winner still gets through with
+  /// probability p_k(alpha) = alpha^(k-1); otherwise the slot is noise as
+  /// usual. k = 1 always succeeds. Listeners and the winner perceive the
+  /// captured success; the k-1 losers perceive noise (their own signal was
+  /// drowned out). alpha = 0 reproduces the ternary channel bit-identically
+  /// — no RNG draw is ever taken, so trajectories and digests match the
+  /// pinned goldens exactly. See DESIGN.md §6i.
+  kCapture,
 };
 
 /// Human-readable name of a feedback kind ("ternary", "binary_ack", ...).
@@ -109,6 +120,13 @@ struct ChannelCaps {
   /// Feedback is never flipped by the channel itself. False for kNoisy
   /// (per-listener fault injection is reported separately, via FaultPlan).
   bool reliable = true;
+  /// Collisions can leak a captured success (kCapture with alpha > 0): a
+  /// heard success no longer implies exactly one transmitter, so estimators
+  /// that count collisions-vs-successes (ALIGNED's tracker, PUNCTUAL's
+  /// round grid) see optimistically biased samples. Advertised so that
+  /// choice is informed; false for every other kind and for alpha == 0,
+  /// keeping capture:0 caps identical to ternary's.
+  bool capture = false;
 
   friend bool operator==(const ChannelCaps&, const ChannelCaps&) = default;
 };
@@ -119,36 +137,59 @@ struct FeedbackModel {
   FeedbackKind kind = FeedbackKind::kTernary;
   /// Per-slot flip probability; meaningful only for kNoisy.
   double eps = 0.0;
+  /// Capture strength in [0, 1]; meaningful only for kCapture. A k-way
+  /// collision leaks one winner with probability alpha^(k-1).
+  double alpha = 0.0;
 
   [[nodiscard]] static FeedbackModel ternary() noexcept { return {}; }
   [[nodiscard]] static FeedbackModel binary_ack() noexcept {
-    return {FeedbackKind::kBinaryAck, 0.0};
+    return {FeedbackKind::kBinaryAck, 0.0, 0.0};
   }
   [[nodiscard]] static FeedbackModel collision_as_silence() noexcept {
-    return {FeedbackKind::kCollisionAsSilence, 0.0};
+    return {FeedbackKind::kCollisionAsSilence, 0.0, 0.0};
   }
   [[nodiscard]] static FeedbackModel noisy(double eps) noexcept {
-    return {FeedbackKind::kNoisy, eps};
+    return {FeedbackKind::kNoisy, eps, 0.0};
+  }
+  [[nodiscard]] static FeedbackModel capture(double alpha) noexcept {
+    return {FeedbackKind::kCapture, 0.0, alpha};
   }
 
   /// The capability flags this model advertises to protocols.
   [[nodiscard]] ChannelCaps caps() const noexcept;
 
-  /// Canonical spec string: "ternary", "noisy:0.05", ...
+  /// Canonical spec string: "ternary", "noisy:0.05", "capture:0.5", ...
   [[nodiscard]] std::string spec() const;
 
-  /// Throws std::invalid_argument when eps is outside [0, 1] or set for a
-  /// non-noisy kind.
+  /// Throws std::invalid_argument when eps/alpha are outside [0, 1] or set
+  /// for a kind they are not meaningful for.
   void validate() const;
 
   friend bool operator==(const FeedbackModel&, const FeedbackModel&) = default;
 };
 
 /// Parses "--feedback=" specs: "ternary" | "binary_ack" |
-/// "collision_as_silence" | "noisy[:eps]" (eps defaults to 0.05).
-/// Returns std::nullopt on unknown names or malformed eps.
+/// "collision_as_silence" | "noisy[:eps]" (eps defaults to 0.05) |
+/// "capture[:alpha]" (alpha defaults to 0.5).
+/// Returns std::nullopt on unknown names or malformed parameters.
 [[nodiscard]] std::optional<FeedbackModel> parse_feedback_model(
     const std::string& spec);
+
+/// CLI front half of parse_feedback_model, shared by every bench harness
+/// and `crmd_cli`: on failure, prints the canonical one-line diagnostic
+/// ("error: bad --feedback spec '...': <usage>") to `diag` and returns
+/// std::nullopt — callers exit 2. Keeps the usage path byte-identical
+/// across binaries instead of each one composing its own message.
+[[nodiscard]] std::optional<FeedbackModel> parse_feedback_spec(
+    const std::string& spec, std::ostream& diag);
+
+/// Parses "--collision-cost=" values: an integer c >= 1, where a perceived
+/// collision freezes the channel for the next c-1 slots (c = 1 is the
+/// paper's channel, bit-identical to not passing the flag). On failure
+/// prints "error: bad --collision-cost ..." to `diag` and returns
+/// std::nullopt — callers exit 2.
+[[nodiscard]] std::optional<int> parse_collision_cost(const std::string& spec,
+                                                      std::ostream& diag);
 
 /// All model spec names, in degradation-ladder order (for --help and
 /// sweep harnesses). The "noisy" entry is the bare kind name.

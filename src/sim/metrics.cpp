@@ -58,6 +58,8 @@ void SimMetrics::merge(const SimMetrics& other) {
   restarts += other.restarts;
   dark_job_slots += other.dark_job_slots;
   feedback_flips += other.feedback_flips;
+  capture_wins += other.capture_wins;
+  collision_cost_slots += other.collision_cost_slots;
   contention.merge(other.contention);
 }
 

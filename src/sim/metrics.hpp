@@ -69,6 +69,14 @@ struct SimMetrics {
   /// model (channel.hpp FeedbackKind::kNoisy; zero for every other model).
   std::int64_t feedback_flips = 0;
 
+  /// Collisions from which the capture model leaked a winning broadcast
+  /// (FeedbackKind::kCapture; subset of success_slots, zero otherwise).
+  std::int64_t capture_wins = 0;
+  /// Slots lost to collision-cost recovery freezes (simulator.hpp
+  /// SimConfig::collision_cost; subset of noise_slots, zero when cost
+  /// is 1).
+  std::int64_t collision_cost_slots = 0;
+
   /// Distribution of per-slot contention across simulated slots.
   util::RunningStats contention;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -12,6 +13,11 @@ namespace crmd::sim {
 void SimConfig::validate() const {
   faults.validate();
   feedback.validate();
+  if (collision_cost < 1) {
+    throw std::invalid_argument(
+        "SimConfig: collision_cost must be >= 1, got " +
+        std::to_string(collision_cost));
+  }
   if (!collision_detection && feedback.kind != FeedbackKind::kTernary) {
     throw std::invalid_argument(
         "SimConfig: the legacy collision_detection ablation only composes "
@@ -40,6 +46,13 @@ struct Simulation::Impl {
   /// Advanced only when the model is kNoisy with eps > 0, so every other
   /// model is bit-identical to the pre-model engine.
   util::Rng fb_rng{0};
+  /// Dedicated stream for the capture model's winner draws. Advanced only
+  /// when the model is kCapture with alpha > 0 on a slot with >= 2
+  /// transmitters, so capture:0 is bit-identical to ternary.
+  util::Rng cap_rng{0};
+  /// Remaining frozen slots of an armed collision cost (collision_cost - 1
+  /// after each perceived collision); 0 on the paper's channel.
+  Slot freeze_left = 0;
   /// Capabilities stamped into every JobInfo (derived once from the model).
   ChannelCaps caps;
   std::unique_ptr<FaultInjector> injector;  // null when the plan is empty
@@ -138,6 +151,7 @@ Simulation::Simulation(workload::Instance instance,
   s.jammer = std::move(jammer);
   s.jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
   s.fb_rng = util::Rng(config.seed).child(0x4642464C4950ULL);   // "FBFLIP"
+  s.cap_rng = util::Rng(config.seed).child(0x43415054ULL);      // "CAPT"
   s.caps = config.feedback.caps();
   if (config.faults.any()) {
     s.injector = std::make_unique<FaultInjector>(config.faults, config.seed);
@@ -224,6 +238,10 @@ bool Simulation::step() {
     }
     const Slot next_release = s.release[s.next_pending];
     if (next_release > s.now) {
+      // A pending collision-cost freeze elapses across the skipped gap —
+      // nobody is live to observe the frozen slots, so they are not
+      // simulated (and not counted as cost slots).
+      s.freeze_left = std::max<Slot>(0, s.freeze_left - (next_release - s.now));
       s.metrics.slots_skipped += next_release - s.now;
       s.now = next_release;
     }
@@ -331,17 +349,67 @@ bool Simulation::step() {
     }
   }
 
-  // Channel resolution + adversary.
+  // Channel resolution + capture + adversary (DESIGN.md §6i). Order:
+  // resolve -> freeze override -> capture draw -> jammer. A frozen slot
+  // (collision-cost recovery in progress) is noise for everyone no matter
+  // what was attempted; capture can leak one winner out of a fresh
+  // collision; the jammer acts last so an adaptive adversary can stomp a
+  // captured success. The jammer is not consulted on frozen slots — the
+  // channel is already noise, and jamming it would only waste budget.
+  const bool frozen = s.freeze_left > 0;
   SlotFeedback fb = resolve_slot(s.transmissions);
+  JobId capture_winner = kNoJob;
   bool jammed = false;
-  if (s.jammer != nullptr) {
-    const Message* msg = fb.message ? &*fb.message : nullptr;
-    if (s.jammer->wants_jam(s.now, fb.outcome, msg) &&
-        s.jam_rng.bernoulli(s.jammer->p_jam())) {
-      fb.outcome = SlotOutcome::kNoise;
-      fb.message.reset();
-      jammed = true;
+  if (frozen) {
+    --s.freeze_left;
+    fb.outcome = SlotOutcome::kNoise;
+    fb.message.reset();
+    ++s.metrics.collision_cost_slots;
+    CRMD_TRACE(s.config.tracer, obs::EventKind::kCostSlot, s.now, kNoJob,
+               s.freeze_left,
+               static_cast<std::int64_t>(s.transmissions.size()), 0.0,
+               "cost");
+  } else {
+    if (s.config.feedback.kind == FeedbackKind::kCapture &&
+        s.config.feedback.alpha > 0.0 && s.transmissions.size() >= 2) {
+      // One winner survives a k-way collision with probability
+      // p_k = alpha^(k-1); the winner is drawn uniformly. Both draws come
+      // from the dedicated cap_rng stream, taken only on this path, so
+      // alpha = 0 leaves every other stream untouched.
+      const double p_win = std::pow(
+          s.config.feedback.alpha,
+          static_cast<double>(s.transmissions.size() - 1));
+      if (s.cap_rng.bernoulli(p_win)) {
+        const std::size_t idx = static_cast<std::size_t>(s.cap_rng.below(
+            static_cast<std::uint64_t>(s.transmissions.size())));
+        fb.outcome = SlotOutcome::kSuccess;
+        fb.message = s.transmissions[idx].message;
+        capture_winner = s.transmissions[idx].job;
+      }
     }
+    if (s.jammer != nullptr) {
+      const Message* msg = fb.message ? &*fb.message : nullptr;
+      if (s.jammer->wants_jam(s.now, fb.outcome, msg) &&
+          s.jam_rng.bernoulli(s.jammer->p_jam())) {
+        fb.outcome = SlotOutcome::kNoise;
+        fb.message.reset();
+        jammed = true;
+        capture_winner = kNoJob;  // the jam stomped the captured success
+      }
+    }
+    // A perceived collision — genuine, capture-lost, or jam-created —
+    // freezes the channel for the next cost-1 slots. Frozen slots never
+    // re-arm, so a burst costs `cost` slots total, not a cascade.
+    if (s.config.collision_cost > 1 && fb.outcome == SlotOutcome::kNoise) {
+      s.freeze_left = s.config.collision_cost - 1;
+    }
+  }
+  if (capture_winner != kNoJob) {
+    ++s.metrics.capture_wins;
+    CRMD_TRACE(s.config.tracer, obs::EventKind::kCaptureWin, s.now,
+               capture_winner,
+               static_cast<std::int64_t>(s.transmissions.size()), 0,
+               s.config.feedback.alpha, "capture");
   }
 
   // Feedback phase. The feedback model projects the true outcome into a
@@ -391,10 +459,24 @@ bool Simulation::step() {
         ++s.metrics.feedback_flips;
       }
       break;
+    case FeedbackKind::kCapture:
+      // On a captured success, listeners (and the winner, excluded from
+      // the transmitted bitmap below) hear the success; the k-1 losers
+      // perceive noise — their own signal drowned the broadcast out at
+      // their radio. Without a capture win the channel is exactly ternary.
+      if (capture_winner != kNoJob) {
+        transmitter_fb.outcome = SlotOutcome::kNoise;
+        transmitter_fb.message.reset();
+        split = true;
+      }
+      break;
   }
   if (split) {
     for (const Transmission& t : s.transmissions) {
       s.transmitted[t.job] = 1;
+    }
+    if (capture_winner != kNoJob) {
+      s.transmitted[capture_winner] = 0;  // the winner hears its own success
     }
   }
   for (const JobId id : s.live) {

@@ -66,6 +66,17 @@ struct SimConfig {
   /// tests/test_feedback_models.cpp).
   FeedbackModel feedback;
 
+  /// Collision-cost channel physics (DESIGN.md §6i; Biswas–Chakraborty–
+  /// Young, arXiv:2408.11275): a slot whose post-jam outcome is noise — a
+  /// perceived collision — freezes the channel for the next `cost - 1`
+  /// slots, modeling PHY-layer recovery. Frozen slots run the full decision
+  /// cycle (transmissions are attempted and wasted; energy is spent) but
+  /// the true outcome is forced to noise, nothing is delivered, and no new
+  /// freeze is armed. The default 1 is the paper's channel and is
+  /// bit-identical to the pre-cost engine: the freeze path is never
+  /// entered, no counter is consulted, no RNG stream is touched.
+  int collision_cost = 1;
+
   /// Legacy *unadvertised* ablation (default on = the paper's assumption,
   /// §1.1): with collision detection, listeners receive ternary feedback.
   /// Without it, listeners cannot distinguish noise from silence (they

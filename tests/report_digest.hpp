@@ -1,0 +1,82 @@
+#pragma once
+
+// Order-sensitive digest over every deterministic field of an
+// analysis::ReplicationReport. Shared by the golden-seed suite
+// (test_determinism_golden.cpp) and the property suite
+// (test_property_invariants.cpp): both pin bit-identity claims, so both
+// must hash exactly the same traversal.
+//
+// Deliberately NOT part of the digest: SimMetrics::capture_wins and
+// SimMetrics::collision_cost_slots. The digest's traversal order is itself
+// a pinned artifact — appending fields would silently invalidate every
+// recorded golden value — and both counters are redundant with the
+// outcome/slot fields already hashed (a capture win is a success slot, a
+// cost slot is a noise slot). Equality checks that care about them assert
+// on the counters directly.
+
+#include <bit>
+#include <cstdint>
+
+#include "analysis/runner.hpp"
+#include "util/stats.hpp"
+
+namespace crmd::tests {
+
+/// splitmix64-style combine: order-sensitive, avalanching.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline std::uint64_t mix_double(std::uint64_t h, double v) noexcept {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+inline std::uint64_t mix_stats(std::uint64_t h, const util::RunningStats& s) {
+  h = mix(h, s.count());
+  h = mix_double(h, s.mean());
+  h = mix_double(h, s.variance());
+  h = mix_double(h, s.min());
+  h = mix_double(h, s.max());
+  return h;
+}
+
+inline std::uint64_t mix_counter(std::uint64_t h,
+                                 const util::SuccessCounter& c) {
+  h = mix(h, c.successes());
+  return mix(h, c.trials());
+}
+
+/// Digest over every deterministic field of a ReplicationReport, in a
+/// fixed traversal order. See the file comment before adding fields.
+inline std::uint64_t report_digest(const analysis::ReplicationReport& r) {
+  std::uint64_t h = 0x43524D44ULL;  // "CRMD"
+  h = mix(h, static_cast<std::uint64_t>(r.replications));
+  h = mix_stats(h, r.jobs_per_rep);
+
+  const sim::SimMetrics& m = r.channel;
+  for (const std::int64_t v :
+       {m.slots_simulated, m.slots_skipped, m.silent_slots, m.success_slots,
+        m.noise_slots, m.jammed_slots, m.data_successes,
+        m.control_successes, m.start_successes, m.claim_successes,
+        m.timekeeper_successes, m.faults_injected, m.feedback_corruptions,
+        m.feedback_losses, m.clock_skew_events, m.crashes, m.restarts,
+        m.dark_job_slots}) {
+    h = mix(h, static_cast<std::uint64_t>(v));
+  }
+  h = mix_stats(h, m.contention);
+
+  h = mix_counter(h, r.outcomes.overall());
+  h = mix_stats(h, r.outcomes.accesses());
+  for (const auto& [window, bucket] : r.outcomes.by_window()) {
+    h = mix(h, static_cast<std::uint64_t>(window));
+    h = mix_counter(h, bucket.deadline_met);
+    h = mix_stats(h, bucket.latency);
+    h = mix_stats(h, bucket.accesses);
+  }
+  return h;
+}
+
+}  // namespace crmd::tests

@@ -1,20 +1,19 @@
 // Golden-seed determinism digests. Each protocol's ReplicationReport for a
 // pinned (seed, instance-generator) pair is hashed — integers directly,
-// doubles by bit pattern — and compared against a recorded digest. The
-// failure mode this guards against is silent RNG-stream reordering: a
-// refactor (parallel runner, seed-derivation change, extra draw in a
-// protocol) that shuffles which coin flips reach which job would leave all
-// statistical tests green while quietly changing every "reproducible"
-// result in the repo. Here it fails loudly instead.
+// doubles by bit pattern (tests/report_digest.hpp) — and compared against
+// a recorded digest. The failure mode this guards against is silent
+// RNG-stream reordering: a refactor (parallel runner, seed-derivation
+// change, extra draw in a protocol) that shuffles which coin flips reach
+// which job would leave all statistical tests green while quietly changing
+// every "reproducible" result in the repo. Here it fails loudly instead.
 //
 // If a digest change is *intentional* (a protocol or seed-derivation
 // change that is supposed to alter results), regenerate: run this test,
-// copy the "got 0x..." digests from the failure output into kGolden
-// below, and note the reason in the commit message.
+// copy the "got 0x..." digests from the failure output into kGolden /
+// kGoldenChannel below, and note the reason in the commit message.
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,68 +26,15 @@
 #include "core/nocd/protocol.hpp"
 #include "core/punctual/protocol.hpp"
 #include "core/uniform.hpp"
+#include "report_digest.hpp"
 #include "workload/generators.hpp"
 
 namespace crmd::analysis {
 namespace {
 
+using tests::report_digest;
+
 constexpr std::uint64_t kSeed = 20260806;
-
-// splitmix64-style combine: order-sensitive, avalanching.
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  h *= 0xFF51AFD7ED558CCDULL;
-  h ^= h >> 33;
-  return h;
-}
-
-std::uint64_t mix_double(std::uint64_t h, double v) noexcept {
-  return mix(h, std::bit_cast<std::uint64_t>(v));
-}
-
-std::uint64_t mix_stats(std::uint64_t h, const util::RunningStats& s) {
-  h = mix(h, s.count());
-  h = mix_double(h, s.mean());
-  h = mix_double(h, s.variance());
-  h = mix_double(h, s.min());
-  h = mix_double(h, s.max());
-  return h;
-}
-
-std::uint64_t mix_counter(std::uint64_t h, const util::SuccessCounter& c) {
-  h = mix(h, c.successes());
-  return mix(h, c.trials());
-}
-
-/// Digest over every deterministic field of a ReplicationReport, in a
-/// fixed traversal order.
-std::uint64_t digest(const ReplicationReport& r) {
-  std::uint64_t h = 0x43524D44ULL;  // "CRMD"
-  h = mix(h, static_cast<std::uint64_t>(r.replications));
-  h = mix_stats(h, r.jobs_per_rep);
-
-  const sim::SimMetrics& m = r.channel;
-  for (const std::int64_t v :
-       {m.slots_simulated, m.slots_skipped, m.silent_slots, m.success_slots,
-        m.noise_slots, m.jammed_slots, m.data_successes,
-        m.control_successes, m.start_successes, m.claim_successes,
-        m.timekeeper_successes, m.faults_injected, m.feedback_corruptions,
-        m.feedback_losses, m.clock_skew_events, m.crashes, m.restarts,
-        m.dark_job_slots}) {
-    h = mix(h, static_cast<std::uint64_t>(v));
-  }
-  h = mix_stats(h, m.contention);
-
-  h = mix_counter(h, r.outcomes.overall());
-  h = mix_stats(h, r.outcomes.accesses());
-  for (const auto& [window, bucket] : r.outcomes.by_window()) {
-    h = mix(h, static_cast<std::uint64_t>(window));
-    h = mix_counter(h, bucket.deadline_met);
-    h = mix_stats(h, bucket.latency);
-    h = mix_stats(h, bucket.accesses);
-  }
-  return h;
-}
 
 InstanceGen golden_gen() {
   return [](util::Rng& rng) {
@@ -112,6 +58,38 @@ InstanceGen golden_aligned_gen() {
   };
 }
 
+sim::ProtocolFactory golden_factory(const std::string& name,
+                                    InstanceGen* gen) {
+  core::Params params;
+  params.lambda = 2;
+  params.tau = 8;
+  params.min_class = 8;
+  *gen = golden_gen();
+  if (name == "uniform") {
+    return core::make_uniform_factory(params);
+  }
+  if (name == "aligned") {
+    *gen = golden_aligned_gen();
+    return core::aligned::make_aligned_factory(params);
+  }
+  if (name == "punctual") {
+    return core::punctual::make_punctual_factory(params);
+  }
+  if (name == "nocd") {
+    return core::nocd::make_nocd_factory(params, /*robust=*/false);
+  }
+  if (name == "nocd_robust") {
+    return core::nocd::make_nocd_factory(params, /*robust=*/true);
+  }
+  if (name == "aloha") {
+    return baselines::make_aloha_window_factory(4.0);
+  }
+  if (name == "beb") {
+    return baselines::make_beb_factory();
+  }
+  return baselines::make_sawtooth_factory();
+}
+
 struct Golden {
   const char* name;
   std::uint64_t expected;
@@ -130,32 +108,12 @@ constexpr Golden kGolden[] = {
     {"sawtooth", 0x2c19ba5a0ea3928dULL},
 };
 
-std::uint64_t run_digest(const std::string& name) {
-  core::Params params;
-  params.lambda = 2;
-  params.tau = 8;
-  params.min_class = 8;
-  sim::ProtocolFactory factory;
-  InstanceGen gen = golden_gen();
-  if (name == "uniform") {
-    factory = core::make_uniform_factory(params);
-  } else if (name == "aligned") {
-    factory = core::aligned::make_aligned_factory(params);
-    gen = golden_aligned_gen();
-  } else if (name == "punctual") {
-    factory = core::punctual::make_punctual_factory(params);
-  } else if (name == "nocd") {
-    factory = core::nocd::make_nocd_factory(params, /*robust=*/false);
-  } else if (name == "nocd_robust") {
-    factory = core::nocd::make_nocd_factory(params, /*robust=*/true);
-  } else if (name == "aloha") {
-    factory = baselines::make_aloha_window_factory(4.0);
-  } else if (name == "beb") {
-    factory = baselines::make_beb_factory();
-  } else {
-    factory = baselines::make_sawtooth_factory();
-  }
-  return digest(run_replications(gen, factory, /*reps=*/3, kSeed));
+std::uint64_t run_digest(const std::string& name,
+                         const RunOptions& options = {}) {
+  InstanceGen gen;
+  const sim::ProtocolFactory factory = golden_factory(name, &gen);
+  return report_digest(run_replications(gen, factory, /*reps=*/3, kSeed,
+                                        options));
 }
 
 TEST(DeterminismGolden, PerProtocolOutcomeDigests) {
@@ -187,13 +145,75 @@ TEST(DeterminismGolden, DigestsAreThreadCountInvariant) {
       core::nocd::make_nocd_factory(params, /*robust=*/true),
   };
   for (const auto& factory : factories) {
-    const auto serial =
-        digest(run_replications(golden_gen(), factory, 3, kSeed));
+    const auto serial = report_digest(
+        run_replications(golden_gen(), factory, 3, kSeed));
     for (const int threads : {2, 8}) {
-      EXPECT_EQ(digest(run_replications(golden_gen(), factory, 3, kSeed,
-                                        nullptr, {}, nullptr, threads)),
+      EXPECT_EQ(report_digest(run_replications(golden_gen(), factory, 3,
+                                               kSeed, nullptr, {}, nullptr,
+                                               threads)),
                 serial)
           << "threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel-physics variants (DESIGN.md §6i)
+// ---------------------------------------------------------------------------
+
+struct GoldenChannel {
+  const char* name;
+  double alpha;        // capture strength; < 0 = ternary model
+  int collision_cost;  // SimConfig::collision_cost
+  std::uint64_t expected;
+};
+
+// Pinned digests for the capture and collision-cost channels, one
+// collision-heavy protocol from each family. Regenerate exactly like
+// kGolden: run, copy the "got 0x..." value, note the reason.
+constexpr GoldenChannel kGoldenChannel[] = {
+    {"uniform", 0.5, 1, 0xe0ded762d1efc3d7ULL},
+    {"punctual", 0.5, 1, 0x2649a801c3d1ac0aULL},
+    {"nocd_robust", 0.5, 1, 0x81722a2866eb1f83ULL},
+    {"beb", 0.5, 1, 0x8fba8f3500eb0e9dULL},
+    {"uniform", -1.0, 3, 0x81ea9f9e9a00cbeaULL},
+    {"punctual", -1.0, 3, 0x37d4cb3cb5b8e5b4ULL},
+    {"nocd_robust", -1.0, 3, 0x4552c5201e56cb35ULL},
+    {"beb", -1.0, 3, 0xe500efd66a7f5a70ULL},
+};
+
+RunOptions channel_options(const GoldenChannel& g, int threads = 1) {
+  RunOptions options;
+  if (g.alpha >= 0.0) {
+    options.feedback = sim::FeedbackModel::capture(g.alpha);
+  }
+  options.collision_cost = g.collision_cost;
+  options.threads = threads;
+  return options;
+}
+
+TEST(DeterminismGolden, ChannelPhysicsDigests) {
+  for (const GoldenChannel& g : kGoldenChannel) {
+    const std::uint64_t got = run_digest(g.name, channel_options(g));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llxULL",
+                  static_cast<unsigned long long>(got));
+    EXPECT_EQ(got, g.expected)
+        << "golden channel-physics digest mismatch for '" << g.name
+        << "' (alpha=" << g.alpha << ", cost=" << g.collision_cost
+        << "): got " << buf
+        << "\nIf the change is intentional, update kGoldenChannel in "
+           "tests/test_determinism_golden.cpp with the digest above.";
+  }
+}
+
+TEST(DeterminismGolden, ChannelPhysicsDigestsAreThreadCountInvariant) {
+  for (const GoldenChannel& g : kGoldenChannel) {
+    const std::uint64_t serial = run_digest(g.name, channel_options(g));
+    for (const int threads : {2, 8}) {
+      EXPECT_EQ(run_digest(g.name, channel_options(g, threads)), serial)
+          << g.name << " alpha=" << g.alpha << " cost=" << g.collision_cost
+          << " threads=" << threads;
     }
   }
 }

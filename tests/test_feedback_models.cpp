@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -580,6 +581,221 @@ TEST(DegradedMode, FullChannelKeepsFullMachinery) {
   ainfo.deadline = 256;
   aproto.on_activate(ainfo);  // default caps: full ternary
   EXPECT_FALSE(aproto.degraded());
+}
+
+// ---------------------------------------------------------------------------
+// Capture model (DESIGN.md §6i)
+// ---------------------------------------------------------------------------
+
+TEST(Capture, ParseRoundTripsAndDefaults) {
+  const auto half = sim::parse_feedback_model("capture:0.5");
+  ASSERT_TRUE(half.has_value());
+  EXPECT_EQ(half->kind, sim::FeedbackKind::kCapture);
+  EXPECT_DOUBLE_EQ(half->alpha, 0.5);
+  EXPECT_EQ(*sim::parse_feedback_model(half->spec()), *half);
+
+  const auto bare = sim::parse_feedback_model("capture");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_DOUBLE_EQ(bare->alpha, 0.5);
+}
+
+TEST(Capture, ParseRejectsMalformedCaptureSpecs) {
+  EXPECT_FALSE(sim::parse_feedback_model("capture:").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:-1").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:1.5").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:1.5:junk").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:0.5:junk").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:junk").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("capture:0.5x").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("noisy:capture").has_value());
+  EXPECT_FALSE(sim::parse_feedback_model("ternary:capture").has_value());
+}
+
+TEST(Capture, ParseSpecDiagnosesOnFailureOnly) {
+  // The CLI-facing wrapper: same acceptance as parse_feedback_model, plus
+  // a one-line diagnostic naming the spec and the usage string.
+  std::ostringstream quiet;
+  const auto good = sim::parse_feedback_spec("capture:0.25", quiet);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_DOUBLE_EQ(good->alpha, 0.25);
+  EXPECT_TRUE(quiet.str().empty());
+
+  std::ostringstream diag;
+  EXPECT_FALSE(sim::parse_feedback_spec("capture:2", diag).has_value());
+  EXPECT_NE(diag.str().find("bad --feedback spec 'capture:2'"),
+            std::string::npos);
+  EXPECT_NE(diag.str().find("capture[:alpha]"), std::string::npos);
+}
+
+TEST(Capture, ParseCollisionCost) {
+  std::ostringstream quiet;
+  const auto three = sim::parse_collision_cost("3", quiet);
+  ASSERT_TRUE(three.has_value());
+  EXPECT_EQ(*three, 3);
+  EXPECT_EQ(*sim::parse_collision_cost("1", quiet), 1);
+  EXPECT_TRUE(quiet.str().empty());
+
+  for (const char* bad : {"0", "-2", "abc", "2x", "", "1.5"}) {
+    std::ostringstream diag;
+    EXPECT_FALSE(sim::parse_collision_cost(bad, diag).has_value()) << bad;
+    EXPECT_NE(diag.str().find("bad --collision-cost"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(Capture, ValidateRejectsBadAlpha) {
+  EXPECT_THROW(sim::FeedbackModel::capture(1.5).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(sim::FeedbackModel::capture(-0.1).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sim::FeedbackModel::capture(0.0).validate());
+  EXPECT_NO_THROW(sim::FeedbackModel::capture(1.0).validate());
+  sim::FeedbackModel stray;
+  stray.alpha = 0.3;  // alpha on a non-capture kind
+  EXPECT_THROW(stray.validate(), std::invalid_argument);
+}
+
+TEST(Capture, CapsMatchTernaryAtZeroAlphaAndFlagCaptureAbove) {
+  // alpha == 0 *is* the ternary channel; the advertised caps must not
+  // nudge protocols into a different mode for an identical radio.
+  EXPECT_EQ(sim::FeedbackModel::capture(0.0).caps(),
+            sim::FeedbackModel::ternary().caps());
+  const auto caps = sim::FeedbackModel::capture(0.5).caps();
+  EXPECT_TRUE(caps.capture);
+  EXPECT_TRUE(caps.collision_detection);
+  EXPECT_TRUE(caps.reliable);
+  EXPECT_FALSE(sim::FeedbackModel::ternary().caps().capture);
+}
+
+TEST(Capture, AlphaZeroScenarioIdenticalToTernary) {
+  const auto ternary = run_scenario(sim::FeedbackModel::ternary());
+  const auto capture0 = run_scenario(sim::FeedbackModel::capture(0.0));
+  expect_identical(ternary.result, capture0.result);
+  EXPECT_EQ(*ternary.listener, *capture0.listener);
+  EXPECT_EQ(*ternary.transmitter, *capture0.transmitter);
+  EXPECT_EQ(capture0.result.metrics.capture_wins, 0);
+}
+
+TEST(Capture, AlphaOneAlwaysLeaksAWinner) {
+  // p_win = 1^(k-1) = 1: the slot-0 collision deterministically delivers
+  // one of jobs {0, 1}; listeners perceive the captured broadcast.
+  const auto logs = run_scenario(sim::FeedbackModel::capture(1.0));
+  EXPECT_EQ(logs.result.metrics.capture_wins, 1);
+  const auto& listener = *logs.listener;
+  ASSERT_GE(listener.size(), 3u);
+  EXPECT_EQ(listener[0].outcome, sim::SlotOutcome::kSuccess);
+  EXPECT_TRUE(listener[0].has_message);
+  // Whoever lost slot 0 perceived noise, not the winner's broadcast; job 0
+  // retries alone in slot 2, so it succeeds either way.
+  EXPECT_TRUE(logs.result.jobs[0].success);
+  const bool job1_won = logs.result.jobs[1].success;
+  const auto& tx = *logs.transmitter;
+  ASSERT_GE(tx.size(), 1u);
+  if (job1_won) {
+    EXPECT_EQ(tx[0].outcome, sim::SlotOutcome::kNoise);
+    EXPECT_FALSE(tx[0].has_message);
+    EXPECT_EQ(logs.result.jobs[0].success_slot, 2);
+  } else {
+    EXPECT_EQ(tx[0].outcome, sim::SlotOutcome::kSuccess);
+    EXPECT_EQ(logs.result.jobs[0].success_slot, 0);
+  }
+}
+
+TEST(Capture, SoloTransmitterNeverNeedsCapture) {
+  // k = 1 succeeds unconditionally — never billed as a capture win.
+  const auto logs = run_scenario(sim::FeedbackModel::capture(0.5));
+  EXPECT_TRUE(logs.result.jobs[0].success);
+  const auto solo = run_scenario(sim::FeedbackModel::capture(1.0));
+  // Slot 2 is job 0 alone: a plain channel success in both runs.
+  EXPECT_GE(solo.result.metrics.success_slots, 1);
+}
+
+TEST(CollisionCost, FreezeBurnsExactlyCostSlotsAndWastesAttempts) {
+  // Jobs 0 and 1 collide in slot 0 with cost = 3: slots 1-2 are frozen.
+  // Job 0's retry in slot 2 lands inside the freeze — a full-price
+  // transmission forced to noise — and its slot-4 retry succeeds, which
+  // also proves a frozen slot does not re-arm the freeze.
+  auto log0 = std::make_shared<std::vector<Perceived>>();
+  workload::Instance instance;
+  instance.jobs = {{0, 8}, {0, 8}};
+  const sim::ProtocolFactory factory = [&](const sim::JobInfo& info,
+                                           util::Rng) {
+    if (info.id == 0) {
+      return std::unique_ptr<sim::Protocol>(std::make_unique<
+          RecordingProtocol>(std::vector<Slot>{0, 2, 4}, log0));
+    }
+    return std::unique_ptr<sim::Protocol>(std::make_unique<
+        RecordingProtocol>(std::vector<Slot>{0},
+                           std::make_shared<std::vector<Perceived>>()));
+  };
+  sim::SimConfig config;
+  config.seed = 7;
+  config.collision_cost = 3;
+  const auto result = sim::run(instance, factory, config);
+
+  EXPECT_EQ(result.metrics.collision_cost_slots, 2);
+  ASSERT_GE(log0->size(), 5u);
+  EXPECT_EQ((*log0)[0].outcome, sim::SlotOutcome::kNoise);  // the collision
+  EXPECT_EQ((*log0)[1].outcome, sim::SlotOutcome::kNoise);  // frozen
+  EXPECT_EQ((*log0)[2].outcome, sim::SlotOutcome::kNoise);  // frozen; wasted tx
+  EXPECT_EQ((*log0)[3].outcome, sim::SlotOutcome::kSilence);
+  EXPECT_EQ((*log0)[4].outcome, sim::SlotOutcome::kSuccess);
+  EXPECT_TRUE(result.jobs[0].success);
+  EXPECT_EQ(result.jobs[0].success_slot, 4);
+  EXPECT_EQ(result.jobs[0].transmissions, 3);  // the frozen attempt billed
+  // Cost slots are a subset of noise slots, never double-counted.
+  EXPECT_GE(result.metrics.noise_slots, result.metrics.collision_cost_slots);
+}
+
+TEST(CollisionCost, CostOneIsTheDefaultChannel) {
+  auto run_with_cost = [](int cost) {
+    sim::SimConfig config;
+    config.seed = 20260808;
+    config.collision_cost = cost;
+    core::Params params;
+    return sim::run(workload::gen_batch(32, 256, 0),
+                    core::make_uniform_factory(params), config);
+  };
+  const auto base = run_with_cost(1);
+  expect_identical(base, run_with_cost(1));
+  EXPECT_EQ(base.metrics.collision_cost_slots, 0);
+}
+
+TEST(CollisionCost, ValidateRejectsNonPositiveCost) {
+  sim::SimConfig config;
+  config.collision_cost = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.collision_cost = -3;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.collision_cost = 1;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Capture, SimulatorAdvertisesCaptureCaps) {
+  auto seen = std::make_shared<sim::ChannelCaps>();
+  workload::Instance instance;
+  instance.jobs = {{0, 2}};
+  const sim::ProtocolFactory factory = [&](const sim::JobInfo&, util::Rng) {
+    return std::unique_ptr<sim::Protocol>(
+        std::make_unique<CapsProbeProtocol>(seen));
+  };
+  sim::SimConfig config;
+  config.feedback = sim::FeedbackModel::capture(0.7);
+  (void)sim::run(instance, factory, config);
+  EXPECT_TRUE(seen->capture);
+  EXPECT_EQ(*seen, sim::FeedbackModel::capture(0.7).caps());
+}
+
+TEST(Capture, RegistryFlagsCollisionCountingEstimators) {
+  // ALIGNED and PUNCTUAL size contention from collision counts; capture
+  // biases those samples, and harnesses annotate sweeps from this flag.
+  const auto aligned = core::protocol_info("aligned");
+  const auto punctual = core::protocol_info("punctual");
+  const auto uniform = core::protocol_info("uniform");
+  ASSERT_TRUE(aligned && punctual && uniform);
+  EXPECT_TRUE(aligned->estimates_from_collisions);
+  EXPECT_TRUE(punctual->estimates_from_collisions);
+  EXPECT_FALSE(uniform->estimates_from_collisions);
 }
 
 }  // namespace

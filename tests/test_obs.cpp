@@ -370,6 +370,38 @@ TEST(Watchdog, FlagsSuccessCreditedToDeadOrDoneJob) {
   EXPECT_EQ(dead.violation_count(), 1);
 }
 
+TEST(Watchdog, FlagsSuccessCreditDuringCostSlot) {
+  // A collision-cost freeze forces the slot to noise, so crediting a
+  // success in the same slot means the freeze override leaked.
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  dog.on_event(make_event(obs::EventKind::kCostSlot, 10, kNoJob, 1, 2));
+  dog.on_event(make_event(obs::EventKind::kSuccessCredit, 10, 0));
+  EXPECT_EQ(dog.violation_count(), 1);
+  EXPECT_NE(dog.report().find("success-credit-during-cost-slot"),
+            std::string::npos);
+
+  // Credit in a *different* slot is fine.
+  obs::Watchdog fine;
+  fine.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  fine.on_event(make_event(obs::EventKind::kCostSlot, 10, kNoJob, 1, 2));
+  fine.on_event(make_event(obs::EventKind::kSuccessCredit, 11, 0));
+  EXPECT_TRUE(fine.ok());
+}
+
+TEST(Watchdog, CostSlotStateResetsAcrossReplicationReplay) {
+  // Parallel replications replay their buffered streams back-to-back into
+  // one sink; slot numbers regress to 0 at each boundary. A cost slot
+  // from replication r must not taint the same slot index in r+1.
+  obs::Watchdog dog;
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 0, 0, 0, 100));
+  dog.on_event(make_event(obs::EventKind::kCostSlot, 10, kNoJob, 1, 2));
+  // Next replication: slot counter restarts.
+  dog.on_event(make_event(obs::EventKind::kJobActivate, 0, 1, 0, 100));
+  dog.on_event(make_event(obs::EventKind::kSuccessCredit, 10, 1));
+  EXPECT_TRUE(dog.ok()) << dog.report();
+}
+
 TEST(Watchdog, OptInContentionCap) {
   obs::WatchdogConfig config;
   config.contention_cap = 2.0;

@@ -54,6 +54,8 @@ TEST(TimelineBucket, MergeSumsEveryField) {
   a.retires = 11;
   a.expiries = 12;
   a.faults = 13;
+  a.capture_wins = 14;
+  a.cost_slots = 15;
   a.prob_level[0] = 1;
   a.prob_level[15] = 2;
 
@@ -75,6 +77,8 @@ TEST(TimelineBucket, MergeSumsEveryField) {
   EXPECT_EQ(a.retires, 22);
   EXPECT_EQ(a.expiries, 24);
   EXPECT_EQ(a.faults, 26);
+  EXPECT_EQ(a.capture_wins, 28);
+  EXPECT_EQ(a.cost_slots, 30);
   EXPECT_EQ(a.prob_level[0], 2);
   EXPECT_EQ(a.prob_level[15], 4);
 }
@@ -86,6 +90,12 @@ TEST(TimelineBucket, EmptyDetectsAnyNonzeroField) {
   EXPECT_FALSE(b.empty());
   b = obs::TimelineBucket{};
   b.prob_level[7] = 1;
+  EXPECT_FALSE(b.empty());
+  b = obs::TimelineBucket{};
+  b.capture_wins = 1;
+  EXPECT_FALSE(b.empty());
+  b = obs::TimelineBucket{};
+  b.cost_slots = 1;
   EXPECT_FALSE(b.empty());
 }
 
@@ -207,14 +217,33 @@ TEST(Timeline, LifecycleAndFaultKindsFoldAndProtocolKindsAreCountedOnly) {
   tl.on_event(make_event(obs::EventKind::kJobRetire, 0, 1, /*a=*/1));
   tl.on_event(make_event(obs::EventKind::kJobRetire, 0, 2, /*a=*/0));
   tl.on_event(make_event(obs::EventKind::kFault, 0, 1));
+  tl.on_event(make_event(obs::EventKind::kCaptureWin, 0, 1, /*a=*/2, 0,
+                         /*x=*/0.5, "capture"));
+  tl.on_event(make_event(obs::EventKind::kCostSlot, 0, kNoJob, /*a=*/1,
+                         /*b=*/3, 0.0, "cost"));
+  tl.on_event(make_event(obs::EventKind::kCostSlot, 0, kNoJob, /*a=*/0,
+                         /*b=*/0, 0.0, "cost"));
   tl.on_event(make_event(obs::EventKind::kStage, 0, 1, 0, 2, 0.0, "probe"));
   const obs::TimelineBucket& b = tl.bucket(0);
   EXPECT_EQ(b.activations, 1);
   EXPECT_EQ(b.retires, 1);
   EXPECT_EQ(b.expiries, 1);
   EXPECT_EQ(b.faults, 1);
+  EXPECT_EQ(b.capture_wins, 1);
+  EXPECT_EQ(b.cost_slots, 2);
   // kStage does not aggregate into the bucket but is still counted.
-  EXPECT_EQ(tl.events_seen(), 5u);
+  EXPECT_EQ(tl.events_seen(), 8u);
+}
+
+TEST(Timeline, WriteJsonCarriesCaptureAndCostCounters) {
+  obs::Timeline tl(2);
+  tl.on_event(make_event(obs::EventKind::kCaptureWin, 0, 1, 2, 0, 0.5));
+  tl.on_event(make_event(obs::EventKind::kCostSlot, 0, kNoJob, 1, 0, 0.0));
+  std::ostringstream out;
+  tl.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"capture_wins\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_slots\": 1"), std::string::npos);
 }
 
 TEST(Timeline, WriteJsonEmitsSchemaMetaAndOnlyUsedBuckets) {

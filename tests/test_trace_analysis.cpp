@@ -351,6 +351,33 @@ TEST(TaxonomyDrift, AlignedStageTableMatchesCoreToString) {
   }
 }
 
+TEST(TaxonomyDrift, ConditionalChannelKindsPartitionWithBaseTaxonomy) {
+  // channel_taxonomy() is the always-expected base set; the conditional
+  // set (faults, capture wins, cost slots) appears only when the matching
+  // channel condition is configured and is audited via --require=. The
+  // two must stay disjoint — a kind in both would make every plain-ternary
+  // trace read as incomplete — and the conditional set must carry exactly
+  // the condition-gated channel kinds.
+  const auto& base = obs::channel_taxonomy();
+  const auto& conditional = obs::conditional_channel_taxonomy();
+  for (const obs::EventKind k : conditional) {
+    for (const obs::EventKind b : base) {
+      EXPECT_NE(k, b) << obs::to_string(k);
+    }
+  }
+  ASSERT_EQ(conditional.size(), 3u);
+  EXPECT_EQ(conditional[0], obs::EventKind::kFault);
+  EXPECT_EQ(conditional[1], obs::EventKind::kCaptureWin);
+  EXPECT_EQ(conditional[2], obs::EventKind::kCostSlot);
+  // Both new kinds round-trip through the name parser, so
+  // `crmd_trace coverage --require=capture-win,cost-slot` can name them.
+  for (const obs::EventKind k : conditional) {
+    obs::EventKind back = obs::EventKind::kSlotResolved;
+    ASSERT_TRUE(obs::parse_event_kind(obs::to_string(k), back));
+    EXPECT_EQ(back, k);
+  }
+}
+
 TEST(TaxonomyDrift, StageTransitionIndicesAreInRange) {
   for (const obs::ProtocolTaxonomy& t : obs::protocol_taxonomies()) {
     const auto n = static_cast<int>(t.stages.size());

@@ -14,6 +14,10 @@ Generates JSONL traces with crmd_cli, then checks:
      (--claim-scale).
   5. `coverage --require=fault --strict` on the fault-free trace exits 1
      (the deliberately-unreachable event is flagged, not ignored).
+  6. a saturated run on the capture channel with a collision cost fires
+     both conditional channel kinds: `coverage
+     --require=capture-win,cost-slot --strict` exits 0, and the same
+     requirement fails on the plain-ternary base trace.
 
 Exits nonzero with a one-line FAIL per broken property.
 """
@@ -165,6 +169,46 @@ def main():
         check(
             "--require=fault fails --strict on a fault-free trace",
             r.returncode == 1 and "MISSING kind: fault" in r.stdout,
+            f"rc={r.returncode}",
+        )
+
+        # 6. Capture + collision-cost physics fire their conditional
+        # channel kinds (capture-win, cost-slot) end to end: a saturated
+        # batch collides constantly, capture:0.9 leaks winners, and
+        # cost=3 freezes after the collisions that remain.
+        capture = tmp / "capture.jsonl"
+        r = run(
+            [
+                cli,
+                "--protocol=beb",
+                "--workload=batch",
+                "--n=64",
+                "--window=256",
+                "--reps=1",
+                "--seed=11",
+                "--feedback=capture:0.9",
+                "--collision-cost=3",
+                f"--trace-jsonl={capture}",
+            ]
+        )
+        check("capture scenario run exits 0", r.returncode == 0,
+              r.stderr.strip())
+        r = run(
+            [trace_tool, "coverage", capture,
+             "--require=capture-win,cost-slot", "--strict"]
+        )
+        check(
+            "capture trace satisfies --require=capture-win,cost-slot",
+            r.returncode == 0,
+            f"rc={r.returncode}\n{r.stdout}",
+        )
+        r = run(
+            [trace_tool, "coverage", base,
+             "--require=capture-win,cost-slot", "--strict"]
+        )
+        check(
+            "ternary base trace lacks the capture kinds under --strict",
+            r.returncode == 1 and "MISSING kind: capture-win" in r.stdout,
             f"rc={r.returncode}",
         )
 
