@@ -18,7 +18,11 @@
 // ternary | binary_ack | collision_as_silence | noisy[:eps] |
 // capture[:alpha]; see sim/channel.hpp), --collision-cost=c (a perceived
 // collision freezes the channel for c-1 extra slots; default 1 = the
-// paper's channel; see sim/simulator.hpp).
+// paper's channel; see sim/simulator.hpp), --fast-forward=off|on|validate
+// (event-driven idle-slot skipping; default off), --channels=K[:migrate[:N]]
+// (FDMA multi-channel scenario; default 1), --arrivals=SPEC (streaming
+// arrival process: poisson:RATE[:WINDOW] | mmpp:RLO:RHI[:WINDOW[:DWELL]] |
+// trace:PATH; see sim/arrivals.hpp).
 //
 // JSON outputs carry a "meta" object with run-profiler timings (wall_ms,
 // slots_per_sec, per-phase breakdown) plus the worker count ("threads")
@@ -31,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -39,8 +44,11 @@
 #include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/multichannel.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "workload/generators.hpp"
 
 namespace crmd::bench {
 
@@ -71,6 +79,17 @@ struct CommonArgs {
   /// paper's channel, bit-identical to a build without the flag. Pass via
   /// analysis::RunOptions::collision_cost or SimConfig::collision_cost.
   int collision_cost;
+  /// Event-driven fast-forward from --fast-forward=off|on|validate (see
+  /// simulator.hpp FastForward). Defaults to kOff — bit-identical to a
+  /// build without the flag.
+  sim::FastForward fast_forward;
+  /// FDMA scenario from --channels=K[:migrate[:N]] (see multichannel.hpp).
+  /// Defaults to a single channel — the engine's unchanged hot path.
+  sim::MultiChannelConfig multichannel;
+  /// Streaming arrival process from --arrivals=SPEC (see arrivals.hpp);
+  /// nullopt when the flag is absent. Harnesses that support it build one
+  /// process per run/shard with `arrivals->make()`.
+  std::optional<sim::ArrivalSpec> arrivals;
 };
 
 /// Parses the shared flags with harness-specific defaults.
@@ -101,7 +120,70 @@ inline CommonArgs parse_common(const util::Args& args, int default_reps,
   } else {
     std::exit(2);
   }
+  const std::string ff_spec = args.get("fast-forward", "off");
+  if (const auto ff = sim::parse_fast_forward_spec(ff_spec, std::cerr)) {
+    c.fast_forward = *ff;
+  } else {
+    std::exit(2);
+  }
+  const std::string chan_spec = args.get("channels", "1");
+  if (const auto chan = sim::parse_channels_spec(chan_spec, std::cerr)) {
+    c.multichannel = *chan;
+  } else {
+    std::exit(2);
+  }
+  if (args.has("arrivals")) {
+    const std::string arr_spec = args.get("arrivals", "");
+    if (const auto arr = sim::parse_arrivals_spec(arr_spec, std::cerr)) {
+      c.arrivals = *arr;
+    } else {
+      std::exit(2);
+    }
+  }
   return c;
+}
+
+/// Shared workload constructions for the engine-throughput harnesses
+/// (bench_slot_engine, bench_stability, bench_megascale). Each Kind
+/// reproduces the construction the harnesses historically inlined,
+/// bit-exactly, so perf trajectories stay comparable across the dedup.
+struct WorkloadSpec {
+  enum class Kind {
+    kBatch,    ///< gen_batch(jobs, window): all live from slot 0.
+    kStagger,  ///< releases i*stride, deadlines i*stride + lifetime.
+    kPoisson,  ///< gen_poisson(rate, window, horizon, rng) — batch Poisson.
+  };
+  Kind kind = Kind::kBatch;
+  std::int64_t jobs = 0;  ///< kBatch / kStagger
+  Slot window = 0;        ///< kBatch / kPoisson per-job window
+  Slot stride = 32;       ///< kStagger release gap
+  Slot lifetime = 64;     ///< kStagger per-job window
+  double rate = 0.0;      ///< kPoisson jobs/slot
+  Slot horizon = 0;       ///< kPoisson release range
+};
+
+/// Builds the instance a WorkloadSpec describes. `rng` is consumed only by
+/// kPoisson (pass the per-rep generation stream); deterministic kinds
+/// ignore it, so passing nullptr is fine there.
+inline workload::Instance make_workload(const WorkloadSpec& spec,
+                                        util::Rng* rng = nullptr) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kStagger: {
+      workload::Instance instance;
+      instance.jobs.reserve(static_cast<std::size_t>(spec.jobs));
+      for (std::int64_t i = 0; i < spec.jobs; ++i) {
+        instance.jobs.push_back(workload::JobSpec{
+            i * spec.stride, i * spec.stride + spec.lifetime});
+      }
+      return instance;
+    }
+    case WorkloadSpec::Kind::kPoisson:
+      return workload::gen_poisson(spec.rate, spec.window, spec.horizon,
+                                   *rng);
+    case WorkloadSpec::Kind::kBatch:
+    default:
+      return workload::gen_batch(spec.jobs, spec.window);
+  }
 }
 
 /// Owns the optional tracing session built from --trace-events and/or
@@ -215,6 +297,13 @@ inline void stamp_profile(util::Table& table, int threads = 1) {
   num << prof.slots_per_sec();
   table.set_meta("slots_per_sec_per_thread", num.str());
   table.set_meta("threads", std::to_string(threads));
+  // Mega-scale provenance: how much of the slot count was fast-forwarded,
+  // the peak live-job count, and the shard fan-out (1 = unsharded). Stamped
+  // unconditionally so check_perf.py can validate every BENCH_*.json.
+  table.set_meta("fast_forward_slots",
+                 std::to_string(prof.fast_forward_slots()));
+  table.set_meta("live_peak", std::to_string(prof.live_peak()));
+  table.set_meta("shards", std::to_string(prof.shards()));
   std::ostringstream phases;
   phases << '{';
   bool first = true;

@@ -97,6 +97,9 @@ int main(int argc, char** argv) {
     const Slot horizon = std::min<Slot>(window, 2048);
 
     // burst/uniform: everyone live from slot 0, ternary feedback.
+    const bench::WorkloadSpec burst{.kind = bench::WorkloadSpec::Kind::kBatch,
+                                    .jobs = n,
+                                    .window = window};
     points.push_back(measure("burst/uniform", n, common.reps,
                              [&](std::uint64_t rep) {
                                sim::SimConfig config;
@@ -104,7 +107,7 @@ int main(int argc, char** argv) {
                                config.horizon = horizon;
                                config.tracer = trace.get();
                                return sim::Simulation(
-                                   workload::gen_batch(n, window), uniform,
+                                   bench::make_workload(burst), uniform,
                                    config);
                              }));
 
@@ -120,7 +123,7 @@ int main(int argc, char** argv) {
                                config.collision_detection = false;
                                config.tracer = trace.get();
                                return sim::Simulation(
-                                   workload::gen_batch(n, window), aloha,
+                                   bench::make_workload(burst), aloha,
                                    config);
                              }));
 
@@ -128,11 +131,9 @@ int main(int argc, char** argv) {
     // fault plan so the injector path runs every slot.
     points.push_back(measure(
         "stagger/faults", n, common.reps, [&](std::uint64_t rep) {
-          workload::Instance instance;
-          instance.jobs.reserve(static_cast<std::size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i) {
-            instance.jobs.push_back(workload::JobSpec{i * 32, i * 32 + 64});
-          }
+          const bench::WorkloadSpec stagger{
+              .kind = bench::WorkloadSpec::Kind::kStagger, .jobs = n};
+          workload::Instance instance = bench::make_workload(stagger);
           sim::SimConfig config;
           config.seed = common.seed + rep;
           config.faults.feedback_loss_rate = 0.01;

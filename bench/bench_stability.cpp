@@ -43,8 +43,12 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < common.reps; ++rep) {
         util::Rng rng(common.seed * 1009 +
                       static_cast<std::uint64_t>(rep * 7 + rate * 1000));
-        const auto instance =
-            workload::gen_poisson(rate, window, horizon, rng);
+        const bench::WorkloadSpec load{
+            .kind = bench::WorkloadSpec::Kind::kPoisson,
+            .window = window,
+            .rate = rate,
+            .horizon = horizon};
+        const auto instance = bench::make_workload(load, &rng);
         jobs_per_rep.add(static_cast<double>(instance.size()));
         if (instance.empty()) {
           continue;

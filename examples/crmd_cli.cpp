@@ -12,9 +12,12 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analysis/runner.hpp"
 #include "core/registry.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/multichannel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +55,20 @@ int usage() {
          "channel for\n"
          "                         C-1 extra slots (default 1 = the paper's "
          "channel)\n"
+         "  --fast-forward=MODE    event-driven idle-span skipping: off | "
+         "on |\n"
+         "                         validate (default off = bit-identical "
+         "engine)\n"
+         "  --channels=K[:migrate[:N]]\n"
+         "                         FDMA co-simulation over K sub-channels "
+         "(default 1);\n"
+         "                         :migrate rehashes a job after N "
+         "collisions\n"
+         "  --arrivals=SPEC        replace --workload with a streaming "
+         "arrival\n"
+         "                         process materialized to --horizon: "
+         "poisson:RATE[:W]\n"
+         "                         | mmpp:RLO:RHI[:W[:DWELL]] | trace:PATH\n"
          "  --threads=N            replication workers (0 = one per "
          "hardware thread,\n"
          "                         1 = serial; results are bit-identical "
@@ -113,7 +130,7 @@ int main(int argc, char** argv) {
   }
   const std::string protocol = args.get("protocol", "");
   const std::string workload = args.get("workload", "");
-  if (protocol.empty() || workload.empty()) {
+  if (protocol.empty() || (workload.empty() && !args.has("arrivals"))) {
     return usage();
   }
 
@@ -136,8 +153,36 @@ int main(int argc, char** argv) {
   const std::int64_t n = args.get_int("n", 0);
   const Slot window = args.get_int("window", 1 << 13);
 
+  const auto fast_forward = sim::parse_fast_forward_spec(
+      args.get("fast-forward", "off"), std::cerr);
+  if (!fast_forward) {
+    return 2;
+  }
+  const auto channels =
+      sim::parse_channels_spec(args.get("channels", "1"), std::cerr);
+  if (!channels) {
+    return 2;
+  }
+  std::optional<sim::ArrivalSpec> arrivals;
+  if (args.has("arrivals")) {
+    arrivals = sim::parse_arrivals_spec(args.get("arrivals", ""), std::cerr);
+    if (!arrivals) {
+      return 2;
+    }
+  }
+
   analysis::InstanceGen gen;
-  if (workload == "aligned") {
+  if (arrivals) {
+    // A streaming arrival process replaces --workload: each replication
+    // materializes the process (releases < --horizon) from its own
+    // generation stream, so --arrivals composes with --reps like any
+    // generator.
+    const sim::ArrivalSpec arrival_spec = *arrivals;
+    gen = [arrival_spec, horizon](util::Rng& rng) {
+      const auto process = arrival_spec.make();
+      return sim::materialize_arrivals(*process, horizon, rng);
+    };
+  } else if (workload == "aligned") {
     gen = [=](util::Rng& rng) {
       workload::AlignedConfig config;
       config.min_class = params.min_class;
@@ -210,6 +255,8 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.feedback = *feedback;
     config.collision_cost = *collision_cost;
+    config.fast_forward = *fast_forward;
+    config.multichannel = *channels;
     config.record_slots = !trace_path.empty() || !faults_path.empty();
     config.faults.feedback_corrupt_rate = args.get_double("fault-corrupt", 0);
     config.faults.feedback_loss_rate = args.get_double("fault-loss", 0);
@@ -284,6 +331,8 @@ int main(int argc, char** argv) {
   analysis::RunOptions options;
   options.feedback = *feedback;
   options.collision_cost = *collision_cost;
+  options.fast_forward = *fast_forward;
+  options.multichannel = *channels;
   options.threads = threads;
   options.tracer = sweep_tracer.get();
   const auto report =
@@ -323,7 +372,12 @@ int main(int argc, char** argv) {
             << util::fmt(report.outcomes.overall().rate(), 4)
             << "); channel: " << report.channel.slots_simulated
             << " slots, mean contention "
-            << util::fmt(report.channel.contention.mean(), 3) << "\n";
+            << util::fmt(report.channel.contention.mean(), 3);
+  if (report.channel.fast_forward_slots > 0) {
+    std::cout << " (" << report.channel.fast_forward_slots
+              << " fast-forwarded)";
+  }
+  std::cout << "\n";
 
   if (!metrics_path.empty()) {
     obs::Registry& reg = obs::global_registry();

@@ -59,6 +59,8 @@ RepOutcome simulate_one(int rep, const util::Rng& master,
   config.faults = options.faults;
   config.feedback = options.feedback;
   config.collision_cost = options.collision_cost;
+  config.fast_forward = options.fast_forward;
+  config.multichannel = options.multichannel;
   std::unique_ptr<obs::Tracer> local_tracer;
   std::shared_ptr<obs::CollectSink> collect;
   if (tracing) {
@@ -125,6 +127,8 @@ ReplicationReport run_serial(const InstanceGen& gen,
     config.faults = options.faults;
     config.feedback = options.feedback;
     config.collision_cost = options.collision_cost;
+    config.fast_forward = options.fast_forward;
+    config.multichannel = options.multichannel;
     config.tracer = options.tracer;
     std::unique_ptr<sim::Jammer> jammer;
     if (options.jammer_gen) {

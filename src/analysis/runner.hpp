@@ -54,6 +54,14 @@ struct RunOptions {
   int collision_cost = 1;
   /// Optional tracing session (null = off = bit-identical results).
   obs::Tracer* tracer = nullptr;
+  /// Event-driven fast-forward policy for every replication
+  /// (simulator.hpp SimConfig::fast_forward). The default kOff is
+  /// bit-identical to the pre-FF engine.
+  sim::FastForward fast_forward = sim::FastForward::kOff;
+  /// Multi-channel scenario for every replication (simulator.hpp
+  /// SimConfig::multichannel). The default single channel is the engine's
+  /// unchanged hot path.
+  sim::MultiChannelConfig multichannel;
   /// Worker count; see run_replications. 1 = exact serial loop.
   int threads = 1;
 };

@@ -52,6 +52,17 @@ void BebProtocol::on_feedback(const sim::SlotView& view,
 
 bool BebProtocol::done() const { return succeeded_; }
 
+sim::DormantSpan BebProtocol::dormant_span(const sim::SlotView& view) const {
+  const Slot t = view.since_release;
+  if (succeeded_ || t < window_begin_ || t >= attempt_slot_) {
+    return {};  // done, pre-window, or the attempt is now — simulate it
+  }
+  // Every slot in [t, attempt_slot_) lies inside the current contention
+  // window [window_begin_, window_begin_ + window_len_), so on_slot would
+  // declare the constant 1/window_len_ and never transmit.
+  return {attempt_slot_ - t, 1.0 / static_cast<double>(window_len_)};
+}
+
 sim::ProtocolFactory make_beb_factory(BebConfig config) {
   return sim::make_arena_factory<BebProtocol>(config);
 }

@@ -32,6 +32,12 @@ class BebProtocol final : public sim::Protocol {
   void on_feedback(const sim::SlotView& view,
                    const sim::SlotFeedback& fb) override;
   [[nodiscard]] bool done() const override;
+  /// Dormant until the drawn backoff slot: inside the current contention
+  /// window the declared probability is the constant 1/window, feedback is
+  /// ignored unless this job transmitted, and the next transmission slot
+  /// is already fixed.
+  [[nodiscard]] sim::DormantSpan dormant_span(
+      const sim::SlotView& view) const override;
 
   /// Collisions suffered so far (test hook).
   [[nodiscard]] int failures() const noexcept { return failures_; }

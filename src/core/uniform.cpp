@@ -57,6 +57,20 @@ bool UniformProtocol::done() const {
   return succeeded_ || next_attempt_ >= attempts_.size();
 }
 
+sim::DormantSpan UniformProtocol::dormant_span(
+    const sim::SlotView& view) const {
+  if (succeeded_ || next_attempt_ >= attempts_.size()) {
+    return {};  // done; the engine retires the job on the next real slot
+  }
+  const Slot next = attempts_[next_attempt_];
+  if (next <= view.since_release) {
+    return {};  // the attempt is now — simulate it
+  }
+  return {next - view.since_release,
+          static_cast<double>(attempts_.size()) /
+              static_cast<double>(info_.window())};
+}
+
 sim::ProtocolFactory make_uniform_factory(Params params) {
   params.validate();
   return sim::make_arena_factory<UniformProtocol>(params);

@@ -29,6 +29,11 @@ class UniformProtocol final : public sim::Protocol {
   void on_feedback(const sim::SlotView& view,
                    const sim::SlotFeedback& fb) override;
   [[nodiscard]] bool done() const override;
+  /// Dormant until the next scheduled attempt offset: the attempt list is
+  /// drawn once at activation, feedback is ignored unless this job
+  /// transmitted, and the declared probability attempts/window is constant.
+  [[nodiscard]] sim::DormantSpan dormant_span(
+      const sim::SlotView& view) const override;
 
  private:
   Params params_;

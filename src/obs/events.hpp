@@ -43,6 +43,10 @@ enum class EventKind : std::uint8_t {
                    ///< job=winner, a=colliders, x=alpha
   kCostSlot,       ///< slot frozen by collision-cost recovery; a=remaining
                    ///< freeze after this slot, b=transmitters wasted
+  kIdleSkip,       ///< fast-forward batch: a provably silent run of slots
+                   ///< accounted without per-slot simulation; slot=first
+                   ///< skipped slot, a=span length, b=live jobs, x=the
+                   ///< constant contention C(t) of every skipped slot
 
   // --- protocol level ------------------------------------------------------
   kStage,          ///< stage transition; a=from, b=to, label=to-name

@@ -64,6 +64,9 @@ void RunProfiler::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   phases_.clear();
   slots_.store(0, std::memory_order_relaxed);
+  ff_slots_.store(0, std::memory_order_relaxed);
+  live_peak_.store(0, std::memory_order_relaxed);
+  shards_.store(1, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }
 

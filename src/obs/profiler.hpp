@@ -78,12 +78,51 @@ class RunProfiler {
     slots_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Registers `n` fast-forwarded slots (a subset of add_slots' total; fed
+  /// by Simulation::finish like add_slots). Thread-safe.
+  void add_fast_forward_slots(std::int64_t n) noexcept {
+    ff_slots_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Records a run's peak live-set size (max across runs). Thread-safe.
+  void note_live_peak(std::int64_t n) noexcept {
+    std::int64_t cur = live_peak_.load(std::memory_order_relaxed);
+    while (n > cur && !live_peak_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Records a sharded run's shard count (max across runs; 1 = unsharded).
+  /// Thread-safe.
+  void note_shards(int n) noexcept {
+    int cur = shards_.load(std::memory_order_relaxed);
+    while (n > cur &&
+           !shards_.compare_exchange_weak(cur, n,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
   /// Wall-clock milliseconds since construction or reset().
   [[nodiscard]] double wall_ms() const;
 
   /// Total simulated slots registered.
   [[nodiscard]] std::int64_t slots() const noexcept {
     return slots_.load(std::memory_order_relaxed);
+  }
+
+  /// Total fast-forwarded slots registered (subset of slots()).
+  [[nodiscard]] std::int64_t fast_forward_slots() const noexcept {
+    return ff_slots_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest per-run live-set peak observed; 0 when nothing ran.
+  [[nodiscard]] std::int64_t live_peak() const noexcept {
+    return live_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest shard count observed; 1 when no sharded run happened.
+  [[nodiscard]] int shards() const noexcept {
+    return shards_.load(std::memory_order_relaxed);
   }
 
   /// Slots per second of *simulation* time when a "simulation" phase was
@@ -106,6 +145,9 @@ class RunProfiler {
   mutable std::mutex mu_;
   std::vector<Phase> phases_;
   std::atomic<std::int64_t> slots_{0};
+  std::atomic<std::int64_t> ff_slots_{0};
+  std::atomic<std::int64_t> live_peak_{0};
+  std::atomic<int> shards_{1};
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -2,7 +2,7 @@
 
 namespace crmd::obs {
 
-static_assert(kEventKindCount == 18,
+static_assert(kEventKindCount == 19,
               "new EventKind added: extend the taxonomy tables and keep "
               "kSchedule last (or update kEventKindCount)");
 
@@ -20,6 +20,7 @@ const std::vector<EventKind>& conditional_channel_taxonomy() {
       EventKind::kFault,       // only fired by a configured FaultPlan
       EventKind::kCaptureWin,  // only under --feedback=capture:alpha, a > 0
       EventKind::kCostSlot,    // only under --collision-cost c > 1
+      EventKind::kIdleSkip,    // only under --fast-forward
   };
   return kinds;
 }

@@ -1,5 +1,6 @@
 #include "obs/timeline.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -96,6 +97,50 @@ void Timeline::on_event(const TraceEvent& ev) {
     max_slot_ = ev.slot;
   }
   assert(ev.slot >= 0);
+  if (ev.kind == EventKind::kIdleSkip) {
+    // One event stands in for a run of `a` provably silent slots the
+    // fast-forward engine never simulated individually. Spread the run
+    // across every bucket it overlaps so the aggregate is exactly what
+    // per-slot kSlotResolved + kSlotPerceived events would have produced:
+    // each covered slot is one resolved silent slot, seen as silence, with
+    // `b` live jobs and constant contention `x`.
+    const std::int64_t span = ev.a;
+    if (span <= 0) {
+      return;
+    }
+    const std::int64_t last = ev.slot + span - 1;
+    if (last > max_slot_) {
+      max_slot_ = last;
+    }
+    fast_forward_slots_ += span;
+    if (ev.b > live_peak_) {
+      live_peak_ = ev.b;
+    }
+    auto last_idx = static_cast<std::uint64_t>(last) >>
+                    static_cast<unsigned>(width_log2_);
+    while (last_idx >= buckets_.size()) {
+      rescale();
+      last_idx = static_cast<std::uint64_t>(last) >>
+                 static_cast<unsigned>(width_log2_);
+    }
+    std::int64_t lo = ev.slot;
+    while (lo <= last) {
+      const auto i = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(lo) >>
+          static_cast<unsigned>(width_log2_));
+      const std::int64_t bucket_hi =
+          (static_cast<std::int64_t>(i) + 1) * bucket_width() - 1;
+      const std::int64_t overlap = std::min(last, bucket_hi) - lo + 1;
+      TimelineBucket& fb = buckets_[i];
+      fb.resolved_slots += overlap;
+      fb.true_silence += overlap;
+      fb.seen_silence += overlap;
+      fb.live_job_slots += ev.b * overlap;
+      fb.contention_sum += ev.x * static_cast<double>(overlap);
+      lo = bucket_hi + 1;
+    }
+    return;
+  }
   auto idx = static_cast<std::uint64_t>(ev.slot) >>
              static_cast<unsigned>(width_log2_);
   while (idx >= buckets_.size()) {
@@ -145,6 +190,9 @@ void Timeline::on_event(const TraceEvent& ev) {
       return;
     case EventKind::kSlotPerceived:
       b.live_job_slots += ev.b;
+      if (ev.b > live_peak_) {
+        live_peak_ = ev.b;
+      }
       if (ev.a == kOutcomeSilence) {
         ++b.seen_silence;
       } else if (ev.a == kOutcomeSuccess) {
@@ -171,6 +219,8 @@ void Timeline::write_json(std::ostream& out) const {
   out << "{\"meta\": {\"schema\": \"crmd-timeline-v1\", \"bucket_width\": "
       << bucket_width() << ", \"bucket_count\": " << buckets_.size()
       << ", \"max_slot\": " << max_slot_ << ", \"events\": " << events_seen_
+      << ", \"fast_forward_slots\": " << fast_forward_slots_
+      << ", \"live_peak\": " << live_peak_ << ", \"shards\": " << shards_
       << "},\n\"buckets\": [";
   const std::size_t used =
       max_slot_ < 0 ? 0

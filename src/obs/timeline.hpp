@@ -97,6 +97,22 @@ class Timeline final : public EventSink {
   [[nodiscard]] std::uint64_t events_seen() const noexcept {
     return events_seen_;
   }
+  /// Slots covered by fast-forward kIdleSkip batches (each expanded into
+  /// its buckets exactly as if simulated per slot).
+  [[nodiscard]] std::int64_t fast_forward_slots() const noexcept {
+    return fast_forward_slots_;
+  }
+  /// Largest live-set size observed (kSlotPerceived / kIdleSkip payloads).
+  [[nodiscard]] std::int64_t live_peak() const noexcept { return live_peak_; }
+
+  /// Stamps the shard count into the JSON meta (harness-provided; the
+  /// event stream itself cannot know how many shards fed it). Default 1.
+  void note_shards(int shards) noexcept {
+    if (shards > shards_) {
+      shards_ = shards;
+    }
+  }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
 
   /// Serializes as {"meta": {...}, "buckets": [...]}: meta carries the
   /// schema tag, bucket geometry, max slot, and event count; buckets run
@@ -115,6 +131,9 @@ class Timeline final : public EventSink {
   int width_log2_ = 0;
   std::int64_t max_slot_ = -1;
   std::uint64_t events_seen_ = 0;
+  std::int64_t fast_forward_slots_ = 0;
+  std::int64_t live_peak_ = 0;
+  int shards_ = 1;
 };
 
 }  // namespace crmd::obs

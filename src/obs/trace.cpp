@@ -30,6 +30,8 @@ const char* to_string(EventKind kind) noexcept {
       return "capture-win";
     case EventKind::kCostSlot:
       return "cost-slot";
+    case EventKind::kIdleSkip:
+      return "idle-skip";
     case EventKind::kStage:
       return "stage";
     case EventKind::kRoundSync:

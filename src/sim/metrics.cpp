@@ -1,9 +1,35 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 namespace crmd::sim {
+
+void StreamSummary::add(const JobResult& job) noexcept {
+  ++jobs;
+  if (job.success) {
+    ++delivered;
+    latency.add(static_cast<double>(job.latency()));
+  }
+  accesses.add(static_cast<double>(job.transmissions));
+}
+
+void StreamSummary::merge(const StreamSummary& other) noexcept {
+  jobs += other.jobs;
+  delivered += other.delivered;
+  latency.merge(other.latency);
+  accesses.merge(other.accesses);
+}
+
+double StreamSummary::delivery_rate() const noexcept {
+  return jobs == 0 ? 1.0
+                   : static_cast<double>(delivered) /
+                         static_cast<double>(jobs);
+}
 
 void SimMetrics::record(const SlotRecord& rec) {
   ++slots_simulated;
+  live_peak =
+      std::max(live_peak, static_cast<std::int64_t>(rec.live_jobs));
   contention.add(rec.contention);
   switch (rec.outcome) {
     case SlotOutcome::kSilence:
@@ -41,6 +67,8 @@ void SimMetrics::record(const SlotRecord& rec) {
 void SimMetrics::merge(const SimMetrics& other) {
   slots_simulated += other.slots_simulated;
   slots_skipped += other.slots_skipped;
+  fast_forward_slots += other.fast_forward_slots;
+  live_peak = std::max(live_peak, other.live_peak);
   silent_slots += other.silent_slots;
   success_slots += other.success_slots;
   noise_slots += other.noise_slots;

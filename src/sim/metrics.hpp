@@ -37,10 +37,21 @@ struct SlotRecord {
 
 /// Whole-run channel statistics.
 struct SimMetrics {
-  /// Slots actually resolved (live jobs present).
+  /// Slots actually resolved (live jobs present). Includes fast-forwarded
+  /// slots: they are accounted exactly as if simulated (DESIGN.md §6j).
   std::int64_t slots_simulated = 0;
-  /// Idle slots skipped by fast-forwarding between arrival bursts.
+  /// Idle slots skipped by fast-forwarding between arrival bursts (no live
+  /// jobs; nothing to account — NOT part of slots_simulated).
   std::int64_t slots_skipped = 0;
+  /// Slots covered by the event-driven fast-forward engine instead of
+  /// per-slot simulation (SimConfig::fast_forward; subset of
+  /// slots_simulated, zero with fast-forward off). Like capture_wins this
+  /// is a pinned artifact of the engine's traversal, deliberately excluded
+  /// from the golden report digest (tests/report_digest.hpp).
+  std::int64_t fast_forward_slots = 0;
+  /// Largest live-set size observed in any single slot (max-merged across
+  /// runs; excluded from the golden report digest like fast_forward_slots).
+  std::int64_t live_peak = 0;
 
   std::int64_t silent_slots = 0;
   std::int64_t success_slots = 0;
@@ -119,6 +130,29 @@ struct JobResult {
   }
 };
 
+/// Rolling per-job aggregate for streaming (open-ended arrival) runs:
+/// jobs are folded in as they retire so memory stays bounded by the live
+/// set, not the cumulative job count (DESIGN.md §6j).
+struct StreamSummary {
+  /// Cumulative jobs that entered the system (including degenerate
+  /// zero-window arrivals that never activate).
+  std::int64_t jobs = 0;
+  /// Jobs whose data message was delivered inside their window.
+  std::int64_t delivered = 0;
+  /// Delivery latency (slots from release to success) over delivered jobs.
+  util::RunningStats latency;
+  /// Channel accesses (transmissions) per job, over all folded jobs.
+  util::RunningStats accesses;
+
+  /// Folds one retired job in (the same fields SimResult::jobs would keep).
+  void add(const JobResult& job) noexcept;
+  /// Accumulates another summary (shard fold; exact parallel merges).
+  void merge(const StreamSummary& other) noexcept;
+  /// Fraction of folded jobs delivered (1.0 when empty, like
+  /// SimResult::success_rate).
+  [[nodiscard]] double delivery_rate() const noexcept;
+};
+
 /// Everything a simulation run produces.
 struct SimResult {
   std::vector<JobResult> jobs;
@@ -128,6 +162,9 @@ struct SimResult {
   /// Every injected fault, in order; empty unless recording was requested
   /// (or no faults were configured).
   std::vector<FaultEvent> fault_events;
+  /// Streaming-mode rolling job aggregate; zero-initialized (jobs == 0)
+  /// for batch runs, which keep per-job results in `jobs` instead.
+  StreamSummary stream;
 
   /// Number of jobs that met their deadline.
   [[nodiscard]] std::int64_t successes() const noexcept;

@@ -60,6 +60,20 @@ struct SlotView {
   Slot global_slot = 0;
 };
 
+///// A dormancy promise for the fast-forward engine (DESIGN.md §6j): "for
+/// the next `slots` slots, starting with the one being queried, I will not
+/// transmit, I will declare a constant probability `prob`, any feedback I
+/// observe leaves my state unchanged (I did not transmit, so success/noise
+/// concern other jobs), and done() stays false." `slots == 0` means no
+/// promise — the engine must simulate the slot. Protocols with pre-drawn
+/// schedules (UNIFORM's attempt list, BEB's backoff slot) can promise the
+/// whole gap to their next attempt; adaptive per-slot protocols simply
+/// inherit the no-promise default.
+struct DormantSpan {
+  Slot slots = 0;
+  double prob = 0.0;
+};
+
 /// A protocol's decision for one slot.
 struct SlotAction {
   /// Whether to transmit this slot. When false the job listens.
@@ -100,6 +114,16 @@ class Protocol {
   /// its algorithm without success ("gives up", §3 Truncation), or has
   /// nothing left to do. The simulator removes done jobs from the live set.
   [[nodiscard]] virtual bool done() const = 0;
+
+  /// Optional dormancy promise for the fast-forward engine (see
+  /// DormantSpan). Called only under SimConfig::fast_forward, between the
+  /// activation/retire phases and the decision phase, with the same view
+  /// on_slot would receive. The default — no promise — is always safe and
+  /// makes fast-forward a provable no-op for this protocol.
+  [[nodiscard]] virtual DormantSpan dormant_span(const SlotView& view) const {
+    (void)view;
+    return {};
+  }
 
   /// Attaches the (optional) tracing session. Called by the simulator
   /// before on_activate; null means tracing is off. Instrumentation must

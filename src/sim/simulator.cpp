@@ -3,12 +3,41 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/multichannel.hpp"
 #include "util/arena.hpp"
 
 namespace crmd::sim {
+
+namespace {
+constexpr Slot kMaxSlot = std::numeric_limits<Slot>::max();
+}  // namespace
+
+std::string fast_forward_usage() { return "expected off | on | validate"; }
+
+std::optional<FastForward> parse_fast_forward_spec(const std::string& spec,
+                                                   std::ostream& diag) {
+  if (spec == "off") {
+    return FastForward::kOff;
+  }
+  if (spec == "on") {
+    return FastForward::kOn;
+  }
+  if (spec == "validate") {
+    return FastForward::kValidate;
+  }
+  diag << "error: bad --fast-forward spec '" << spec
+       << "': " << fast_forward_usage() << '\n';
+  return std::nullopt;
+}
 
 void SimConfig::validate() const {
   faults.validate();
@@ -24,6 +53,35 @@ void SimConfig::validate() const {
         "with the ternary feedback model; use "
         "FeedbackModel::collision_as_silence instead");
   }
+  if (multichannel.channels < 1 || multichannel.channels > 256) {
+    throw std::invalid_argument(
+        "SimConfig: multichannel.channels must be in [1, 256], got " +
+        std::to_string(multichannel.channels));
+  }
+  if (multichannel.migrate_after < 1) {
+    throw std::invalid_argument(
+        "SimConfig: multichannel.migrate_after must be >= 1, got " +
+        std::to_string(multichannel.migrate_after));
+  }
+  if (multichannel.channels > 1) {
+    if (feedback.kind == FeedbackKind::kNoisy ||
+        feedback.kind == FeedbackKind::kCapture) {
+      throw std::invalid_argument(
+          "SimConfig: multichannel composes only with the ternary, "
+          "binary_ack, and collision_as_silence feedback models (v1 scope, "
+          "DESIGN.md §6j)");
+    }
+    if (!collision_detection) {
+      throw std::invalid_argument(
+          "SimConfig: multichannel does not compose with the legacy "
+          "collision_detection ablation");
+    }
+  }
+  if (stream_compact < 1) {
+    throw std::invalid_argument(
+        "SimConfig: stream_compact must be >= 1, got " +
+        std::to_string(stream_compact));
+  }
 }
 
 // Data-oriented engine layout (DESIGN.md §6e). Per-job state is split into
@@ -38,8 +96,20 @@ void SimConfig::validate() const {
 // construction, RNG child derivation, ticks, decisions, feedback, and
 // retirement is exactly the historical order, so results stay bit-identical
 // (pinned in tests/test_determinism_golden.cpp).
+//
+// Streaming mode (DESIGN.md §6j) reuses the same arrays but indexes them by
+// ix(id) = id - base_id: jobs are appended at activation (the arrival
+// process provides a one-job lookahead in `pending_spec`), folded into
+// `stream` at retirement, and the dead prefix of the arrays is erased —
+// bumping base_id — once it crosses the compaction threshold, so memory is
+// bounded by the live set. In batch mode base_id stays 0 and ix() is the
+// identity, so the hot path pays one subtract that constant-folds against a
+// register holding zero.
 struct Simulation::Impl {
   SimConfig config;
+  /// Kept only for streaming appends (empty in batch mode).
+  ProtocolFactory factory;
+  util::Rng master{0};
   std::unique_ptr<Jammer> jammer;
   util::Rng jam_rng{0};
   /// Dedicated stream for the noisy feedback model's per-slot flip draws.
@@ -50,39 +120,79 @@ struct Simulation::Impl {
   /// when the model is kCapture with alpha > 0 on a slot with >= 2
   /// transmitters, so capture:0 is bit-identical to ternary.
   util::Rng cap_rng{0};
+  /// Dedicated stream for streaming arrival draws ("ARRV").
+  util::Rng arr_rng{0};
+  /// Non-null = streaming mode.
+  std::unique_ptr<ArrivalProcess> arrivals;
+  /// Streaming one-job lookahead; nullopt = the stream is exhausted.
+  std::optional<workload::JobSpec> pending_spec;
+  /// Global id of arrays[0] (streaming compaction offset; 0 in batch).
+  JobId base_id = 0;
+  /// Next global id to assign (streaming).
+  JobId next_id = 0;
+  /// Nondecreasing-release enforcement for arrival processes.
+  Slot last_release = 0;
+  /// Streaming: arrays[0..dead_prefix) are all retired (never revived).
+  std::size_t dead_prefix = 0;
+  /// Streaming, keep_job_results: retired JobResults in retirement order
+  /// (sorted by id in finish()).
+  std::vector<JobResult> finished_results;
+  StreamSummary stream;
+
   /// Remaining frozen slots of an armed collision cost (collision_cost - 1
   /// after each perceived collision); 0 on the paper's channel.
   Slot freeze_left = 0;
+  /// Per-channel freeze counters (multichannel; sized channels when k > 1).
+  std::vector<Slot> chan_freeze;
   /// Capabilities stamped into every JobInfo (derived once from the model).
   ChannelCaps caps;
   std::unique_ptr<FaultInjector> injector;  // null when the plan is empty
 
-  // --- Hot per-job state (structure-of-arrays, indexed by JobId). ---
+  // --- Hot per-job state (structure-of-arrays, indexed by ix(id)). ---
   std::vector<Slot> release;
   std::vector<Slot> deadline;
   std::vector<Protocol*> proto;        // null once retired
   std::vector<std::uint8_t> live_flag;
   std::vector<std::uint32_t> live_pos;  // index into `live`; valid while live
   // Per-job counters bumped in the decision loop; folded into the cold
-  // JobResult once, in finish().
+  // JobResult once — at finish() in batch mode, at retirement in streaming.
   std::vector<std::int64_t> live_slot_count;
   std::vector<std::int64_t> dark_slot_count;
   std::vector<std::int64_t> tx_count;
+  // Multichannel (k > 1 only): each job's channel and collision count.
+  std::vector<std::uint8_t> chan;
+  std::vector<std::uint32_t> coll_count;
+  // Fast-forward promise cache: absolute slot the job's dormancy promise
+  // expires (0 = none cached) and the constant probability it declared.
+  // Re-querying dormant_span only for expired entries keeps the skip check
+  // at one virtual call per job per *promise*, not per skip.
+  std::vector<Slot> ff_until;
+  std::vector<double> ff_prob;
 
   // --- Cold per-job state. ---
   std::vector<JobResult> results;
 
   // Backing store for the protocol objects. `arena_owned` is false only for
-  // heap-only (legacy ad-hoc) factories, in which case `proto` holds plain
-  // owning pointers released with `delete`.
+  // heap-only (legacy ad-hoc) factories and for streaming mode (an arena
+  // never frees, so an open-ended run must use plain heap objects), in
+  // which case `proto` holds plain owning pointers released with `delete`.
   util::MonotonicArena arena;
   bool arena_owned = false;
 
   std::vector<JobId> live;        // ids of live jobs
-  std::size_t next_pending = 0;   // first job not yet activated
+  std::size_t next_pending = 0;   // batch: first job not yet activated
   Slot now = 0;
   Slot horizon = 0;
   bool finished = false;
+  /// True when this run qualifies for fast-forward at all (computed once;
+  /// see SimConfig::fast_forward for the exclusions).
+  bool ff_enabled = false;
+  /// Lower bound on the earliest live deadline; lets the deadline-retire
+  /// scan be skipped entirely while min_deadline > now. May go stale *low*
+  /// after retirements (which only triggers a harmless extra scan), never
+  /// stale high — activation refreshes it and triggered scans recompute it
+  /// exactly — so results are provably identical.
+  Slot min_deadline = kMaxSlot;
 
   SimMetrics metrics;
   std::vector<SlotRecord> slot_trace;
@@ -95,19 +205,33 @@ struct Simulation::Impl {
   std::vector<JobId> to_retire;
   std::vector<std::uint8_t> dark;         // "dark this slot" (faulted runs)
   std::vector<std::uint8_t> transmitted;  // "sent this slot" (ACK-only runs)
+  // Multichannel per-slot scratch (k > 1 only), all indexed by channel.
+  std::vector<std::vector<Transmission>> chan_tx;
+  std::vector<double> chan_contention;
+  std::vector<std::uint32_t> chan_live;
+  std::vector<SlotFeedback> chan_fb;           // true outcome
+  std::vector<SlotFeedback> chan_listener;     // listener projection
+  std::vector<SlotFeedback> chan_transmitter;  // transmitter projection
+  std::vector<std::uint8_t> chan_split;
+
+  [[nodiscard]] std::size_t ix(JobId id) const noexcept {
+    return static_cast<std::size_t>(id - base_id);
+  }
 
   [[nodiscard]] std::size_t job_count() const noexcept {
     return release.size();
   }
 
+  [[nodiscard]] bool streaming() const noexcept { return arrivals != nullptr; }
+
   // Runs the protocol's destructor and releases (heap path) or abandons
   // (arena path — memory is reclaimed when the arena dies) its storage.
-  void destroy_protocol(JobId id) noexcept {
-    Protocol* p = proto[id];
+  void destroy_at(std::size_t i) noexcept {
+    Protocol* p = proto[i];
     if (p == nullptr) {
       return;
     }
-    proto[id] = nullptr;
+    proto[i] = nullptr;
     if (arena_owned) {
       p->~Protocol();
     } else {
@@ -116,25 +240,672 @@ struct Simulation::Impl {
   }
 
   ~Impl() {
-    for (JobId id = 0; id < proto.size(); ++id) {
-      destroy_protocol(id);
+    for (std::size_t i = 0; i < proto.size(); ++i) {
+      destroy_at(i);
+    }
+  }
+
+  // Folds a retired (or horizon-cut) streaming job into the rolling
+  // summary; the per-job counters are final once the job leaves the live
+  // set, so this matches batch mode's fold-at-finish exactly.
+  void fold_streamed(std::size_t i) {
+    JobResult& r = results[i];
+    r.live_slots = live_slot_count[i];
+    r.dark_slots = dark_slot_count[i];
+    r.transmissions = tx_count[i];
+    stream.add(r);
+    if (config.keep_job_results) {
+      finished_results.push_back(r);
     }
   }
 
   void retire(JobId id) {
-    if (live_flag[id] == 0) {
+    const std::size_t i = ix(id);
+    if (live_flag[i] == 0) {
       return;
     }
     CRMD_TRACE(config.tracer, obs::EventKind::kJobRetire, now, id,
-               results[id].success ? 1 : 0);
-    live_flag[id] = 0;
-    destroy_protocol(id);
-    const std::uint32_t pos = live_pos[id];
+               results[i].success ? 1 : 0);
+    live_flag[i] = 0;
+    destroy_at(i);
+    const std::uint32_t pos = live_pos[i];
     assert(pos < live.size() && live[pos] == id);
     const JobId moved = live.back();
     live[pos] = moved;
-    live_pos[moved] = pos;
+    live_pos[ix(moved)] = pos;
     live.pop_back();
+    if (streaming()) {
+      fold_streamed(i);
+    }
+  }
+
+  // Streaming: refills the one-job lookahead, enforcing the process
+  // contract (sane windows, nondecreasing releases) and ending the stream
+  // at the horizon — releases are nondecreasing, so once one job starts at
+  // or past the horizon every later one does too.
+  void pull_next() {
+    pending_spec.reset();
+    auto job = arrivals->next(arr_rng);
+    if (!job) {
+      return;
+    }
+    if (job->release < 0 || job->deadline <= job->release) {
+      throw std::invalid_argument(
+          "ArrivalProcess: jobs need release >= 0 and deadline > release");
+    }
+    if (job->release < last_release) {
+      throw std::runtime_error(
+          "ArrivalProcess: releases must be nondecreasing");
+    }
+    last_release = job->release;
+    if (job->release >= horizon) {
+      return;
+    }
+    pending_spec = job;
+  }
+
+  // Streaming: appends one job to the arrays and activates it. Ids are
+  // assigned in arrival order and each protocol draws from its own
+  // master.child(id + 1) stream, exactly as the batch ctor does, so a
+  // VectorArrivals replay of a normalized instance is bit-identical to the
+  // batch run.
+  void append_job(JobId id, const workload::JobSpec& spec) {
+    JobInfo info;
+    info.id = id;
+    info.release = spec.release;
+    info.deadline = spec.deadline;
+    info.caps = caps;
+    release.push_back(spec.release);
+    deadline.push_back(spec.deadline);
+    Protocol* p = factory(info, master.child(id + 1)).release();
+    p->set_tracer(config.tracer);
+    proto.push_back(p);
+    live_flag.push_back(1);
+    live_pos.push_back(static_cast<std::uint32_t>(live.size()));
+    live.push_back(id);
+    live_slot_count.push_back(0);
+    dark_slot_count.push_back(0);
+    tx_count.push_back(0);
+    dark.push_back(0);
+    transmitted.push_back(0);
+    ff_until.push_back(0);
+    ff_prob.push_back(0.0);
+    if (config.multichannel.channels > 1) {
+      chan.push_back(static_cast<std::uint8_t>(
+          shard_of(config.seed, id, config.multichannel.channels)));
+      coll_count.push_back(0);
+    }
+    JobResult result;
+    result.id = id;
+    result.release = spec.release;
+    result.deadline = spec.deadline;
+    results.push_back(result);
+    min_deadline = std::min(min_deadline, spec.deadline);
+    CRMD_TRACE(config.tracer, obs::EventKind::kJobActivate, now, id,
+               spec.release, spec.deadline);
+    p->on_activate(info);
+  }
+
+  // Streaming: erases the dead prefix of every per-job array once it is
+  // both large in absolute terms (stream_compact) and at least half the
+  // arrays — each compaction removes >= half, so the per-job cost is
+  // amortized O(1) and steady-state memory is O(live + stream_compact).
+  void maybe_compact() {
+    while (dead_prefix < live_flag.size() && live_flag[dead_prefix] == 0) {
+      ++dead_prefix;
+    }
+    if (dead_prefix < static_cast<std::size_t>(config.stream_compact) ||
+        dead_prefix * 2 < live_flag.size()) {
+      return;
+    }
+    const auto n = static_cast<std::ptrdiff_t>(dead_prefix);
+    const auto erase_prefix = [n](auto& v) {
+      v.erase(v.begin(), v.begin() + n);
+    };
+    erase_prefix(release);
+    erase_prefix(deadline);
+    erase_prefix(proto);
+    erase_prefix(live_flag);
+    erase_prefix(live_pos);
+    erase_prefix(live_slot_count);
+    erase_prefix(dark_slot_count);
+    erase_prefix(tx_count);
+    erase_prefix(dark);
+    erase_prefix(transmitted);
+    erase_prefix(ff_until);
+    erase_prefix(ff_prob);
+    erase_prefix(results);
+    if (config.multichannel.channels > 1) {
+      erase_prefix(chan);
+      erase_prefix(coll_count);
+    }
+    base_id += static_cast<JobId>(dead_prefix);
+    dead_prefix = 0;
+  }
+
+  // kValidate: simulates the k slots a skip is about to cover in stripped
+  // form — on_slot plus silent feedback for every live job, exactly the
+  // calls the real engine would make on a silent slot under every
+  // fast-forward-eligible feedback model — and throws if any protocol
+  // breaks its dormancy promise. State advances identically either way
+  // (the promise says silent slots are state no-ops), so kValidate and kOn
+  // produce bit-identical results; this is the checked proof of that.
+  void validate_skip(Slot span, double expect_contention) {
+    SlotFeedback silent;
+    silent.outcome = SlotOutcome::kSilence;
+    silent.message.reset();
+    for (Slot t = 0; t < span; ++t) {
+      const Slot slot = now + t;
+      double contention = 0.0;
+      for (const JobId id : live) {
+        const std::size_t i = ix(id);
+        const SlotView view{slot - release[i], slot};
+        const SlotAction action = proto[i]->on_slot(view);
+        if (action.transmit || action.declared_prob != ff_prob[i]) {
+          throw std::logic_error(
+              "fast-forward validate: a protocol broke its dormancy promise "
+              "in on_slot (transmitted or changed its declared probability)");
+        }
+        contention += action.declared_prob;
+      }
+      if (contention != expect_contention) {
+        throw std::logic_error(
+            "fast-forward validate: per-slot contention diverged from the "
+            "promised constant");
+      }
+      for (const JobId id : live) {
+        const std::size_t i = ix(id);
+        const SlotView view{slot - release[i], slot};
+        proto[i]->on_feedback(view, silent);
+        if (proto[i]->done()) {
+          throw std::logic_error(
+              "fast-forward validate: a protocol broke its dormancy promise "
+              "in done() after silent feedback");
+        }
+      }
+    }
+  }
+
+  // Single-channel decision -> resolve -> feedback -> record -> credit
+  // pipeline: the engine's historical hot path, byte-for-byte the same
+  // operation order as ever (ix() is the identity in batch mode).
+  void step_single(std::int64_t faults_before) {
+    // Decision phase. A skewed job sees its perceived (slipped-ahead) slot
+    // indices; a dark job is skipped entirely (no on_slot, no feedback).
+    transmissions.clear();
+    double contention = 0.0;
+    for (const JobId id : live) {
+      const std::size_t i = ix(id);
+      ++live_slot_count[i];
+      if (injector != nullptr && dark[i] != 0) {
+        ++dark_slot_count[i];
+        continue;
+      }
+      const Slot skew = injector ? injector->skew(id) : 0;
+      SlotView view{/*since_release=*/now - release[i] + skew,
+                    /*global_slot=*/now + skew};
+      const SlotAction action = proto[i]->on_slot(view);
+      contention += action.declared_prob;
+      if (action.transmit) {
+        transmissions.push_back(Transmission{id, action.message});
+        ++tx_count[i];
+        CRMD_TRACE(config.tracer, obs::EventKind::kTransmit, now, id,
+                   static_cast<std::int64_t>(action.message.kind), 0,
+                   action.declared_prob, to_string(action.message.kind));
+      }
+    }
+
+    // Channel resolution + capture + adversary (DESIGN.md §6i). Order:
+    // resolve -> freeze override -> capture draw -> jammer. A frozen slot
+    // (collision-cost recovery in progress) is noise for everyone no matter
+    // what was attempted; capture can leak one winner out of a fresh
+    // collision; the jammer acts last so an adaptive adversary can stomp a
+    // captured success. The jammer is not consulted on frozen slots — the
+    // channel is already noise, and jamming it would only waste budget.
+    const bool frozen = freeze_left > 0;
+    SlotFeedback fb = resolve_slot(transmissions);
+    JobId capture_winner = kNoJob;
+    bool jammed = false;
+    if (frozen) {
+      --freeze_left;
+      fb.outcome = SlotOutcome::kNoise;
+      fb.message.reset();
+      ++metrics.collision_cost_slots;
+      CRMD_TRACE(config.tracer, obs::EventKind::kCostSlot, now, kNoJob,
+                 freeze_left, static_cast<std::int64_t>(transmissions.size()),
+                 0.0, "cost");
+    } else {
+      if (config.feedback.kind == FeedbackKind::kCapture &&
+          config.feedback.alpha > 0.0 && transmissions.size() >= 2) {
+        // One winner survives a k-way collision with probability
+        // p_k = alpha^(k-1); the winner is drawn uniformly. Both draws come
+        // from the dedicated cap_rng stream, taken only on this path, so
+        // alpha = 0 leaves every other stream untouched.
+        const double p_win =
+            std::pow(config.feedback.alpha,
+                     static_cast<double>(transmissions.size() - 1));
+        if (cap_rng.bernoulli(p_win)) {
+          const std::size_t idx = static_cast<std::size_t>(cap_rng.below(
+              static_cast<std::uint64_t>(transmissions.size())));
+          fb.outcome = SlotOutcome::kSuccess;
+          fb.message = transmissions[idx].message;
+          capture_winner = transmissions[idx].job;
+        }
+      }
+      if (jammer != nullptr) {
+        const Message* msg = fb.message ? &*fb.message : nullptr;
+        if (jammer->wants_jam(now, fb.outcome, msg) &&
+            jam_rng.bernoulli(jammer->p_jam())) {
+          fb.outcome = SlotOutcome::kNoise;
+          fb.message.reset();
+          jammed = true;
+          capture_winner = kNoJob;  // the jam stomped the captured success
+        }
+      }
+      // A perceived collision — genuine, capture-lost, or jam-created —
+      // freezes the channel for the next cost-1 slots. Frozen slots never
+      // re-arm, so a burst costs `cost` slots total, not a cascade.
+      if (config.collision_cost > 1 && fb.outcome == SlotOutcome::kNoise) {
+        freeze_left = config.collision_cost - 1;
+      }
+    }
+    if (capture_winner != kNoJob) {
+      ++metrics.capture_wins;
+      CRMD_TRACE(config.tracer, obs::EventKind::kCaptureWin, now,
+                 capture_winner,
+                 static_cast<std::int64_t>(transmissions.size()), 0,
+                 config.feedback.alpha, "capture");
+    }
+
+    // Feedback phase. The feedback model projects the true outcome into a
+    // common listener view and (when transmitters perceive something
+    // different) a transmitter view; faults then perturb per listener. The
+    // true outcome `fb` stays authoritative for crediting below. All
+    // projection work is O(1) per slot plus — only when the views split —
+    // one O(transmitters) bitmap pass, so the per-listener "did I transmit"
+    // check is O(1) instead of a rescan. No allocation.
+    SlotFeedback listener_fb = fb;     // what a pure listener perceives
+    SlotFeedback transmitter_fb = fb;  // what a transmitter perceives
+    bool split = false;  // transmitter view differs from listener view
+    switch (config.feedback.kind) {
+      case FeedbackKind::kTernary:
+        // Legacy unadvertised ablation: listeners perceive noisy slots as
+        // silent; transmitters still learn their failure (ACK-style).
+        if (!config.collision_detection &&
+            fb.outcome == SlotOutcome::kNoise) {
+          listener_fb.outcome = SlotOutcome::kSilence;
+          listener_fb.message.reset();
+          split = true;
+        }
+        break;
+      case FeedbackKind::kBinaryAck:
+        // Listeners hear nothing, ever; transmitters get the true outcome
+        // (their own success, or noise when their transmission failed).
+        listener_fb.outcome = SlotOutcome::kSilence;
+        listener_fb.message.reset();
+        split = !transmissions.empty();
+        break;
+      case FeedbackKind::kCollisionAsSilence:
+        // Empty and collided slots are indistinguishable for everyone —
+        // including the transmitters, who get no failure ACK.
+        if (fb.outcome == SlotOutcome::kNoise) {
+          listener_fb.outcome = SlotOutcome::kSilence;
+          listener_fb.message.reset();
+          transmitter_fb = listener_fb;
+        }
+        break;
+      case FeedbackKind::kNoisy:
+        // One seeded flip draw per simulated slot; on a flip every observer
+        // hears the same one-step-degraded outcome.
+        if (config.feedback.eps > 0.0 &&
+            fb_rng.bernoulli(config.feedback.eps)) {
+          listener_fb = degrade_feedback(fb);
+          transmitter_fb = listener_fb;
+          ++metrics.feedback_flips;
+        }
+        break;
+      case FeedbackKind::kCapture:
+        // On a captured success, listeners (and the winner, excluded from
+        // the transmitted bitmap below) hear the success; the k-1 losers
+        // perceive noise — their own signal drowned the broadcast out at
+        // their radio. Without a capture win the channel is exactly ternary.
+        if (capture_winner != kNoJob) {
+          transmitter_fb.outcome = SlotOutcome::kNoise;
+          transmitter_fb.message.reset();
+          split = true;
+        }
+        break;
+    }
+    if (split) {
+      for (const Transmission& t : transmissions) {
+        transmitted[ix(t.job)] = 1;
+      }
+      if (capture_winner != kNoJob) {
+        // The winner hears its own success.
+        transmitted[ix(capture_winner)] = 0;
+      }
+    }
+    for (const JobId id : live) {
+      const std::size_t i = ix(id);
+      if (injector != nullptr && dark[i] != 0) {
+        continue;
+      }
+      const bool sent = split && transmitted[i] != 0;
+      SlotFeedback perceived = sent ? transmitter_fb : listener_fb;
+      if (injector != nullptr) {
+        perceived = injector->perceive(id, now, perceived);
+      }
+      const Slot skew = injector ? injector->skew(id) : 0;
+      SlotView view{now - release[i] + skew, now + skew};
+      proto[i]->on_feedback(view, perceived);
+    }
+    if (split) {
+      for (const Transmission& t : transmissions) {
+        transmitted[ix(t.job)] = 0;
+      }
+    }
+
+    SlotRecord rec;
+    rec.slot = now;
+    rec.outcome = fb.outcome;
+    rec.success_kind = fb.message ? fb.message->kind : MessageKind::kData;
+    rec.contention = contention;
+    rec.transmitters = static_cast<std::uint32_t>(transmissions.size());
+    rec.live_jobs = static_cast<std::uint32_t>(live.size());
+    rec.jammed = jammed;
+    if (injector != nullptr) {
+      rec.faults = static_cast<std::uint32_t>(injector->total_injected() -
+                                              faults_before);
+    }
+    metrics.record(rec);
+    CRMD_TRACE(config.tracer, obs::EventKind::kSlotResolved, now, kNoJob,
+               static_cast<std::int64_t>(fb.outcome),
+               static_cast<std::int64_t>(transmissions.size()), contention,
+               to_string(fb.outcome));
+    // The listener-perceived companion event: what the feedback model let
+    // pure listeners hear this slot (before per-job fault perturbation),
+    // plus the live-set size. The gap between this and kSlotResolved is the
+    // channel's perception error — what obs::Timeline charts per bucket.
+    CRMD_TRACE(config.tracer, obs::EventKind::kSlotPerceived, now, kNoJob,
+               static_cast<std::int64_t>(listener_fb.outcome),
+               static_cast<std::int64_t>(live.size()), 0.0,
+               to_string(listener_fb.outcome));
+    if (config.record_slots) {
+      slot_trace.push_back(rec);
+    }
+    if (observer) {
+      observer(rec, transmissions);
+    }
+
+    // Credit a delivered data message and retire finished jobs.
+    to_retire.clear();
+    if (fb.outcome == SlotOutcome::kSuccess &&
+        fb.message->kind == MessageKind::kData) {
+      const JobId winner = fb.message->sender;
+      assert(winner >= base_id && ix(winner) < job_count() &&
+             live_flag[ix(winner)] != 0);
+      CRMD_TRACE(config.tracer, obs::EventKind::kSuccessCredit, now, winner);
+      results[ix(winner)].success = true;
+      results[ix(winner)].success_slot = now;
+      to_retire.push_back(winner);
+    }
+    for (const JobId id : live) {
+      if (proto[ix(id)]->done() &&
+          (to_retire.empty() || to_retire.front() != id)) {
+        to_retire.push_back(id);
+      }
+    }
+    for (const JobId id : to_retire) {
+      retire(id);
+    }
+  }
+
+  // Multichannel pipeline (DESIGN.md §6j): one pass over the live set
+  // buckets decisions per channel, then each of the k sub-channels
+  // resolves, projects feedback, and records independently — k
+  // channel-slots of metrics per time slot, up to k winners per slot.
+  // Validation has already restricted the feedback model to
+  // ternary/binary_ack/collision_as_silence and rejected jammers, so there
+  // are no capture/jam/noisy draws here.
+  void step_multi(std::int64_t faults_before) {
+    const int k = config.multichannel.channels;
+    const auto kc = static_cast<std::size_t>(k);
+    if (chan_tx.size() != kc) {
+      chan_tx.resize(kc);
+      chan_fb.resize(kc);
+      chan_listener.resize(kc);
+      chan_transmitter.resize(kc);
+    }
+    for (auto& v : chan_tx) {
+      v.clear();
+    }
+    chan_contention.assign(kc, 0.0);
+    chan_live.assign(kc, 0);
+    chan_split.assign(kc, 0);
+
+    // Decision phase, bucketed by channel (live order within each bucket).
+    for (const JobId id : live) {
+      const std::size_t i = ix(id);
+      ++live_slot_count[i];
+      const std::size_t c = chan[i];
+      ++chan_live[c];
+      if (injector != nullptr && dark[i] != 0) {
+        ++dark_slot_count[i];
+        continue;
+      }
+      const Slot skew = injector ? injector->skew(id) : 0;
+      SlotView view{now - release[i] + skew, now + skew};
+      const SlotAction action = proto[i]->on_slot(view);
+      chan_contention[c] += action.declared_prob;
+      if (action.transmit) {
+        chan_tx[c].push_back(Transmission{id, action.message});
+        ++tx_count[i];
+        CRMD_TRACE(config.tracer, obs::EventKind::kTransmit, now, id,
+                   static_cast<std::int64_t>(action.message.kind),
+                   static_cast<std::int64_t>(c), action.declared_prob,
+                   to_string(action.message.kind));
+      }
+    }
+    metrics.live_peak = std::max<std::int64_t>(
+        metrics.live_peak, static_cast<std::int64_t>(live.size()));
+
+    // Per-channel resolution, freeze physics, and feedback projection.
+    bool any_split = false;
+    for (std::size_t c = 0; c < kc; ++c) {
+      SlotFeedback fb = resolve_slot(chan_tx[c]);
+      if (chan_freeze[c] > 0) {
+        --chan_freeze[c];
+        fb.outcome = SlotOutcome::kNoise;
+        fb.message.reset();
+        ++metrics.collision_cost_slots;
+        CRMD_TRACE(config.tracer, obs::EventKind::kCostSlot, now, kNoJob,
+                   chan_freeze[c],
+                   static_cast<std::int64_t>(chan_tx[c].size()), 0.0, "cost");
+      } else if (config.collision_cost > 1 &&
+                 fb.outcome == SlotOutcome::kNoise) {
+        chan_freeze[c] = config.collision_cost - 1;
+      }
+      SlotFeedback listener_fb = fb;
+      SlotFeedback transmitter_fb = fb;
+      bool split = false;
+      switch (config.feedback.kind) {
+        case FeedbackKind::kBinaryAck:
+          listener_fb.outcome = SlotOutcome::kSilence;
+          listener_fb.message.reset();
+          split = !chan_tx[c].empty();
+          break;
+        case FeedbackKind::kCollisionAsSilence:
+          if (fb.outcome == SlotOutcome::kNoise) {
+            listener_fb.outcome = SlotOutcome::kSilence;
+            listener_fb.message.reset();
+            transmitter_fb = listener_fb;
+          }
+          break;
+        case FeedbackKind::kTernary:
+        default:  // kNoisy/kCapture rejected by validate()
+          break;
+      }
+      chan_fb[c] = fb;
+      chan_listener[c] = listener_fb;
+      chan_transmitter[c] = transmitter_fb;
+      chan_split[c] = split ? 1 : 0;
+      any_split = any_split || split;
+    }
+
+    // Feedback phase: every live, non-dark job hears its own channel.
+    if (any_split) {
+      for (std::size_t c = 0; c < kc; ++c) {
+        if (chan_split[c] == 0) {
+          continue;
+        }
+        for (const Transmission& t : chan_tx[c]) {
+          transmitted[ix(t.job)] = 1;
+        }
+      }
+    }
+    for (const JobId id : live) {
+      const std::size_t i = ix(id);
+      if (injector != nullptr && dark[i] != 0) {
+        continue;
+      }
+      const std::size_t c = chan[i];
+      const bool sent = chan_split[c] != 0 && transmitted[i] != 0;
+      SlotFeedback perceived = sent ? chan_transmitter[c] : chan_listener[c];
+      if (injector != nullptr) {
+        perceived = injector->perceive(id, now, perceived);
+      }
+      const Slot skew = injector ? injector->skew(id) : 0;
+      SlotView view{now - release[i] + skew, now + skew};
+      proto[i]->on_feedback(view, perceived);
+    }
+    if (any_split) {
+      for (std::size_t c = 0; c < kc; ++c) {
+        if (chan_split[c] == 0) {
+          continue;
+        }
+        for (const Transmission& t : chan_tx[c]) {
+          transmitted[ix(t.job)] = 0;
+        }
+      }
+    }
+
+    // Record one channel-slot per channel. The fault-count delta of the
+    // time slot is charged to channel 0's record so sums stay exact.
+    for (std::size_t c = 0; c < kc; ++c) {
+      SlotRecord rec;
+      rec.slot = now;
+      rec.outcome = chan_fb[c].outcome;
+      rec.success_kind =
+          chan_fb[c].message ? chan_fb[c].message->kind : MessageKind::kData;
+      rec.contention = chan_contention[c];
+      rec.transmitters = static_cast<std::uint32_t>(chan_tx[c].size());
+      rec.live_jobs = chan_live[c];
+      rec.jammed = false;
+      if (c == 0 && injector != nullptr) {
+        rec.faults = static_cast<std::uint32_t>(injector->total_injected() -
+                                                faults_before);
+      }
+      metrics.record(rec);
+      CRMD_TRACE(config.tracer, obs::EventKind::kSlotResolved, now, kNoJob,
+                 static_cast<std::int64_t>(chan_fb[c].outcome),
+                 static_cast<std::int64_t>(chan_tx[c].size()),
+                 chan_contention[c], to_string(chan_fb[c].outcome));
+      CRMD_TRACE(config.tracer, obs::EventKind::kSlotPerceived, now,
+                 kNoJob, static_cast<std::int64_t>(chan_listener[c].outcome),
+                 static_cast<std::int64_t>(chan_live[c]), 0.0,
+                 to_string(chan_listener[c].outcome));
+      if (config.record_slots) {
+        slot_trace.push_back(rec);
+      }
+      if (observer) {
+        observer(rec, chan_tx[c]);
+      }
+    }
+
+    // Collision accounting + optional migration: a transmitter whose
+    // channel resolved (or froze) to noise suffered a collision; after
+    // every migrate_after of them it rehashes deterministically — keyed on
+    // (seed, id, collision count), no RNG stream — onto a fresh channel.
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (chan_fb[c].outcome != SlotOutcome::kNoise) {
+        continue;
+      }
+      for (const Transmission& t : chan_tx[c]) {
+        const std::size_t i = ix(t.job);
+        ++coll_count[i];
+        if (config.multichannel.migrate &&
+            coll_count[i] %
+                    static_cast<std::uint32_t>(
+                        config.multichannel.migrate_after) ==
+                0) {
+          chan[i] = static_cast<std::uint8_t>(shard_of(
+              config.seed,
+              (static_cast<std::uint64_t>(coll_count[i]) << 32) |
+                  static_cast<std::uint64_t>(t.job),
+              k));
+        }
+      }
+    }
+
+    // Credit up to one delivered data message per channel, then retire
+    // finished jobs (several winners can retire in one slot, so membership
+    // in to_retire is checked by scan — it holds at most k + done ids).
+    to_retire.clear();
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (chan_fb[c].outcome == SlotOutcome::kSuccess &&
+          chan_fb[c].message->kind == MessageKind::kData) {
+        const JobId winner = chan_fb[c].message->sender;
+        assert(winner >= base_id && ix(winner) < job_count() &&
+               live_flag[ix(winner)] != 0);
+        CRMD_TRACE(config.tracer, obs::EventKind::kSuccessCredit, now,
+                   winner);
+        results[ix(winner)].success = true;
+        results[ix(winner)].success_slot = now;
+        to_retire.push_back(winner);
+      }
+    }
+    for (const JobId id : live) {
+      if (proto[ix(id)]->done() &&
+          std::find(to_retire.begin(), to_retire.end(), id) ==
+              to_retire.end()) {
+        to_retire.push_back(id);
+      }
+    }
+    for (const JobId id : to_retire) {
+      retire(id);
+    }
+  }
+
+  void init(SimConfig cfg, std::unique_ptr<Jammer> jam) {
+    cfg.validate();
+    config = cfg;
+    jammer = std::move(jam);
+    if (jammer != nullptr && config.multichannel.channels > 1) {
+      throw std::invalid_argument(
+          "Simulation: multichannel does not support a jamming adversary "
+          "(v1 scope, DESIGN.md §6j)");
+    }
+    master = util::Rng(config.seed);
+    jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
+    fb_rng = util::Rng(config.seed).child(0x4642464C4950ULL);   // "FBFLIP"
+    cap_rng = util::Rng(config.seed).child(0x43415054ULL);      // "CAPT"
+    arr_rng = util::Rng(config.seed).child(0x41525256ULL);      // "ARRV"
+    caps = config.feedback.caps();
+    if (config.faults.any()) {
+      injector = std::make_unique<FaultInjector>(config.faults, config.seed);
+      injector->set_record_events(config.record_slots);
+      injector->set_tracer(config.tracer);
+    }
+    if (config.multichannel.channels > 1) {
+      chan_freeze.assign(
+          static_cast<std::size_t>(config.multichannel.channels), 0);
+    }
+    ff_enabled =
+        config.fast_forward != FastForward::kOff && jammer == nullptr &&
+        !config.faults.any() &&
+        !(config.feedback.kind == FeedbackKind::kNoisy &&
+          config.feedback.eps > 0.0) &&
+        !config.record_slots && config.multichannel.channels == 1;
   }
 };
 
@@ -142,26 +913,16 @@ Simulation::Simulation(workload::Instance instance,
                        const ProtocolFactory& factory, SimConfig config,
                        std::unique_ptr<Jammer> jammer)
     : impl_(std::make_unique<Impl>()) {
-  config.validate();
   instance.normalize();
   instance.validate();
 
   Impl& s = *impl_;
-  s.config = config;
-  s.jammer = std::move(jammer);
-  s.jam_rng = util::Rng(config.seed).child(0x4A414D4D4552ULL);  // "JAMMER"
-  s.fb_rng = util::Rng(config.seed).child(0x4642464C4950ULL);   // "FBFLIP"
-  s.cap_rng = util::Rng(config.seed).child(0x43415054ULL);      // "CAPT"
-  s.caps = config.feedback.caps();
-  if (config.faults.any()) {
-    s.injector = std::make_unique<FaultInjector>(config.faults, config.seed);
-    s.injector->set_record_events(config.record_slots);
-    s.injector->set_tracer(config.tracer);
-  }
-  s.horizon = config.horizon > 0 ? config.horizon : instance.max_deadline();
+  s.init(std::move(config), std::move(jammer));
+  s.horizon =
+      s.config.horizon > 0 ? s.config.horizon : instance.max_deadline();
   s.now = instance.empty() ? 0 : instance.min_release();
 
-  const util::Rng master(config.seed);
+  const util::Rng master(s.config.seed);
   const std::size_t n = instance.size();
   s.release.reserve(n);
   s.deadline.reserve(n);
@@ -174,6 +935,17 @@ Simulation::Simulation(workload::Instance instance,
   s.results.reserve(n);
   s.dark.assign(n, 0);
   s.transmitted.assign(n, 0);
+  s.ff_until.assign(n, 0);
+  s.ff_prob.assign(n, 0.0);
+  if (s.config.multichannel.channels > 1) {
+    s.chan.reserve(n);
+    s.coll_count.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.chan.push_back(static_cast<std::uint8_t>(
+          shard_of(s.config.seed, static_cast<JobId>(i),
+                   s.config.multichannel.channels)));
+    }
+  }
   s.arena_owned = factory.arena_aware();
   for (std::size_t i = 0; i < n; ++i) {
     const auto& spec = instance.jobs[i];
@@ -192,7 +964,7 @@ Simulation::Simulation(workload::Instance instance,
                               s.arena)
             : factory(info, master.child(static_cast<JobId>(i) + 1))
                   .release();
-    p->set_tracer(config.tracer);
+    p->set_tracer(s.config.tracer);
     s.proto.push_back(p);
     JobResult result;
     result.id = info.id;
@@ -200,6 +972,28 @@ Simulation::Simulation(workload::Instance instance,
     result.deadline = spec.deadline;
     s.results.push_back(result);
   }
+}
+
+Simulation::Simulation(std::unique_ptr<ArrivalProcess> arrivals,
+                       const ProtocolFactory& factory, SimConfig config,
+                       std::unique_ptr<Jammer> jammer)
+    : impl_(std::make_unique<Impl>()) {
+  if (arrivals == nullptr) {
+    throw std::invalid_argument("Simulation: arrival process must be non-null");
+  }
+  if (config.horizon <= 0) {
+    throw std::invalid_argument(
+        "Simulation: streaming mode requires an explicit horizon > 0 (an "
+        "open-ended stream has no max_deadline to default to)");
+  }
+  Impl& s = *impl_;
+  s.init(std::move(config), std::move(jammer));
+  s.horizon = s.config.horizon;
+  s.factory = factory;
+  s.arena_owned = false;  // arena never frees; open-ended runs go heap
+  s.arrivals = std::move(arrivals);
+  s.pull_next();
+  s.now = s.pending_spec ? s.pending_spec->release : 0;
 }
 
 Simulation::~Simulation() = default;
@@ -217,10 +1011,12 @@ void Simulation::set_observer(SlotObserver observer) {
 std::vector<JobId> Simulation::live_jobs() const { return impl_->live; }
 
 Protocol* Simulation::protocol(JobId id) noexcept {
-  if (id >= impl_->job_count() || impl_->live_flag[id] == 0) {
+  Impl& s = *impl_;
+  if (id < s.base_id || s.ix(id) >= s.job_count() ||
+      s.live_flag[s.ix(id)] == 0) {
     return nullptr;
   }
-  return impl_->proto[id];
+  return s.proto[s.ix(id)];
 }
 
 bool Simulation::step() {
@@ -232,17 +1028,30 @@ bool Simulation::step() {
   // Fast-forward across idle gaps: nothing can happen on the channel while
   // no job is live.
   if (s.live.empty()) {
-    if (s.next_pending >= s.job_count()) {
-      s.finished = true;
-      return false;
+    Slot next_release = kMaxSlot;
+    if (s.streaming()) {
+      if (!s.pending_spec) {
+        s.finished = true;
+        return false;
+      }
+      next_release = s.pending_spec->release;
+    } else {
+      if (s.next_pending >= s.job_count()) {
+        s.finished = true;
+        return false;
+      }
+      next_release = s.release[s.next_pending];
     }
-    const Slot next_release = s.release[s.next_pending];
     if (next_release > s.now) {
       // A pending collision-cost freeze elapses across the skipped gap —
       // nobody is live to observe the frozen slots, so they are not
       // simulated (and not counted as cost slots).
-      s.freeze_left = std::max<Slot>(0, s.freeze_left - (next_release - s.now));
-      s.metrics.slots_skipped += next_release - s.now;
+      const Slot gap = next_release - s.now;
+      s.freeze_left = std::max<Slot>(0, s.freeze_left - gap);
+      for (Slot& f : s.chan_freeze) {
+        f = std::max<Slot>(0, f - gap);
+      }
+      s.metrics.slots_skipped += gap;
       s.now = next_release;
     }
   }
@@ -253,41 +1062,137 @@ bool Simulation::step() {
   }
 
   // Activate arrivals.
-  while (s.next_pending < s.job_count() &&
-         s.release[s.next_pending] <= s.now) {
-    const JobId id = static_cast<JobId>(s.next_pending);
-    if (s.deadline[id] > s.now) {
-      s.live_flag[id] = 1;
-      s.live_pos[id] = static_cast<std::uint32_t>(s.live.size());
-      s.live.push_back(id);
-      CRMD_TRACE(s.config.tracer, obs::EventKind::kJobActivate, s.now, id,
-                 s.release[id], s.deadline[id]);
-      JobInfo info;
-      info.id = id;
-      info.release = s.release[id];
-      info.deadline = s.deadline[id];
-      info.caps = s.caps;
-      s.proto[id]->on_activate(info);
-    } else {
-      // Window already over (degenerate horizon cases); never activates.
-      s.destroy_protocol(id);
+  if (s.streaming()) {
+    while (s.pending_spec && s.pending_spec->release <= s.now) {
+      const workload::JobSpec spec = *s.pending_spec;
+      const JobId id = s.next_id++;
+      if (spec.deadline > s.now) {
+        s.append_job(id, spec);
+      } else {
+        // Window already over (degenerate cases); never activates, but it
+        // still counts as a job that entered (and failed).
+        JobResult result;
+        result.id = id;
+        result.release = spec.release;
+        result.deadline = spec.deadline;
+        s.stream.add(result);
+        if (s.config.keep_job_results) {
+          s.finished_results.push_back(result);
+        }
+      }
+      s.pull_next();
     }
-    ++s.next_pending;
+  } else {
+    while (s.next_pending < s.job_count() &&
+           s.release[s.next_pending] <= s.now) {
+      const JobId id = static_cast<JobId>(s.next_pending);
+      if (s.deadline[id] > s.now) {
+        s.live_flag[id] = 1;
+        s.live_pos[id] = static_cast<std::uint32_t>(s.live.size());
+        s.live.push_back(id);
+        s.min_deadline = std::min(s.min_deadline, s.deadline[id]);
+        CRMD_TRACE(s.config.tracer, obs::EventKind::kJobActivate, s.now, id,
+                   s.release[id], s.deadline[id]);
+        JobInfo info;
+        info.id = id;
+        info.release = s.release[id];
+        info.deadline = s.deadline[id];
+        info.caps = s.caps;
+        s.proto[id]->on_activate(info);
+      } else {
+        // Window already over (degenerate horizon cases); never activates.
+        s.destroy_at(id);
+      }
+      ++s.next_pending;
+    }
   }
 
   // Retire jobs whose deadline has arrived (window is [release, deadline)).
-  s.to_retire.clear();
-  for (const JobId id : s.live) {
-    if (s.deadline[id] <= s.now) {
-      s.to_retire.push_back(id);
+  // The min_deadline cache makes the scan conditional: while the earliest
+  // live deadline is still in the future nothing can expire, so the
+  // per-slot O(live) sweep collapses to one comparison. The cache is a
+  // lower bound (stale-low after other retirements), so a triggered scan
+  // may find nothing — it then recomputes the exact minimum.
+  if (s.min_deadline <= s.now) {
+    s.to_retire.clear();
+    Slot new_min = kMaxSlot;
+    for (const JobId id : s.live) {
+      const Slot d = s.deadline[s.ix(id)];
+      if (d <= s.now) {
+        s.to_retire.push_back(id);
+      } else {
+        new_min = std::min(new_min, d);
+      }
+    }
+    for (const JobId id : s.to_retire) {
+      s.retire(id);
+    }
+    s.min_deadline = new_min;
+    if (s.live.empty()) {
+      // All live jobs expired this slot; loop again from the top next call.
+      if (s.streaming()) {
+        s.maybe_compact();
+      }
+      return !s.finished;
     }
   }
-  for (const JobId id : s.to_retire) {
-    s.retire(id);
-  }
-  if (s.live.empty()) {
-    // All live jobs expired this slot; loop again from the top next call.
-    return !s.finished;
+
+  // Event-driven fast-forward (DESIGN.md §6j): when every live job holds a
+  // dormancy promise, the whole run of provably-silent slots up to the
+  // nearest "event" — a promise expiry, a deadline, the next arrival, or
+  // the horizon — is accounted in one batch and `now` jumps across it.
+  // Checked after activation/retirement (so the live set is current) and
+  // before the fault phase (fast-forward and faults are mutually
+  // exclusive; see Impl::ff_enabled).
+  if (s.ff_enabled && s.freeze_left == 0 && !s.observer) {
+    Slot bound = s.horizon - s.now;
+    if (s.streaming()) {
+      if (s.pending_spec) {
+        bound = std::min(bound, s.pending_spec->release - s.now);
+      }
+    } else if (s.next_pending < s.job_count()) {
+      bound = std::min(bound, s.release[s.next_pending] - s.now);
+    }
+    double contention = 0.0;
+    for (const JobId id : s.live) {
+      const std::size_t i = s.ix(id);
+      bound = std::min(bound, s.deadline[i] - s.now);
+      if (s.ff_until[i] <= s.now) {
+        const SlotView view{s.now - s.release[i], s.now};
+        const DormantSpan span = s.proto[i]->dormant_span(view);
+        if (span.slots <= 0) {
+          bound = 0;  // no promise — this slot must be simulated
+          break;
+        }
+        s.ff_until[i] = s.now + span.slots;
+        s.ff_prob[i] = span.prob;
+      }
+      bound = std::min(bound, s.ff_until[i] - s.now);
+      contention += s.ff_prob[i];
+    }
+    if (bound >= 1) {
+      if (s.config.fast_forward == FastForward::kValidate) {
+        s.validate_skip(bound, contention);
+      }
+      // Account the skipped slots exactly as if simulated: every one is a
+      // silent slot with the promised constant contention and the current
+      // live set.
+      s.metrics.slots_simulated += bound;
+      s.metrics.silent_slots += bound;
+      s.metrics.fast_forward_slots += bound;
+      s.metrics.contention.add_run(contention,
+                                   static_cast<std::size_t>(bound));
+      s.metrics.live_peak = std::max<std::int64_t>(
+          s.metrics.live_peak, static_cast<std::int64_t>(s.live.size()));
+      for (const JobId id : s.live) {
+        s.live_slot_count[s.ix(id)] += bound;
+      }
+      CRMD_TRACE(s.config.tracer, obs::EventKind::kIdleSkip, s.now, kNoJob,
+                 bound, static_cast<std::int64_t>(s.live.size()), contention,
+                 "idle-skip");
+      s.now += bound;
+      return !s.finished;
+    }
   }
 
   // Fault phase: advance each live job's crash/stall/skew state. Dead jobs
@@ -302,6 +1207,7 @@ bool Simulation::step() {
     s.to_retire.clear();
     std::int64_t dark_this_slot = 0;
     for (const JobId id : s.live) {
+      const std::size_t i = s.ix(id);
       std::uint8_t is_dark = 0;
       switch (s.injector->tick(id, s.now)) {
         case FaultInjector::JobHealth::kHealthy:
@@ -314,246 +1220,33 @@ bool Simulation::step() {
           s.to_retire.push_back(id);
           break;
       }
-      s.dark[id] = is_dark;
+      s.dark[i] = is_dark;
     }
     s.metrics.dark_job_slots += dark_this_slot;
     for (const JobId id : s.to_retire) {
       s.retire(id);
     }
     if (s.live.empty()) {
+      if (s.streaming()) {
+        s.maybe_compact();
+      }
       return !s.finished;
     }
   }
 
-  // Decision phase. A skewed job sees its perceived (slipped-ahead) slot
-  // indices; a dark job is skipped entirely (no on_slot, no feedback).
-  s.transmissions.clear();
-  double contention = 0.0;
-  for (const JobId id : s.live) {
-    ++s.live_slot_count[id];
-    if (s.injector != nullptr && s.dark[id] != 0) {
-      ++s.dark_slot_count[id];
-      continue;
-    }
-    const Slot skew = s.injector ? s.injector->skew(id) : 0;
-    SlotView view{/*since_release=*/s.now - s.release[id] + skew,
-                  /*global_slot=*/s.now + skew};
-    const SlotAction action = s.proto[id]->on_slot(view);
-    contention += action.declared_prob;
-    if (action.transmit) {
-      s.transmissions.push_back(Transmission{id, action.message});
-      ++s.tx_count[id];
-      CRMD_TRACE(s.config.tracer, obs::EventKind::kTransmit, s.now, id,
-                 static_cast<std::int64_t>(action.message.kind), 0,
-                 action.declared_prob, to_string(action.message.kind));
-    }
-  }
-
-  // Channel resolution + capture + adversary (DESIGN.md §6i). Order:
-  // resolve -> freeze override -> capture draw -> jammer. A frozen slot
-  // (collision-cost recovery in progress) is noise for everyone no matter
-  // what was attempted; capture can leak one winner out of a fresh
-  // collision; the jammer acts last so an adaptive adversary can stomp a
-  // captured success. The jammer is not consulted on frozen slots — the
-  // channel is already noise, and jamming it would only waste budget.
-  const bool frozen = s.freeze_left > 0;
-  SlotFeedback fb = resolve_slot(s.transmissions);
-  JobId capture_winner = kNoJob;
-  bool jammed = false;
-  if (frozen) {
-    --s.freeze_left;
-    fb.outcome = SlotOutcome::kNoise;
-    fb.message.reset();
-    ++s.metrics.collision_cost_slots;
-    CRMD_TRACE(s.config.tracer, obs::EventKind::kCostSlot, s.now, kNoJob,
-               s.freeze_left,
-               static_cast<std::int64_t>(s.transmissions.size()), 0.0,
-               "cost");
+  if (s.config.multichannel.channels > 1) {
+    s.step_multi(faults_before);
   } else {
-    if (s.config.feedback.kind == FeedbackKind::kCapture &&
-        s.config.feedback.alpha > 0.0 && s.transmissions.size() >= 2) {
-      // One winner survives a k-way collision with probability
-      // p_k = alpha^(k-1); the winner is drawn uniformly. Both draws come
-      // from the dedicated cap_rng stream, taken only on this path, so
-      // alpha = 0 leaves every other stream untouched.
-      const double p_win = std::pow(
-          s.config.feedback.alpha,
-          static_cast<double>(s.transmissions.size() - 1));
-      if (s.cap_rng.bernoulli(p_win)) {
-        const std::size_t idx = static_cast<std::size_t>(s.cap_rng.below(
-            static_cast<std::uint64_t>(s.transmissions.size())));
-        fb.outcome = SlotOutcome::kSuccess;
-        fb.message = s.transmissions[idx].message;
-        capture_winner = s.transmissions[idx].job;
-      }
-    }
-    if (s.jammer != nullptr) {
-      const Message* msg = fb.message ? &*fb.message : nullptr;
-      if (s.jammer->wants_jam(s.now, fb.outcome, msg) &&
-          s.jam_rng.bernoulli(s.jammer->p_jam())) {
-        fb.outcome = SlotOutcome::kNoise;
-        fb.message.reset();
-        jammed = true;
-        capture_winner = kNoJob;  // the jam stomped the captured success
-      }
-    }
-    // A perceived collision — genuine, capture-lost, or jam-created —
-    // freezes the channel for the next cost-1 slots. Frozen slots never
-    // re-arm, so a burst costs `cost` slots total, not a cascade.
-    if (s.config.collision_cost > 1 && fb.outcome == SlotOutcome::kNoise) {
-      s.freeze_left = s.config.collision_cost - 1;
-    }
-  }
-  if (capture_winner != kNoJob) {
-    ++s.metrics.capture_wins;
-    CRMD_TRACE(s.config.tracer, obs::EventKind::kCaptureWin, s.now,
-               capture_winner,
-               static_cast<std::int64_t>(s.transmissions.size()), 0,
-               s.config.feedback.alpha, "capture");
-  }
-
-  // Feedback phase. The feedback model projects the true outcome into a
-  // common listener view and (when transmitters perceive something
-  // different) a transmitter view; faults then perturb per listener. The
-  // true outcome `fb` stays authoritative for crediting below. All
-  // projection work is O(1) per slot plus — only when the views split —
-  // one O(transmitters) bitmap pass, so the per-listener "did I transmit"
-  // check is O(1) instead of a rescan. No allocation.
-  SlotFeedback listener_fb = fb;     // what a pure listener perceives
-  SlotFeedback transmitter_fb = fb;  // what a transmitter perceives
-  bool split = false;  // transmitter view differs from listener view
-  switch (s.config.feedback.kind) {
-    case FeedbackKind::kTernary:
-      // Legacy unadvertised ablation: listeners perceive noisy slots as
-      // silent; transmitters still learn their failure (ACK-style).
-      if (!s.config.collision_detection &&
-          fb.outcome == SlotOutcome::kNoise) {
-        listener_fb.outcome = SlotOutcome::kSilence;
-        listener_fb.message.reset();
-        split = true;
-      }
-      break;
-    case FeedbackKind::kBinaryAck:
-      // Listeners hear nothing, ever; transmitters get the true outcome
-      // (their own success, or noise when their transmission failed).
-      listener_fb.outcome = SlotOutcome::kSilence;
-      listener_fb.message.reset();
-      split = !s.transmissions.empty();
-      break;
-    case FeedbackKind::kCollisionAsSilence:
-      // Empty and collided slots are indistinguishable for everyone —
-      // including the transmitters, who get no failure ACK.
-      if (fb.outcome == SlotOutcome::kNoise) {
-        listener_fb.outcome = SlotOutcome::kSilence;
-        listener_fb.message.reset();
-        transmitter_fb = listener_fb;
-      }
-      break;
-    case FeedbackKind::kNoisy:
-      // One seeded flip draw per simulated slot; on a flip every observer
-      // hears the same one-step-degraded outcome.
-      if (s.config.feedback.eps > 0.0 &&
-          s.fb_rng.bernoulli(s.config.feedback.eps)) {
-        listener_fb = degrade_feedback(fb);
-        transmitter_fb = listener_fb;
-        ++s.metrics.feedback_flips;
-      }
-      break;
-    case FeedbackKind::kCapture:
-      // On a captured success, listeners (and the winner, excluded from
-      // the transmitted bitmap below) hear the success; the k-1 losers
-      // perceive noise — their own signal drowned the broadcast out at
-      // their radio. Without a capture win the channel is exactly ternary.
-      if (capture_winner != kNoJob) {
-        transmitter_fb.outcome = SlotOutcome::kNoise;
-        transmitter_fb.message.reset();
-        split = true;
-      }
-      break;
-  }
-  if (split) {
-    for (const Transmission& t : s.transmissions) {
-      s.transmitted[t.job] = 1;
-    }
-    if (capture_winner != kNoJob) {
-      s.transmitted[capture_winner] = 0;  // the winner hears its own success
-    }
-  }
-  for (const JobId id : s.live) {
-    if (s.injector != nullptr && s.dark[id] != 0) {
-      continue;
-    }
-    const bool sent = split && s.transmitted[id] != 0;
-    SlotFeedback perceived = sent ? transmitter_fb : listener_fb;
-    if (s.injector != nullptr) {
-      perceived = s.injector->perceive(id, s.now, perceived);
-    }
-    const Slot skew = s.injector ? s.injector->skew(id) : 0;
-    SlotView view{s.now - s.release[id] + skew, s.now + skew};
-    s.proto[id]->on_feedback(view, perceived);
-  }
-  if (split) {
-    for (const Transmission& t : s.transmissions) {
-      s.transmitted[t.job] = 0;
-    }
-  }
-
-  SlotRecord rec;
-  rec.slot = s.now;
-  rec.outcome = fb.outcome;
-  rec.success_kind = fb.message ? fb.message->kind : MessageKind::kData;
-  rec.contention = contention;
-  rec.transmitters = static_cast<std::uint32_t>(s.transmissions.size());
-  rec.live_jobs = static_cast<std::uint32_t>(s.live.size());
-  rec.jammed = jammed;
-  if (s.injector != nullptr) {
-    rec.faults = static_cast<std::uint32_t>(s.injector->total_injected() -
-                                            faults_before);
-  }
-  s.metrics.record(rec);
-  CRMD_TRACE(s.config.tracer, obs::EventKind::kSlotResolved, s.now, kNoJob,
-             static_cast<std::int64_t>(fb.outcome),
-             static_cast<std::int64_t>(s.transmissions.size()), contention,
-             to_string(fb.outcome));
-  // The listener-perceived companion event: what the feedback model let
-  // pure listeners hear this slot (before per-job fault perturbation),
-  // plus the live-set size. The gap between this and kSlotResolved is the
-  // channel's perception error — what obs::Timeline charts per bucket.
-  CRMD_TRACE(s.config.tracer, obs::EventKind::kSlotPerceived, s.now, kNoJob,
-             static_cast<std::int64_t>(listener_fb.outcome),
-             static_cast<std::int64_t>(s.live.size()), 0.0,
-             to_string(listener_fb.outcome));
-  if (s.config.record_slots) {
-    s.slot_trace.push_back(rec);
-  }
-  if (s.observer) {
-    s.observer(rec, s.transmissions);
-  }
-
-  // Credit a delivered data message and retire finished jobs.
-  s.to_retire.clear();
-  if (fb.outcome == SlotOutcome::kSuccess &&
-      fb.message->kind == MessageKind::kData) {
-    const JobId winner = fb.message->sender;
-    assert(winner < s.job_count() && s.live_flag[winner] != 0);
-    CRMD_TRACE(s.config.tracer, obs::EventKind::kSuccessCredit, s.now,
-               winner);
-    s.results[winner].success = true;
-    s.results[winner].success_slot = s.now;
-    s.to_retire.push_back(winner);
-  }
-  for (const JobId id : s.live) {
-    if (s.proto[id]->done() &&
-        (s.to_retire.empty() || s.to_retire.front() != id)) {
-      s.to_retire.push_back(id);
-    }
-  }
-  for (const JobId id : s.to_retire) {
-    s.retire(id);
+    s.step_single(faults_before);
   }
 
   ++s.now;
-  if (s.live.empty() && s.next_pending >= s.job_count()) {
+  if (s.streaming()) {
+    s.maybe_compact();
+    if (s.live.empty() && !s.pending_spec) {
+      s.finished = true;
+    }
+  } else if (s.live.empty() && s.next_pending >= s.job_count()) {
     s.finished = true;
   }
   return !s.finished;
@@ -563,15 +1256,36 @@ SimResult Simulation::finish() {
   while (step()) {
   }
   Impl& s = *impl_;
-  // Fold the hot per-job counters into the cold results exactly once.
-  for (std::size_t i = 0; i < s.results.size(); ++i) {
-    JobResult& r = s.results[i];
-    r.live_slots = s.live_slot_count[i];
-    r.dark_slots = s.dark_slot_count[i];
-    r.transmissions = s.tx_count[i];
-  }
   SimResult result;
-  result.jobs = s.results;
+  if (s.streaming()) {
+    // Fold jobs still live at the horizon (never retired — matching batch
+    // mode, which leaves horizon-cut jobs unretired and folds at finish).
+    for (std::size_t i = 0; i < s.live_flag.size(); ++i) {
+      if (s.live_flag[i] != 0) {
+        s.live_flag[i] = 0;
+        s.destroy_at(i);
+        s.fold_streamed(i);
+      }
+    }
+    s.live.clear();
+    if (s.config.keep_job_results) {
+      std::sort(s.finished_results.begin(), s.finished_results.end(),
+                [](const JobResult& a, const JobResult& b) {
+                  return a.id < b.id;
+                });
+      result.jobs = std::move(s.finished_results);
+    }
+    result.stream = s.stream;
+  } else {
+    // Fold the hot per-job counters into the cold results exactly once.
+    for (std::size_t i = 0; i < s.results.size(); ++i) {
+      JobResult& r = s.results[i];
+      r.live_slots = s.live_slot_count[i];
+      r.dark_slots = s.dark_slot_count[i];
+      r.transmissions = s.tx_count[i];
+    }
+    result.jobs = s.results;
+  }
   result.metrics = s.metrics;
   if (s.injector != nullptr) {
     const FaultInjector& inj = *s.injector;
@@ -585,14 +1299,25 @@ SimResult Simulation::finish() {
   }
   result.slots = std::move(s.slot_trace);
   // Feed the process-wide profiler so every harness (replication sweep or
-  // hand-rolled loop) gets slots/sec for free.
+  // hand-rolled loop) gets slots/sec — and the mega-scale meta fields —
+  // for free.
   obs::global_profiler().add_slots(result.metrics.slots_simulated);
+  obs::global_profiler().add_fast_forward_slots(
+      result.metrics.fast_forward_slots);
+  obs::global_profiler().note_live_peak(result.metrics.live_peak);
   return result;
 }
 
 SimResult run(workload::Instance instance, const ProtocolFactory& factory,
               SimConfig config, std::unique_ptr<Jammer> jammer) {
   Simulation sim(std::move(instance), factory, config, std::move(jammer));
+  return sim.finish();
+}
+
+SimResult run_stream(std::unique_ptr<ArrivalProcess> arrivals,
+                     const ProtocolFactory& factory, SimConfig config,
+                     std::unique_ptr<Jammer> jammer) {
+  Simulation sim(std::move(arrivals), factory, config, std::move(jammer));
   return sim.finish();
 }
 

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -42,6 +45,58 @@ class Tracer;
 }  // namespace crmd::obs
 
 namespace crmd::sim {
+
+class ArrivalProcess;
+
+/// Event-driven fast-forward policy (DESIGN.md §6j). With `kOn`, whenever
+/// every live job holds a dormancy promise (Protocol::dormant_span) the
+/// engine jumps `now` across the whole provably-silent run in O(live),
+/// accounting the skipped slots exactly as if simulated: slot counts,
+/// silence counts, per-job live-slot counters, and the obs::Timeline
+/// buckets all match; the contention distribution matches in count, min,
+/// max, and (up to floating-point reassociation of the Welford update)
+/// mean/variance. `kValidate` finds the same skips but then simulates every
+/// skipped slot in stripped form, throwing std::logic_error if any protocol
+/// breaks its promise — its results are bit-identical to `kOn` by
+/// construction, which is what tests/test_fast_forward.cpp pins.
+///
+/// Fast-forward silently disables itself (exactly `kOff` behavior) when the
+/// run has per-slot randomness or per-slot artifacts a skip cannot
+/// reproduce: a jammer, any fault plan, the noisy feedback model with
+/// eps > 0, record_slots, or multiple channels. A SlotObserver suppresses
+/// skips while installed.
+enum class FastForward {
+  kOff,       ///< never skip (the default; bit-identical to the pre-FF engine)
+  kOn,        ///< skip provably-silent runs in O(live)
+  kValidate,  ///< skip, but re-simulate skipped slots and check the promises
+};
+
+/// One-line usage text for --fast-forward error messages.
+[[nodiscard]] std::string fast_forward_usage();
+
+/// Parses "off" | "on" | "validate" (the --fast-forward flag). Returns
+/// nullopt (after printing a one-line error with fast_forward_usage() to
+/// `diag`) on anything else — CLI callers exit 2, matching the --feedback
+/// pattern.
+[[nodiscard]] std::optional<FastForward> parse_fast_forward_spec(
+    const std::string& spec, std::ostream& diag);
+
+/// FDMA-style multi-channel scenario (DESIGN.md §6j): the spectrum is split
+/// into `channels` independent sub-channels, each with the paper's slotted
+/// semantics, and every job is statically hashed onto one of them (see
+/// multichannel.hpp shard_of). One simulated time slot resolves all k
+/// channels — slots_simulated counts channel-slots, i.e. k per time slot.
+struct MultiChannelConfig {
+  /// Number of sub-channels; 1 = the paper's single channel (and the
+  /// engine's unchanged hot path).
+  int channels = 1;
+  /// When true, a job rehashes onto a fresh channel after every
+  /// `migrate_after` collisions it suffers (deterministic rehash keyed on
+  /// (seed, id, collision count) — no RNG stream is consumed).
+  bool migrate = false;
+  /// Collisions between migrations; >= 1.
+  int migrate_after = 4;
+};
 
 /// Simulation parameters.
 struct SimConfig {
@@ -101,6 +156,32 @@ struct SimConfig {
   /// protocol emits its state-machine events (see obs/events.hpp).
   obs::Tracer* tracer = nullptr;
 
+  /// Event-driven fast-forward across provably-silent runs of slots (see
+  /// FastForward). The default kOff is bit-identical to the pre-FF engine:
+  /// no dormant_span call is ever made.
+  FastForward fast_forward = FastForward::kOff;
+
+  /// Multi-channel scenario (see MultiChannelConfig). The default single
+  /// channel takes the engine's unchanged hot path. With channels > 1 the
+  /// feedback model must be ternary, binary_ack, or collision_as_silence
+  /// (validate() rejects the noisy/capture models and the legacy
+  /// collision_detection ablation), fast-forward is disabled, and the
+  /// Simulation ctor rejects a jammer — v1 scope, DESIGN.md §6j.
+  MultiChannelConfig multichannel;
+
+  /// Streaming-mode compaction threshold (slots engine memory tolerates
+  /// dead jobs at the front of its arrays before erasing them). Smaller
+  /// values compact more often; tests shrink it to force the compaction
+  /// path. Batch runs never compact.
+  std::int64_t stream_compact = 4096;
+
+  /// Streaming mode only: when true (default) per-job JobResults are kept
+  /// and returned in SimResult::jobs (sorted by id — memory grows with the
+  /// cumulative job count); when false only SimResult::stream is filled,
+  /// so a 10^9-slot run holds nothing but the live set. Batch runs always
+  /// keep per-job results.
+  bool keep_job_results = true;
+
   /// Throws std::invalid_argument when any field is out of range or the
   /// legacy collision_detection ablation is combined with a non-ternary
   /// feedback model. Called by the Simulation ctor.
@@ -121,6 +202,19 @@ class Simulation {
   /// `jammer` may be null (no adversary).
   Simulation(workload::Instance instance, const ProtocolFactory& factory,
              SimConfig config, std::unique_ptr<Jammer> jammer = nullptr);
+
+  /// Streaming mode (DESIGN.md §6j): jobs are pulled from `arrivals` one at
+  /// a time (nondecreasing release order, drawn from the dedicated "ARRV"
+  /// child stream of config.seed) and retired jobs are folded into
+  /// SimResult::stream incrementally, with the engine's arrays compacted so
+  /// memory is bounded by the live set. Requires config.horizon > 0 (an
+  /// open-ended stream has no max_deadline to default to). Job ids are
+  /// assigned in arrival order, so a VectorArrivals over a normalized
+  /// instance produces results bit-identical to the batch ctor on that
+  /// instance (pinned in tests/test_fast_forward.cpp).
+  Simulation(std::unique_ptr<ArrivalProcess> arrivals,
+             const ProtocolFactory& factory, SimConfig config,
+             std::unique_ptr<Jammer> jammer = nullptr);
 
   ~Simulation();
   Simulation(Simulation&&) noexcept;
@@ -161,5 +255,11 @@ class Simulation {
 /// Convenience: build, run to completion, return results.
 SimResult run(workload::Instance instance, const ProtocolFactory& factory,
               SimConfig config, std::unique_ptr<Jammer> jammer = nullptr);
+
+/// Convenience for streaming mode: build from an arrival process, run to
+/// the horizon, return results (see the streaming Simulation ctor).
+SimResult run_stream(std::unique_ptr<ArrivalProcess> arrivals,
+                     const ProtocolFactory& factory, SimConfig config,
+                     std::unique_ptr<Jammer> jammer = nullptr);
 
 }  // namespace crmd::sim

@@ -22,6 +22,19 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::add_run(double value, std::size_t count) noexcept {
+  if (count == 0) {
+    return;
+  }
+  RunningStats batch;
+  batch.n_ = count;
+  batch.mean_ = value;
+  batch.m2_ = 0.0;
+  batch.min_ = value;
+  batch.max_ = value;
+  merge(batch);
+}
+
 double RunningStats::variance() const noexcept {
   return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -19,6 +19,14 @@ class RunningStats {
   /// Adds one observation.
   void add(double x) noexcept;
 
+  /// Adds `count` copies of `value` in O(1). Implemented as the parallel
+  /// merge of a degenerate accumulator {n=count, mean=value, m2=0}, so the
+  /// count/min/max are exactly what `count` sequential add(value) calls
+  /// would produce and mean/variance agree up to floating-point
+  /// reassociation (the sequential update order has no O(1) closed form).
+  /// This is the fast-forward engine's batch-accounting primitive.
+  void add_run(double value, std::size_t count) noexcept;
+
   /// Number of observations so far.
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
 

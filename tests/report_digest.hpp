@@ -12,7 +12,14 @@
 // recorded golden value — and both counters are redundant with the
 // outcome/slot fields already hashed (a capture win is a success slot, a
 // cost slot is a noise slot). Equality checks that care about them assert
-// on the counters directly.
+// on the counters directly. SimMetrics::fast_forward_slots and
+// SimMetrics::live_peak are excluded for the same reason: they describe
+// HOW the engine covered the slots (skip vs step, transient live-set
+// width), not WHAT the channel did. (Note the FF digest-identity tests
+// compare kOn against kValidate, which share the batched contention
+// accounting; kOff accumulates contention one slot at a time, so its
+// RunningStats mean/m2 can differ from kOn in the last FP bit even though
+// every integer field and job outcome is identical.)
 
 #include <bit>
 #include <cstdint>

@@ -218,5 +218,76 @@ TEST(DeterminismGolden, ChannelPhysicsDigestsAreThreadCountInvariant) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Mega-scale engine variants (DESIGN.md §6j)
+// ---------------------------------------------------------------------------
+
+struct GoldenEngine {
+  const char* name;
+  sim::FastForward fast_forward;
+  int channels;
+  std::uint64_t expected;
+};
+
+// Pinned digests for the fast-forward and multi-channel engines. uniform
+// and beb carry dormancy promises, so kOn actually skips slots for them;
+// punctual and sawtooth inherit the no-promise default, so their kOn rows
+// are pinned to the SAME values as kGolden — drift there means
+// fast-forward stopped being a provable no-op for promise-free protocols.
+// Regenerate exactly like kGolden: run, copy the "got 0x..." value, note
+// the reason in the commit message.
+constexpr GoldenEngine kGoldenEngine[] = {
+    {"uniform", sim::FastForward::kOn, 1, 0xb96f71a3a8d6bb1dULL},
+    {"beb", sim::FastForward::kOn, 1, 0xbf6a59c4fe13b4a2ULL},
+    {"punctual", sim::FastForward::kOn, 1,
+     0x11281381ef74d150ULL},  // == kGolden: no promise, FF no-op
+    {"sawtooth", sim::FastForward::kOn, 1,
+     0x2c19ba5a0ea3928dULL},  // == kGolden: no promise, FF no-op
+    {"uniform", sim::FastForward::kOff, 4, 0x02db7cd733b94fb1ULL},
+    {"beb", sim::FastForward::kOff, 4, 0x3e0c703111d4dba1ULL},
+};
+
+RunOptions engine_options(const GoldenEngine& g, int threads = 1) {
+  RunOptions options;
+  options.fast_forward = g.fast_forward;
+  options.multichannel.channels = g.channels;
+  options.threads = threads;
+  return options;
+}
+
+TEST(DeterminismGolden, EngineVariantDigests) {
+  for (const GoldenEngine& g : kGoldenEngine) {
+    const std::uint64_t got = run_digest(g.name, engine_options(g));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llxULL",
+                  static_cast<unsigned long long>(got));
+    EXPECT_EQ(got, g.expected)
+        << "golden engine-variant digest mismatch for '" << g.name
+        << "' (ff=" << static_cast<int>(g.fast_forward)
+        << ", channels=" << g.channels << "): got " << buf
+        << "\nIf the change is intentional, update kGoldenEngine in "
+           "tests/test_determinism_golden.cpp with the digest above.";
+    if (g.fast_forward == sim::FastForward::kOn) {
+      // kValidate re-simulates every skipped slot and throws on a broken
+      // dormancy promise; its digest must match kOn bit for bit.
+      GoldenEngine validating = g;
+      validating.fast_forward = sim::FastForward::kValidate;
+      EXPECT_EQ(run_digest(g.name, engine_options(validating)), got)
+          << g.name << ": kValidate digest diverged from kOn";
+    }
+  }
+}
+
+TEST(DeterminismGolden, EngineVariantDigestsAreThreadCountInvariant) {
+  for (const GoldenEngine& g : kGoldenEngine) {
+    const std::uint64_t serial = run_digest(g.name, engine_options(g));
+    for (const int threads : {2, 8}) {
+      EXPECT_EQ(run_digest(g.name, engine_options(g, threads)), serial)
+          << g.name << " ff=" << static_cast<int>(g.fast_forward)
+          << " channels=" << g.channels << " threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace crmd::analysis

@@ -365,12 +365,14 @@ TEST(TaxonomyDrift, ConditionalChannelKindsPartitionWithBaseTaxonomy) {
       EXPECT_NE(k, b) << obs::to_string(k);
     }
   }
-  ASSERT_EQ(conditional.size(), 3u);
+  ASSERT_EQ(conditional.size(), 4u);
   EXPECT_EQ(conditional[0], obs::EventKind::kFault);
   EXPECT_EQ(conditional[1], obs::EventKind::kCaptureWin);
   EXPECT_EQ(conditional[2], obs::EventKind::kCostSlot);
-  // Both new kinds round-trip through the name parser, so
-  // `crmd_trace coverage --require=capture-win,cost-slot` can name them.
+  EXPECT_EQ(conditional[3], obs::EventKind::kIdleSkip);
+  // All condition-gated kinds round-trip through the name parser, so
+  // `crmd_trace coverage --require=capture-win,cost-slot,idle-skip` can
+  // name them.
   for (const obs::EventKind k : conditional) {
     obs::EventKind back = obs::EventKind::kSlotResolved;
     ASSERT_TRUE(obs::parse_event_kind(obs::to_string(k), back));

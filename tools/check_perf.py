@@ -41,6 +41,21 @@ renamed scenario) fails loudly instead of sailing through shape checks.
       runner means a real pathology — a warmup-order dependency, a leak,
       or state accumulated by the first run).
 
+  check_perf.py mega.json --speedup-over dense.json --speedup-factor 10 \
+                          [--speedup-match SUBSTR ...]
+      Blocking same-machine speedup gate (the mega-scale acceptance
+      criterion): every current row whose scenario contains one of the
+      --speedup-match substrings (all rows when none are given) must reach
+      at least speedup-factor x the BEST slots_per_sec of the reference
+      file. Both files must come from the same machine/job, like
+      --self-check; the reference is a dense-engine harness
+      (bench_slot_engine), so row keys are not expected to match.
+
+Every mode validates mega-scale meta when present: fast_forward_slots and
+live_peak must be non-negative ints, shards a positive int. Repeatable
+--require-meta KEY flags make a meta key's absence an error (exit 1) —
+use them to pin that a harness actually stamps its provenance.
+
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 """
 
@@ -148,6 +163,53 @@ def load_rows(path):
     return meta, rows
 
 
+META_INT_FIELDS = (
+    # (key, minimum) — validated whenever the key is present in meta.
+    ("fast_forward_slots", 0),
+    ("live_peak", 0),
+    ("shards", 1),
+)
+
+
+def validate_meta(path, meta):
+    """Mega-scale meta sanity: counters are ints within range; the
+    per_shard array (when present) is a list of objects with int shard
+    ids. Raises ValueError on violations."""
+    for key, minimum in META_INT_FIELDS:
+        if key not in meta:
+            continue
+        value = meta[key]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < minimum:
+            raise ValueError(f"{path}: meta.{key} must be an int >= "
+                             f"{minimum}, got {value!r}")
+    shards = meta.get("shards")
+    per_shard = meta.get("per_shard")
+    if per_shard is not None:
+        if not isinstance(per_shard, list):
+            raise ValueError(f"{path}: meta.per_shard is not a list")
+        for i, entry in enumerate(per_shard):
+            if not isinstance(entry, dict) or entry.get("shard") != i:
+                raise ValueError(f"{path}: meta.per_shard[{i}] must be an "
+                                 f"object with shard id {i}")
+        if isinstance(shards, int) and per_shard \
+                and len(per_shard) != shards:
+            raise ValueError(f"{path}: meta.per_shard has "
+                             f"{len(per_shard)} entries but meta.shards is "
+                             f"{shards}")
+
+
+def check_required_meta(path, meta, required):
+    """Each --require-meta KEY must be present. Returns missing count."""
+    missing = 0
+    for key in required:
+        if key not in meta:
+            print(f"check_perf: FAIL: {path}: meta is missing required "
+                  f"key '{key}'", file=sys.stderr)
+            missing += 1
+    return missing
+
+
 def check_expected(expects, current):
     """Each --expect substring must match >= 1 scenario key. Returns the
     number of unmatched expectations (0 = all present)."""
@@ -158,6 +220,51 @@ def check_expected(expects, current):
                   f"--expect '{expect}'", file=sys.stderr)
             unmatched += 1
     return unmatched
+
+
+def run_speedup_gate(args, current):
+    """Blocking same-machine mega-scale gate; see the module docstring."""
+    factor = args.speedup_factor
+    if factor <= 0:
+        print("check_perf: --speedup-factor must be > 0", file=sys.stderr)
+        return 2
+    try:
+        _, reference = load_rows(args.speedup_over)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_perf: FAIL: {e}", file=sys.stderr)
+        return 1
+    ref_best = max(float(r["slots_per_sec"]) for r in reference.values())
+    need = factor * ref_best
+
+    matches = {
+        key: row for key, row in current.items()
+        if not args.speedup_match
+        or any(sub in key[0] for sub in args.speedup_match)
+    }
+    if not matches:
+        print(f"check_perf: FAIL: no current rows match --speedup-match "
+              f"{args.speedup_match}", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"reference best: {ref_best:.4g} slots/sec; gate: "
+          f">= {factor}x = {need:.4g}")
+    print(f"{'scenario':<24} {'jobs':>10} {'slots/sec':>12} {'x ref':>8}")
+    for key in sorted(matches):
+        cur = float(matches[key]["slots_per_sec"])
+        ratio = cur / ref_best
+        flag = "" if cur >= need else "  << BELOW GATE"
+        print(f"{key[0]:<24} {key[1]:>10} {cur:>12.4g} {ratio:>8.1f}{flag}")
+        if cur < need:
+            failures.append((key, ratio))
+
+    if failures:
+        print(f"check_perf: FAIL: {len(failures)} row(s) below {factor}x "
+              f"the reference best", file=sys.stderr)
+        return 1
+    print(f"check_perf: ok: {len(matches)} row(s) >= {factor}x the "
+          f"reference best")
+    return 0
 
 
 def run_self_check(args, current):
@@ -222,6 +329,22 @@ def main():
                         metavar="SUBSTR",
                         help="require >= 1 scenario key containing SUBSTR "
                              "(repeatable; applies in every mode)")
+    parser.add_argument("--require-meta", action="append", default=[],
+                        metavar="KEY",
+                        help="require meta key KEY to be present "
+                             "(repeatable; applies in every mode)")
+    parser.add_argument("--speedup-over", metavar="REFERENCE",
+                        help="blocking same-machine gate: every matching "
+                             "row must reach --speedup-factor x the best "
+                             "slots_per_sec of REFERENCE")
+    parser.add_argument("--speedup-factor", type=float, default=10.0,
+                        help="required multiple for --speedup-over "
+                             "(default: 10)")
+    parser.add_argument("--speedup-match", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="restrict --speedup-over to scenarios "
+                             "containing SUBSTR (repeatable; default: all "
+                             "rows)")
     args = parser.parse_args()
 
     try:
@@ -246,6 +369,7 @@ def main():
 
     try:
         meta, current = load_rows(args.current)
+        validate_meta(args.current, meta)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"check_perf: FAIL: {e}", file=sys.stderr)
         return 1
@@ -255,6 +379,11 @@ def main():
         print(f"check_perf: FAIL: {unmatched} expected sweep point(s) "
               f"missing", file=sys.stderr)
         return 1
+    if check_required_meta(args.current, meta, args.require_meta):
+        return 1
+
+    if args.speedup_over:
+        return run_speedup_gate(args, current)
 
     if args.check_only:
         print(f"check_perf: ok: {args.current} has {len(current)} sweep "

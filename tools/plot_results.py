@@ -24,6 +24,13 @@ per-bucket columns mean_contention, attempts_per_slot, and success_rate:
 
     bench_jamming --timeline=tl.json
     tools/plot_results.py tl.json --x=slot_lo --y=attempts_per_slot
+
+Bench JSONs whose meta carries a "per_shard" array (bench_megascale's
+sharded scenarios) get those entries flattened into extra rows — one per
+shard, each keyed by its "shard" column — so shard balance plots directly:
+
+    bench_megascale --json=mega.json
+    tools/plot_results.py mega.json --x=shard --y=slots_simulated
 """
 
 import argparse
@@ -78,12 +85,23 @@ def load_rows(path):
             and data["meta"].get("schema") == "crmd-timeline-v1"
         ):
             return [timeline_row(b) for b in data.get("buckets", [])]
+        per_shard = []
         if isinstance(data, dict) and "rows" in data:
+            meta = data.get("meta")
+            if isinstance(meta, dict) and isinstance(
+                    meta.get("per_shard"), list):
+                # Flatten per-shard entries into rows of their own so a
+                # shard-balance plot needs no preprocessing.
+                per_shard = [
+                    entry for entry in meta["per_shard"]
+                    if isinstance(entry, dict)
+                ]
             data = data["rows"]
         if not isinstance(data, list):
             sys.exit("json input must be an array of row objects or "
                      '{"meta": ..., "rows": [...]}')
-        return [{str(k): str(v) for k, v in row.items()} for row in data]
+        return [{str(k): str(v) for k, v in row.items()}
+                for row in list(data) + per_shard]
     with open(path, newline="") as f:
         return list(csv.DictReader(f))
 
@@ -104,13 +122,18 @@ def main():
     rows = load_rows(args.table_path)
     if not rows:
         sys.exit("empty table")
-    for col in (args.x, args.y):
-        if col not in rows[0]:
-            sys.exit(f"column {col!r} not in {list(rows[0])}")
+    # Flattened per-shard meta entries carry different columns than the
+    # main rows, so require the requested columns on *some* row and skip
+    # the rows that lack them rather than demanding a uniform schema.
+    usable = [r for r in rows if args.x in r and args.y in r]
+    if not usable:
+        columns = sorted({k for r in rows for k in r})
+        sys.exit(f"columns ({args.x!r}, {args.y!r}) not in any row; "
+                 f"available: {columns}")
 
     series = {}
-    for row in rows:
-        key = row[args.series] if args.series else ""
+    for row in usable:
+        key = row.get(args.series, "") if args.series else ""
         x = parse_number(row[args.x])
         y = parse_number(row[args.y])
         if x is None or y is None:
