@@ -43,6 +43,12 @@ int usage() {
          "  --window=W             batch window (default 8192)\n"
          "  --horizon=H            generator horizon (default 65536)\n"
          "  --lambda=L --tau=T --min-class=C   protocol constants\n"
+         "  --energy-spread-frac=F ENERGY_BEB first-spread fraction of the\n"
+         "                         laxity, the E24 Pareto knob (default "
+         "0.5;\n"
+         "                         >1 duty-cycles, shedding some attempts)\n"
+         "  --energy-carrier-sense=0|1  ENERGY_BEB one-slot carrier sample\n"
+         "                         after each failure (default 0)\n"
          "  --claim-scale=S        PUNCTUAL leader-claim probability scale\n"
          "                         (paper: 1; raise to elect at small "
          "windows)\n"
@@ -141,6 +147,11 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("min-class", params.min_class));
   params.pullback_prob_scale =
       args.get_double("claim-scale", params.pullback_prob_scale);
+  params.energy_spread_frac =
+      args.get_double("energy-spread-frac", params.energy_spread_frac);
+  params.energy_listen_after_failure =
+      args.get_int("energy-carrier-sense",
+                   params.energy_listen_after_failure ? 1 : 0) != 0;
   const auto factory = core::make_protocol(protocol, params);
   if (!factory) {
     std::cerr << "unknown protocol '" << protocol << "' (try --list)\n";
@@ -353,7 +364,7 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"window", "jobs", "delivered", "mean latency",
-                     "mean tx/job"});
+                     "mean tx/job", "mean awake/job"});
   for (const auto& [w, bucket] : report.outcomes.by_window()) {
     table.add_row(
         {util::fmt_count(w),
@@ -362,7 +373,8 @@ int main(int argc, char** argv) {
          util::fmt(bucket.deadline_met.rate(), 4),
          bucket.latency.count() > 0 ? util::fmt(bucket.latency.mean(), 0)
                                     : "-",
-         util::fmt(bucket.accesses.mean(), 1)});
+         util::fmt(bucket.accesses.mean(), 1),
+         util::fmt(bucket.awake.mean(), 1)});
   }
   table.print(std::cout,
               protocol + " on " + workload + " (gamma=" + util::fmt(gamma, 4) +
@@ -377,7 +389,11 @@ int main(int argc, char** argv) {
     std::cout << " (" << report.channel.fast_forward_slots
               << " fast-forwarded)";
   }
-  std::cout << "\n";
+  std::cout << "\nenergy: " << report.channel.slots_awake
+            << " awake job-slots (" << report.channel.slots_listening
+            << " listening + " << report.channel.slots_transmitting
+            << " transmitting), mean awake/job "
+            << util::fmt(report.outcomes.awake().mean(), 2) << "\n";
 
   if (!metrics_path.empty()) {
     obs::Registry& reg = obs::global_registry();
@@ -385,6 +401,12 @@ int main(int argc, char** argv) {
         .set(static_cast<double>(report.channel.slots_simulated));
     reg.gauge("sim.delivery_rate").set(report.outcomes.overall().rate());
     reg.gauge("sim.mean_contention").set(report.channel.contention.mean());
+    reg.gauge("sim.slots_awake")
+        .set(static_cast<double>(report.channel.slots_awake));
+    reg.gauge("sim.slots_listening")
+        .set(static_cast<double>(report.channel.slots_listening));
+    reg.gauge("sim.slots_transmitting")
+        .set(static_cast<double>(report.channel.slots_transmitting));
     reg.gauge("run.reps").set(static_cast<double>(reps));
     reg.gauge("run.threads")
         .set(static_cast<double>(analysis::resolve_threads(threads)));

@@ -11,9 +11,11 @@ void OutcomeAggregator::add_run(const sim::SimResult& result) {
 void OutcomeAggregator::add_job(const sim::JobResult& job) {
   overall_.add(job.success);
   accesses_.add(static_cast<double>(job.transmissions));
+  awake_.add(static_cast<double>(job.awake_slots()));
   WindowBucket& bucket = by_window_[job.window()];
   bucket.deadline_met.add(job.success);
   bucket.accesses.add(static_cast<double>(job.transmissions));
+  bucket.awake.add(static_cast<double>(job.awake_slots()));
   if (job.success) {
     bucket.latency.add(static_cast<double>(job.latency()));
   }

@@ -18,8 +18,12 @@ struct WindowBucket {
   util::SuccessCounter deadline_met;
   /// Latency (slots from release to delivery) of successful jobs.
   util::RunningStats latency;
-  /// Channel accesses (transmissions) per job — the energy metric.
+  /// Channel accesses (transmissions) per job — the transmit-energy metric.
   util::RunningStats accesses;
+  /// Radio-on slots (listening + transmitting) per job — the full energy
+  /// metric of DESIGN.md §6k. For always-listening protocols this equals
+  /// the job's live span; for sleep-declaring ones it is the wake-up count.
+  util::RunningStats awake;
 };
 
 /// Accumulates job outcomes from any number of runs.
@@ -52,10 +56,16 @@ class OutcomeAggregator {
     return accesses_;
   }
 
+  /// Radio-on slots per job across all window sizes (DESIGN.md §6k).
+  [[nodiscard]] const util::RunningStats& awake() const noexcept {
+    return awake_;
+  }
+
  private:
   util::SuccessCounter overall_;
   std::map<Slot, WindowBucket> by_window_;
   util::RunningStats accesses_;
+  util::RunningStats awake_;
 };
 
 }  // namespace crmd::analysis

@@ -17,6 +17,9 @@ sim::SlotAction AlohaProtocol::on_slot(const sim::SlotView& /*view*/) {
     action.message = sim::make_data(info_.id);
     transmitted_ = true;
   }
+  // Honest sleep declaration (DESIGN.md §6k): ALOHA only reads feedback on
+  // slots it transmitted in, so it can keep the radio off otherwise.
+  action.sleep = !action.transmit;
   return action;
 }
 

@@ -33,6 +33,9 @@ sim::SlotAction BebProtocol::on_slot(const sim::SlotView& view) {
     action.message = sim::make_data(info_.id);
     transmitted_ = true;
   }
+  // Honest sleep declaration (DESIGN.md §6k): on_feedback ignores every
+  // slot this job did not transmit in, so it only wakes for its attempts.
+  action.sleep = !action.transmit;
   return action;
 }
 

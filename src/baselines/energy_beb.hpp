@@ -1,0 +1,95 @@
+#pragma once
+
+#include "core/params.hpp"
+#include "sim/protocol.hpp"
+
+/// \file energy_beb.hpp
+/// Energy-aware backoff with a slow feedback loop (DESIGN.md §6k).
+///
+/// Bender–Fineman–Gilbert–Kuszmaul (arXiv:2302.07751) study contention
+/// resolution when consulting the channel is itself the scarce resource:
+/// the feedback loop runs orders of magnitude slower than the slot clock,
+/// so a protocol that listens every slot pays for its entire lifetime in
+/// radio-on energy. The algorithmic consequence is to invert BEB's shape.
+/// BEB starts aggressive (a tiny contention window) and reacts to every
+/// collision, buying latency with Θ(log n) wake-ups per job; ENERGY_BEB
+/// starts maximally spread — the first attempt lands uniformly in
+/// `energy_spread_frac` of the job's whole laxity — and touches the channel
+/// only at its own attempts (plus an optional carrier-sample slot after a
+/// failure, off by default). Under batch arrivals the expected cost is
+/// O(1) awake slots per job, against BEB's log₂(n/cw_min) + O(1).
+///
+/// Retry rule: every failed attempt doubles the spread of the next one —
+/// the collision itself is the congestion sample, so no extra listening is
+/// needed for the multiplicative response. Spreads are measured against the
+/// *remaining* laxity but are allowed to overrun it: attempt k+1 is drawn
+/// uniformly over `energy_spread_frac · 2^k · remaining` slots, and a draw
+/// that lands past the deadline means the job gives up and sleeps out its
+/// window (the slow loop's analogue of BEB's contention window drifting
+/// past the deadline). With `energy_spread_frac > 1` even the first attempt
+/// may be shed — deliberate duty-cycling that trades deadline-success for
+/// sub-one awake slots per job, the energy-extreme end of the E24 Pareto
+/// frontier.
+///
+/// When `energy_listen_after_failure` is set and the channel makes listener
+/// success visible, the job spends one awake slot after each failure
+/// sampling the carrier; hearing noise doubles the next spread a second
+/// time. Under binary_ack listeners are deaf, the sample is skipped, and
+/// the job's entire feedback diet is its own ACKs.
+///
+/// Every slot between wake-ups is declared `SlotAction::sleep` and promised
+/// to the fast-forward engine as a dormant span, so the energy meter and
+/// the skip logic agree by construction.
+
+namespace crmd::baselines {
+
+/// Slow-feedback-loop backoff job program.
+class EnergyBebProtocol final : public sim::Protocol {
+ public:
+  EnergyBebProtocol(const core::Params& params, util::Rng rng);
+
+  void on_activate(const sim::JobInfo& info) override;
+  sim::SlotAction on_slot(const sim::SlotView& view) override;
+  void on_feedback(const sim::SlotView& view,
+                   const sim::SlotFeedback& fb) override;
+  [[nodiscard]] bool done() const override;
+  /// Dormant until the next wake-up (attempt or carrier sample): the
+  /// declared probability is the constant 1/spread inside the current
+  /// spread, scrubbed feedback is a no-op, and the wake slot is pre-drawn.
+  [[nodiscard]] sim::DormantSpan dormant_span(
+      const sim::SlotView& view) const override;
+
+  /// Failed attempts so far (test hook).
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+  /// True once a spread draw overran the deadline and the job went to
+  /// sleep for good (test hook).
+  [[nodiscard]] bool gave_up() const noexcept {
+    return attempt_slot_ < 0 && spread_end_ > spread_begin_;
+  }
+
+ private:
+  /// Draw the next attempt uniformly over the (possibly deadline-
+  /// overrunning) spread starting at `from` (since-release).
+  void schedule_spread(Slot from);
+
+  core::Params params_;
+  util::Rng rng_;
+  sim::JobInfo info_;
+  bool carrier_sense_ = false;  // listen-after-failure enabled for this run
+  int failures_ = 0;
+  int boost_ = 0;          // log2 of the congestion widening factor
+  Slot spread_begin_ = 0;  // since-release; spread = [begin, end) ∩ window
+  Slot spread_end_ = 0;    // clipped to the window; prob_ declared inside
+  double prob_ = 0.0;      // 1/spread — the ex-ante per-slot probability
+  Slot attempt_slot_ = 0;  // since-release; -1 = given up / laxity spent
+  Slot listen_slot_ = -1;  // since-release; -1 when no sample is armed
+  bool transmitted_ = false;
+  bool listening_ = false;
+  bool succeeded_ = false;
+};
+
+/// Factory adapter for the simulator. Validates `params`.
+[[nodiscard]] sim::ProtocolFactory make_energy_beb_factory(
+    core::Params params);
+
+}  // namespace crmd::baselines

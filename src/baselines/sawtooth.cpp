@@ -38,6 +38,10 @@ sim::SlotAction SawtoothProtocol::on_slot(const sim::SlotView& /*view*/) {
     action.message = sim::make_data(info_.id);
     transmitted_ = true;
   }
+  // Honest sleep declaration (DESIGN.md §6k): on non-transmit slots
+  // on_feedback always advance()s regardless of the feedback content — a
+  // pure timer tick the simulator still delivers to sleepers.
+  action.sleep = !action.transmit;
   return action;
 }
 

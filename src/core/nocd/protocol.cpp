@@ -81,6 +81,12 @@ sim::SlotAction NocdProtocol::on_slot(const sim::SlotView& view) {
     action.message = sim::make_data(info_.id);
     transmitted_data_ = true;
   }
+  // Honest sleep declaration (DESIGN.md §6k): under binary_ack listeners
+  // hear nothing by construction, so the epoch-clock tick in on_feedback is
+  // content-independent and the radio can stay off on non-transmit slots.
+  // Every other model feeds the success-only inference through listener
+  // feedback, so the job must stay awake to hear the drain.
+  action.sleep = ack_mode_ && !action.transmit;
   return action;
 }
 

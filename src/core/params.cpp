@@ -119,6 +119,10 @@ void Params::validate() const {
   if (nocd_dry_sweep_limit < 1) {
     throw std::invalid_argument("Params: nocd_dry_sweep_limit must be >= 1");
   }
+  if (energy_spread_frac <= 0.0 || energy_spread_frac > 8.0) {
+    throw std::invalid_argument(
+        "Params: energy_spread_frac must be in (0, 8]");
+  }
 }
 
 }  // namespace crmd::core

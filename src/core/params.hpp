@@ -118,6 +118,28 @@ struct Params {
   /// exponent (escalating toward p = 1/2 while the silence persists).
   int nocd_dry_sweep_limit = 2;
 
+  // --- ENERGY_BEB (slow-feedback-loop backoff, DESIGN.md §6k) ---------------
+
+  /// Fraction of the remaining laxity ENERGY_BEB's first spread covers:
+  /// attempt k+1 lands uniformly in the next
+  /// `energy_spread_frac · 2^k · remaining` slots (each failure doubles the
+  /// spread; a draw past the deadline means the job gives up and sleeps).
+  /// Larger fractions lower the per-attempt load (fewer retransmissions,
+  /// less energy) at the cost of latency; values above 1 shed even first
+  /// attempts — deliberate duty-cycling, the energy-extreme end of the E24
+  /// Pareto knob. Valid range (0, 8].
+  double energy_spread_frac = 0.5;
+
+  /// Spend one awake slot sampling the carrier after each failed attempt
+  /// (a noise sample doubles the next spread a second time, beyond the
+  /// unconditional failure doubling). Off by default: the failure itself
+  /// already drives the multiplicative response, so the sample buys a
+  /// sharper congestion estimate at one awake slot per failure. Only
+  /// effective on channels with listener-visible outcomes; under
+  /// binary_ack the sample is always skipped because listeners are deaf
+  /// by construction.
+  bool energy_listen_after_failure = false;
+
   // --- derived quantities ---------------------------------------------------
 
   /// T_ℓ = λℓ²: total steps of the size-estimation protocol for class ℓ.

@@ -2,6 +2,7 @@
 
 #include "baselines/aloha.hpp"
 #include "baselines/beb.hpp"
+#include "baselines/energy_beb.hpp"
 #include "baselines/sawtooth.hpp"
 #include "core/aligned/protocol.hpp"
 #include "core/nocd/protocol.hpp"
@@ -11,8 +12,8 @@
 namespace crmd::core {
 
 std::vector<std::string> protocol_names() {
-  return {"uniform", "aligned",   "punctual", "nocd",
-          "nocd_robust", "beb", "sawtooth", "aloha"};
+  return {"uniform", "aligned", "punctual",   "nocd",  "nocd_robust",
+          "beb",     "energy_beb", "sawtooth", "aloha"};
 }
 
 std::vector<ProtocolInfo> protocol_catalog() {
@@ -28,13 +29,15 @@ std::vector<ProtocolInfo> protocol_catalog() {
        .uses_listener_feedback = true,
        .needs_collision_detection = true,
        .adapts_to_degraded_channel = true,
-       .estimates_from_collisions = true},
+       .estimates_from_collisions = true,
+       .always_listening = true},
       {.name = "punctual",
        .description = "PUNCTUAL (§4): round grid with elected timekeepers",
        .uses_listener_feedback = true,
        .needs_collision_detection = true,
        .adapts_to_degraded_channel = true,
-       .estimates_from_collisions = true},
+       .estimates_from_collisions = true,
+       .always_listening = true},
       {.name = "nocd",
        .description =
            "NOCD (§6g): success-only epoch backoff, no collision detection",
@@ -55,6 +58,14 @@ std::vector<ProtocolInfo> protocol_catalog() {
        .uses_listener_feedback = false,
        .needs_collision_detection = false,
        .adapts_to_degraded_channel = false},
+      {.name = "energy_beb",
+       .description =
+           "ENERGY_BEB (§6k): slow-feedback-loop backoff — geometrically "
+           "widening spreads, radio off between attempts, gives up when a "
+           "draw overruns the deadline",
+       .uses_listener_feedback = false,
+       .needs_collision_detection = false,
+       .adapts_to_degraded_channel = true},
       {.name = "sawtooth",
        .description = "sawtooth backoff baseline",
        .uses_listener_feedback = false,
@@ -105,6 +116,9 @@ std::optional<sim::ProtocolFactory> make_protocol(const std::string& name,
   }
   if (name == "beb") {
     return baselines::make_beb_factory();
+  }
+  if (name == "energy_beb") {
+    return baselines::make_energy_beb_factory(params);
   }
   if (name == "sawtooth") {
     return baselines::make_sawtooth_factory();

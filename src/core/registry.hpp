@@ -21,6 +21,9 @@
 ///   "nocd_robust" — jamming-tolerant NOCD variant (aging floor +
 ///                   adversarial-silence re-estimation)
 ///   "beb"       — binary exponential backoff baseline
+///   "energy_beb"  — energy-aware slow-feedback-loop backoff (deadline-aware
+///                   uniform re-spreading, radio off between attempts,
+///                   DESIGN.md §6k)
 ///   "sawtooth"  — sawtooth backoff baseline
 ///   "aloha"     — slotted ALOHA with per-window probability scale/window
 ///                 (scale from Params::lambda, capped at 1/2)
@@ -58,6 +61,12 @@ struct ProtocolInfo {
   /// annotate capture sweeps with this flag instead of protocols
   /// re-deriving it in-band.
   bool estimates_from_collisions = false;
+  /// The protocol keeps its radio on for every live slot by construction —
+  /// it never declares `SlotAction::sleep` (ALIGNED's pecking order and
+  /// PUNCTUAL's round grid both key on hearing *other* jobs' slots). For
+  /// such protocols `SimMetrics::slots_awake` must equal the live non-dark
+  /// job-slots exactly; bench_energy asserts this identity (DESIGN.md §6k).
+  bool always_listening = false;
 
   /// True when the protocol can run its *full* (non-degraded) logic on a
   /// channel with these capabilities.

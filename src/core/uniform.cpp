@@ -43,6 +43,10 @@ sim::SlotAction UniformProtocol::on_slot(const sim::SlotView& view) {
     action.message = sim::make_data(info_.id);
     transmitted_this_slot_ = true;
   }
+  // Honest sleep declaration (DESIGN.md §6k): the schedule is pre-drawn and
+  // on_feedback only acts on slots this job transmitted in, so between
+  // attempts the radio can stay off.
+  action.sleep = !action.transmit;
   return action;
 }
 

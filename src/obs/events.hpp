@@ -36,7 +36,8 @@ enum class EventKind : std::uint8_t {
   kSlotResolved,   ///< slot resolved; a=SlotOutcome, b=transmitters,
                    ///< x=contention C(t)
   kSlotPerceived,  ///< listener-perceived outcome after the feedback model
-                   ///< (before per-job faults); a=SlotOutcome, b=live jobs
+                   ///< (before per-job faults); a=SlotOutcome, b=live jobs,
+                   ///< x=awake (listening or transmitting) jobs (§6k)
   kSuccessCredit,  ///< data delivery credited; job=winner
   kFault,          ///< injected fault; a=FaultKind (see sim/faults.hpp)
   kCaptureWin,     ///< capture model leaked one winner out of a collision;
@@ -47,6 +48,12 @@ enum class EventKind : std::uint8_t {
                    ///< accounted without per-slot simulation; slot=first
                    ///< skipped slot, a=span length, b=live jobs, x=the
                    ///< constant contention C(t) of every skipped slot
+  kRadioSleep,     ///< job turned its radio off (DESIGN.md §6k): declared
+                   ///< sleep after an awake slot, or entered a fast-forward
+                   ///< dormant span; a=slots since release, b=channel
+  kRadioWake,      ///< job turned its radio back on (transmitted or
+                   ///< listened after a sleep slot); a=slots since release,
+                   ///< b=channel
 
   // --- protocol level ------------------------------------------------------
   kStage,          ///< stage transition; a=from, b=to, label=to-name

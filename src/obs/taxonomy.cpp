@@ -2,7 +2,7 @@
 
 namespace crmd::obs {
 
-static_assert(kEventKindCount == 19,
+static_assert(kEventKindCount == 21,
               "new EventKind added: extend the taxonomy tables and keep "
               "kSchedule last (or update kEventKindCount)");
 
@@ -21,6 +21,8 @@ const std::vector<EventKind>& conditional_channel_taxonomy() {
       EventKind::kCaptureWin,  // only under --feedback=capture:alpha, a > 0
       EventKind::kCostSlot,    // only under --collision-cost c > 1
       EventKind::kIdleSkip,    // only under --fast-forward
+      EventKind::kRadioSleep,  // only when a protocol declares sleep (§6k)
+      EventKind::kRadioWake,   // only after a kRadioSleep
   };
   return kinds;
 }

@@ -52,6 +52,9 @@ void TimelineBucket::merge(const TimelineBucket& other) noexcept {
   faults += other.faults;
   capture_wins += other.capture_wins;
   cost_slots += other.cost_slots;
+  awake_job_slots += other.awake_job_slots;
+  radio_sleeps += other.radio_sleeps;
+  radio_wakes += other.radio_wakes;
   for (std::size_t i = 0; i < kProbLevels; ++i) {
     prob_level[i] += other.prob_level[i];
   }
@@ -62,7 +65,8 @@ bool TimelineBucket::empty() const noexcept {
       contention_sum != 0.0 || true_silence != 0 || true_success != 0 ||
       true_noise != 0 || seen_silence != 0 || seen_success != 0 ||
       seen_noise != 0 || activations != 0 || retires != 0 || expiries != 0 ||
-      faults != 0 || capture_wins != 0 || cost_slots != 0) {
+      faults != 0 || capture_wins != 0 || cost_slots != 0 ||
+      awake_job_slots != 0 || radio_sleeps != 0 || radio_wakes != 0) {
     return false;
   }
   for (const std::int64_t n : prob_level) {
@@ -190,6 +194,7 @@ void Timeline::on_event(const TraceEvent& ev) {
       return;
     case EventKind::kSlotPerceived:
       b.live_job_slots += ev.b;
+      b.awake_job_slots += static_cast<std::int64_t>(ev.x);
       if (ev.b > live_peak_) {
         live_peak_ = ev.b;
       }
@@ -209,6 +214,12 @@ void Timeline::on_event(const TraceEvent& ev) {
       return;
     case EventKind::kCostSlot:
       ++b.cost_slots;
+      return;
+    case EventKind::kRadioSleep:
+      ++b.radio_sleeps;
+      return;
+    case EventKind::kRadioWake:
+      ++b.radio_wakes;
       return;
     default:
       return;  // protocol-level kinds are not aggregated (JSONL keeps them)
@@ -247,7 +258,10 @@ void Timeline::write_json(std::ostream& out) const {
         << ", \"retires\": " << b.retires << ", \"expiries\": " << b.expiries
         << ", \"faults\": " << b.faults
         << ", \"capture_wins\": " << b.capture_wins
-        << ", \"cost_slots\": " << b.cost_slots << ", \"prob_level\": [";
+        << ", \"cost_slots\": " << b.cost_slots
+        << ", \"awake_job_slots\": " << b.awake_job_slots
+        << ", \"radio_sleeps\": " << b.radio_sleeps
+        << ", \"radio_wakes\": " << b.radio_wakes << ", \"prob_level\": [";
     for (std::size_t lvl = 0; lvl < TimelineBucket::kProbLevels; ++lvl) {
       out << (lvl == 0 ? "" : ", ") << b.prob_level[lvl];
     }

@@ -64,6 +64,11 @@ struct TimelineBucket {
   std::int64_t faults = 0;           ///< kFault injections
   std::int64_t capture_wins = 0;     ///< kCaptureWin (capture model leaks)
   std::int64_t cost_slots = 0;       ///< kCostSlot (collision-cost freezes)
+  std::int64_t awake_job_slots = 0;  ///< sum of awake jobs per slot
+                                     ///< (kSlotPerceived x payload, §6k);
+                                     ///< fast-forwarded spans add zero
+  std::int64_t radio_sleeps = 0;     ///< kRadioSleep transitions
+  std::int64_t radio_wakes = 0;      ///< kRadioWake transitions
   std::array<std::int64_t, kProbLevels> prob_level{};  ///< backoff ladder
 
   /// Folds `other` into this bucket (used when widths double).

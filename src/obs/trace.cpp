@@ -32,6 +32,10 @@ const char* to_string(EventKind kind) noexcept {
       return "cost-slot";
     case EventKind::kIdleSkip:
       return "idle-skip";
+    case EventKind::kRadioSleep:
+      return "radio-sleep";
+    case EventKind::kRadioWake:
+      return "radio-wake";
     case EventKind::kStage:
       return "stage";
     case EventKind::kRoundSync:

@@ -11,6 +11,7 @@ void StreamSummary::add(const JobResult& job) noexcept {
     latency.add(static_cast<double>(job.latency()));
   }
   accesses.add(static_cast<double>(job.transmissions));
+  awake.add(static_cast<double>(job.awake_slots()));
 }
 
 void StreamSummary::merge(const StreamSummary& other) noexcept {
@@ -18,6 +19,7 @@ void StreamSummary::merge(const StreamSummary& other) noexcept {
   delivered += other.delivered;
   latency.merge(other.latency);
   accesses.merge(other.accesses);
+  awake.merge(other.awake);
 }
 
 double StreamSummary::delivery_rate() const noexcept {
@@ -85,6 +87,10 @@ void SimMetrics::merge(const SimMetrics& other) {
   crashes += other.crashes;
   restarts += other.restarts;
   dark_job_slots += other.dark_job_slots;
+  live_job_slots += other.live_job_slots;
+  slots_awake += other.slots_awake;
+  slots_listening += other.slots_listening;
+  slots_transmitting += other.slots_transmitting;
   feedback_flips += other.feedback_flips;
   capture_wins += other.capture_wins;
   collision_cost_slots += other.collision_cost_slots;

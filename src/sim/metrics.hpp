@@ -75,10 +75,33 @@ struct SimMetrics {
   std::int64_t restarts = 0;
   /// Job-slots spent dark (crashed/stalled jobs that were live but deaf).
   std::int64_t dark_job_slots = 0;
+  /// Job-slots spent live (every live job counts every slot, dark or not;
+  /// fast-forwarded spans batch-account theirs). The denominator for the
+  /// radio duty cycle below: an always-listening protocol has
+  /// slots_awake == live_job_slots − dark_job_slots. Added alongside the
+  /// §6k energy counters and, like them, excluded from the frozen golden
+  /// report digest.
+  std::int64_t live_job_slots = 0;
 
   /// Slots whose broadcast feedback was flipped by the noisy feedback
   /// model (channel.hpp FeedbackKind::kNoisy; zero for every other model).
   std::int64_t feedback_flips = 0;
+
+  /// Radio-energy accounting (DESIGN.md §6k): job-slots spent with the
+  /// radio on, summed over every live job. A job-slot is *transmitting*
+  /// when the job put a message on the channel, *listening* when it was
+  /// live, non-dark, and did not declare sleep (SlotAction::sleep or a
+  /// dormancy promise), and asleep otherwise. The states are disjoint, so
+  /// slots_awake == slots_listening + slots_transmitting always (pinned by
+  /// tests/test_energy.cpp). Fast-forwarded spans account zero awake
+  /// job-slots both ways — a dormant span is exactly a sleep span — which
+  /// is why these counters are bit-identical across --fast-forward modes.
+  /// Like capture_wins, deliberately excluded from the golden report
+  /// digest (tests/report_digest.hpp); pinned by their own kGoldenEnergy
+  /// digests instead.
+  std::int64_t slots_awake = 0;
+  std::int64_t slots_listening = 0;
+  std::int64_t slots_transmitting = 0;
 
   /// Collisions from which the capture model leaked a winning broadcast
   /// (FeedbackKind::kCapture; subset of success_slots, zero otherwise).
@@ -116,13 +139,21 @@ struct JobResult {
   /// energy-complexity literature the paper cites measures protocols by
   /// exactly this count.
   std::int64_t transmissions = 0;
-  /// Slots the job spent live (transmitting or listening).
+  /// Slots the job spent live (awake or asleep).
   std::int64_t live_slots = 0;
   /// Live slots the job spent dark (crashed/stalled; subset of live_slots).
   std::int64_t dark_slots = 0;
+  /// Live slots spent listening: radio on without transmitting
+  /// (DESIGN.md §6k). Disjoint from transmissions; excludes sleep slots,
+  /// dark slots, and fast-forwarded dormant spans.
+  std::int64_t listen_slots = 0;
 
   /// Window size.
   [[nodiscard]] Slot window() const noexcept { return deadline - release; }
+  /// Slots the radio was on: listening or transmitting (DESIGN.md §6k).
+  [[nodiscard]] std::int64_t awake_slots() const noexcept {
+    return listen_slots + transmissions;
+  }
   /// Delivery latency (slots from release to success); only meaningful for
   /// successful jobs.
   [[nodiscard]] Slot latency() const noexcept {
@@ -143,6 +174,9 @@ struct StreamSummary {
   util::RunningStats latency;
   /// Channel accesses (transmissions) per job, over all folded jobs.
   util::RunningStats accesses;
+  /// Awake (listening + transmitting) slots per job, over all folded jobs
+  /// (DESIGN.md §6k).
+  util::RunningStats awake;
 
   /// Folds one retired job in (the same fields SimResult::jobs would keep).
   void add(const JobResult& job) noexcept;

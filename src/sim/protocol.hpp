@@ -76,8 +76,20 @@ struct DormantSpan {
 
 /// A protocol's decision for one slot.
 struct SlotAction {
-  /// Whether to transmit this slot. When false the job listens.
+  /// Whether to transmit this slot. When false the job listens — unless it
+  /// also declares `sleep`.
   bool transmit = false;
+  /// Radio-off declaration (DESIGN.md §6k): "this slot's feedback content
+  /// cannot change my state — I am not listening." Only meaningful when
+  /// `transmit` is false (a transmitter is awake by definition; the
+  /// simulator ignores sleep on transmit slots). The declaration is
+  /// *enforced*: a sleeper's perceived feedback is scrubbed to silence
+  /// before on_feedback, so a protocol that lies sleeps through real cues
+  /// rather than silently cheating the energy meter. on_feedback is still
+  /// called every slot (it is the protocol's timer tick). A dormant span
+  /// is exactly a run of sleep slots, so fast-forwarded gaps batch-account
+  /// the same energy the slot-by-slot engine would.
+  bool sleep = false;
   /// The message to put on the channel when `transmit` is true.
   Message message;
   /// The probability p_j(t) with which this job decided to transmit in this

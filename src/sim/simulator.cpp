@@ -159,6 +159,18 @@ struct Simulation::Impl {
   std::vector<std::int64_t> live_slot_count;
   std::vector<std::int64_t> dark_slot_count;
   std::vector<std::int64_t> tx_count;
+  // Radio-energy accounting (DESIGN.md §6k): slots spent listening (awake
+  // without transmitting). Sleep slots are the remainder of live_slot_count;
+  // fast-forwarded dormant spans add nothing here — a dormant span is
+  // exactly a sleep span, so skipped slots batch-account zero awake slots,
+  // which is what makes the energy counters bit-identical across
+  // --fast-forward modes.
+  std::vector<std::int64_t> listen_count;
+  // Last observed radio state (1 = awake) per job, for kRadioSleep /
+  // kRadioWake transition events. Jobs activate awake (radio on at
+  // power-up); a fast-forward skip puts every live job to sleep at the
+  // skip's first slot, exactly where slot-by-slot simulation would.
+  std::vector<std::uint8_t> prev_awake;
   // Multichannel (k > 1 only): each job's channel and collision count.
   std::vector<std::uint8_t> chan;
   std::vector<std::uint32_t> coll_count;
@@ -205,10 +217,12 @@ struct Simulation::Impl {
   std::vector<JobId> to_retire;
   std::vector<std::uint8_t> dark;         // "dark this slot" (faulted runs)
   std::vector<std::uint8_t> transmitted;  // "sent this slot" (ACK-only runs)
+  std::vector<std::uint8_t> asleep;       // "slept this slot" (§6k scrub)
   // Multichannel per-slot scratch (k > 1 only), all indexed by channel.
   std::vector<std::vector<Transmission>> chan_tx;
   std::vector<double> chan_contention;
   std::vector<std::uint32_t> chan_live;
+  std::vector<std::uint32_t> chan_awake;
   std::vector<SlotFeedback> chan_fb;           // true outcome
   std::vector<SlotFeedback> chan_listener;     // listener projection
   std::vector<SlotFeedback> chan_transmitter;  // transmitter projection
@@ -253,6 +267,7 @@ struct Simulation::Impl {
     r.live_slots = live_slot_count[i];
     r.dark_slots = dark_slot_count[i];
     r.transmissions = tx_count[i];
+    r.listen_slots = listen_count[i];
     stream.add(r);
     if (config.keep_job_results) {
       finished_results.push_back(r);
@@ -326,8 +341,11 @@ struct Simulation::Impl {
     live_slot_count.push_back(0);
     dark_slot_count.push_back(0);
     tx_count.push_back(0);
+    listen_count.push_back(0);
+    prev_awake.push_back(1);
     dark.push_back(0);
     transmitted.push_back(0);
+    asleep.push_back(0);
     ff_until.push_back(0);
     ff_prob.push_back(0.0);
     if (config.multichannel.channels > 1) {
@@ -370,8 +388,11 @@ struct Simulation::Impl {
     erase_prefix(live_slot_count);
     erase_prefix(dark_slot_count);
     erase_prefix(tx_count);
+    erase_prefix(listen_count);
+    erase_prefix(prev_awake);
     erase_prefix(dark);
     erase_prefix(transmitted);
+    erase_prefix(asleep);
     erase_prefix(ff_until);
     erase_prefix(ff_prob);
     erase_prefix(results);
@@ -406,6 +427,17 @@ struct Simulation::Impl {
               "fast-forward validate: a protocol broke its dormancy promise "
               "in on_slot (transmitted or changed its declared probability)");
         }
+        if (!action.sleep) {
+          // A dormant span is exactly a sleep span (DESIGN.md §6k): the
+          // batch energy accounting of a skip charges zero awake slots, so
+          // a protocol that promises dormancy while listening would make
+          // the energy counters diverge between --fast-forward modes.
+          throw std::logic_error(
+              "fast-forward validate: a protocol promised dormancy without "
+              "declaring sleep (the skipped slots would be accounted as "
+              "asleep, but slot-by-slot simulation would count them as "
+              "listening)");
+        }
         contention += action.declared_prob;
       }
       if (contention != expect_contention) {
@@ -432,8 +464,13 @@ struct Simulation::Impl {
   void step_single(std::int64_t faults_before) {
     // Decision phase. A skewed job sees its perceived (slipped-ahead) slot
     // indices; a dark job is skipped entirely (no on_slot, no feedback).
+    // Radio-state accounting (DESIGN.md §6k) rides along: a transmitter is
+    // awake by definition, a non-transmitter is listening unless it
+    // declared sleep, and a dark job's radio is off (crashed, not asleep).
     transmissions.clear();
     double contention = 0.0;
+    std::int64_t tx_this_slot = 0;
+    std::int64_t listen_this_slot = 0;
     for (const JobId id : live) {
       const std::size_t i = ix(id);
       ++live_slot_count[i];
@@ -446,14 +483,32 @@ struct Simulation::Impl {
                     /*global_slot=*/now + skew};
       const SlotAction action = proto[i]->on_slot(view);
       contention += action.declared_prob;
+      const bool awake = action.transmit || !action.sleep;
+      asleep[i] = awake ? 0 : 1;
+      if (awake != (prev_awake[i] != 0)) {
+        CRMD_TRACE(config.tracer,
+                   awake ? obs::EventKind::kRadioWake
+                         : obs::EventKind::kRadioSleep,
+                   now, id, now - release[i], 0, 0.0,
+                   awake ? "wake" : "sleep");
+        prev_awake[i] = awake ? 1 : 0;
+      }
       if (action.transmit) {
         transmissions.push_back(Transmission{id, action.message});
         ++tx_count[i];
+        ++tx_this_slot;
         CRMD_TRACE(config.tracer, obs::EventKind::kTransmit, now, id,
                    static_cast<std::int64_t>(action.message.kind), 0,
                    action.declared_prob, to_string(action.message.kind));
+      } else if (awake) {
+        ++listen_count[i];
+        ++listen_this_slot;
       }
     }
+    metrics.slots_transmitting += tx_this_slot;
+    metrics.slots_listening += listen_this_slot;
+    metrics.slots_awake += tx_this_slot + listen_this_slot;
+    metrics.live_job_slots += static_cast<std::int64_t>(live.size());
 
     // Channel resolution + capture + adversary (DESIGN.md §6i). Order:
     // resolve -> freeze override -> capture draw -> jammer. A frozen slot
@@ -595,6 +650,18 @@ struct Simulation::Impl {
       if (injector != nullptr) {
         perceived = injector->perceive(id, now, perceived);
       }
+      if (asleep[i] != 0) {
+        // Enforce the sleep declaration (DESIGN.md §6k): a sleeper's radio
+        // is off, so whatever the channel (or a fault) produced, it hears
+        // silence. Scrubbed *after* injector->perceive so fault RNG streams
+        // and fault metrics are untouched — a protocol that declares sleep
+        // honestly (its state was feedback-independent anyway) behaves
+        // bit-identically; one that lies sleeps through real cues instead
+        // of silently under-reporting energy. on_feedback is still called:
+        // it is the protocol's timer tick.
+        perceived.outcome = SlotOutcome::kSilence;
+        perceived.message.reset();
+      }
       const Slot skew = injector ? injector->skew(id) : 0;
       SlotView view{now - release[i] + skew, now + skew};
       proto[i]->on_feedback(view, perceived);
@@ -624,11 +691,13 @@ struct Simulation::Impl {
                to_string(fb.outcome));
     // The listener-perceived companion event: what the feedback model let
     // pure listeners hear this slot (before per-job fault perturbation),
-    // plus the live-set size. The gap between this and kSlotResolved is the
-    // channel's perception error — what obs::Timeline charts per bucket.
+    // plus the live-set size and (in x) the awake job count — the per-slot
+    // energy datum obs::Timeline buckets. The gap between this and
+    // kSlotResolved is the channel's perception error.
     CRMD_TRACE(config.tracer, obs::EventKind::kSlotPerceived, now, kNoJob,
                static_cast<std::int64_t>(listener_fb.outcome),
-               static_cast<std::int64_t>(live.size()), 0.0,
+               static_cast<std::int64_t>(live.size()),
+               static_cast<double>(tx_this_slot + listen_this_slot),
                to_string(listener_fb.outcome));
     if (config.record_slots) {
       slot_trace.push_back(rec);
@@ -681,9 +750,11 @@ struct Simulation::Impl {
     }
     chan_contention.assign(kc, 0.0);
     chan_live.assign(kc, 0);
+    chan_awake.assign(kc, 0);
     chan_split.assign(kc, 0);
 
     // Decision phase, bucketed by channel (live order within each bucket).
+    // Radio-state accounting mirrors step_single (DESIGN.md §6k).
     for (const JobId id : live) {
       const std::size_t i = ix(id);
       ++live_slot_count[i];
@@ -697,17 +768,38 @@ struct Simulation::Impl {
       SlotView view{now - release[i] + skew, now + skew};
       const SlotAction action = proto[i]->on_slot(view);
       chan_contention[c] += action.declared_prob;
+      const bool awake = action.transmit || !action.sleep;
+      asleep[i] = awake ? 0 : 1;
+      if (awake != (prev_awake[i] != 0)) {
+        CRMD_TRACE(config.tracer,
+                   awake ? obs::EventKind::kRadioWake
+                         : obs::EventKind::kRadioSleep,
+                   now, id, now - release[i],
+                   static_cast<std::int64_t>(c), 0.0,
+                   awake ? "wake" : "sleep");
+        prev_awake[i] = awake ? 1 : 0;
+      }
+      if (awake) {
+        ++chan_awake[c];
+      }
       if (action.transmit) {
         chan_tx[c].push_back(Transmission{id, action.message});
         ++tx_count[i];
+        ++metrics.slots_transmitting;
+        ++metrics.slots_awake;
         CRMD_TRACE(config.tracer, obs::EventKind::kTransmit, now, id,
                    static_cast<std::int64_t>(action.message.kind),
                    static_cast<std::int64_t>(c), action.declared_prob,
                    to_string(action.message.kind));
+      } else if (awake) {
+        ++listen_count[i];
+        ++metrics.slots_listening;
+        ++metrics.slots_awake;
       }
     }
     metrics.live_peak = std::max<std::int64_t>(
         metrics.live_peak, static_cast<std::int64_t>(live.size()));
+    metrics.live_job_slots += static_cast<std::int64_t>(live.size());
 
     // Per-channel resolution, freeze physics, and feedback projection.
     bool any_split = false;
@@ -774,6 +866,11 @@ struct Simulation::Impl {
       if (injector != nullptr) {
         perceived = injector->perceive(id, now, perceived);
       }
+      if (asleep[i] != 0) {
+        // Sleep scrub — see step_single (DESIGN.md §6k).
+        perceived.outcome = SlotOutcome::kSilence;
+        perceived.message.reset();
+      }
       const Slot skew = injector ? injector->skew(id) : 0;
       SlotView view{now - release[i] + skew, now + skew};
       proto[i]->on_feedback(view, perceived);
@@ -812,7 +909,8 @@ struct Simulation::Impl {
                  chan_contention[c], to_string(chan_fb[c].outcome));
       CRMD_TRACE(config.tracer, obs::EventKind::kSlotPerceived, now,
                  kNoJob, static_cast<std::int64_t>(chan_listener[c].outcome),
-                 static_cast<std::int64_t>(chan_live[c]), 0.0,
+                 static_cast<std::int64_t>(chan_live[c]),
+                 static_cast<double>(chan_awake[c]),
                  to_string(chan_listener[c].outcome));
       if (config.record_slots) {
         slot_trace.push_back(rec);
@@ -932,9 +1030,12 @@ Simulation::Simulation(workload::Instance instance,
   s.live_slot_count.assign(n, 0);
   s.dark_slot_count.assign(n, 0);
   s.tx_count.assign(n, 0);
+  s.listen_count.assign(n, 0);
+  s.prev_awake.assign(n, 1);
   s.results.reserve(n);
   s.dark.assign(n, 0);
   s.transmitted.assign(n, 0);
+  s.asleep.assign(n, 0);
   s.ff_until.assign(n, 0);
   s.ff_prob.assign(n, 0.0);
   if (s.config.multichannel.channels > 1) {
@@ -1184,8 +1285,22 @@ bool Simulation::step() {
                                    static_cast<std::size_t>(bound));
       s.metrics.live_peak = std::max<std::int64_t>(
           s.metrics.live_peak, static_cast<std::int64_t>(s.live.size()));
+      s.metrics.live_job_slots +=
+          bound * static_cast<std::int64_t>(s.live.size());
+      // Energy batching (DESIGN.md §6k): a dormant span is exactly a sleep
+      // span, so the skipped slots add zero awake/listen/transmit job-slots
+      // — the same zero the slot-by-slot engine would tally, since
+      // validate_skip proves every promised slot declares sleep. Jobs that
+      // were awake go to sleep at the skip's first slot, exactly where
+      // slot-by-slot simulation would emit the transition.
       for (const JobId id : s.live) {
-        s.live_slot_count[s.ix(id)] += bound;
+        const std::size_t i = s.ix(id);
+        s.live_slot_count[i] += bound;
+        if (s.prev_awake[i] != 0) {
+          CRMD_TRACE(s.config.tracer, obs::EventKind::kRadioSleep, s.now, id,
+                     s.now - s.release[i], 0, 0.0, "sleep");
+          s.prev_awake[i] = 0;
+        }
       }
       CRMD_TRACE(s.config.tracer, obs::EventKind::kIdleSkip, s.now, kNoJob,
                  bound, static_cast<std::int64_t>(s.live.size()), contention,
@@ -1283,6 +1398,7 @@ SimResult Simulation::finish() {
       r.live_slots = s.live_slot_count[i];
       r.dark_slots = s.dark_slot_count[i];
       r.transmissions = s.tx_count[i];
+      r.listen_slots = s.listen_count[i];
     }
     result.jobs = s.results;
   }

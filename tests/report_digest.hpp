@@ -86,4 +86,27 @@ inline std::uint64_t report_digest(const analysis::ReplicationReport& r) {
   return h;
 }
 
+/// Digest over the §6k radio-energy accounting of a ReplicationReport, in
+/// a fixed traversal order. Kept SEPARATE from report_digest() because that
+/// traversal is itself a pinned artifact — appending the energy fields
+/// there would have invalidated every recorded kGolden value for a change
+/// that provably does not touch channel behavior. The energy counters get
+/// their own golden family (kGoldenEnergy in test_determinism_golden.cpp)
+/// with the same regeneration discipline.
+inline std::uint64_t energy_digest(const analysis::ReplicationReport& r) {
+  std::uint64_t h = 0x454E5247ULL;  // "ENRG"
+  const sim::SimMetrics& m = r.channel;
+  for (const std::int64_t v :
+       {m.slots_awake, m.slots_listening, m.slots_transmitting,
+        m.live_job_slots, m.dark_job_slots}) {
+    h = mix(h, static_cast<std::uint64_t>(v));
+  }
+  h = mix_stats(h, r.outcomes.awake());
+  for (const auto& [window, bucket] : r.outcomes.by_window()) {
+    h = mix(h, static_cast<std::uint64_t>(window));
+    h = mix_stats(h, bucket.awake);
+  }
+  return h;
+}
+
 }  // namespace crmd::tests

@@ -21,6 +21,7 @@
 #include "analysis/runner.hpp"
 #include "baselines/aloha.hpp"
 #include "baselines/beb.hpp"
+#include "baselines/energy_beb.hpp"
 #include "baselines/sawtooth.hpp"
 #include "core/aligned/protocol.hpp"
 #include "core/nocd/protocol.hpp"
@@ -86,6 +87,15 @@ sim::ProtocolFactory golden_factory(const std::string& name,
   }
   if (name == "beb") {
     return baselines::make_beb_factory();
+  }
+  if (name == "energy_beb") {
+    return baselines::make_energy_beb_factory(params);
+  }
+  if (name == "energy_beb_cs") {
+    // Carrier-sampling variant: exercises the slots_listening path (one
+    // awake sample after each failure on listener-visible channels).
+    params.energy_listen_after_failure = true;
+    return baselines::make_energy_beb_factory(params);
   }
   return baselines::make_sawtooth_factory();
 }
@@ -285,6 +295,117 @@ TEST(DeterminismGolden, EngineVariantDigestsAreThreadCountInvariant) {
       EXPECT_EQ(run_digest(g.name, engine_options(g, threads)), serial)
           << g.name << " ff=" << static_cast<int>(g.fast_forward)
           << " channels=" << g.channels << " threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Radio-energy accounting (DESIGN.md §6k)
+// ---------------------------------------------------------------------------
+
+using tests::energy_digest;
+
+struct GoldenEnergy {
+  const char* name;
+  bool binary_ack;  // feedback model: binary_ack instead of ternary
+  std::uint64_t expected;
+};
+
+// Pinned energy digests (slots_awake/listening/transmitting,
+// live/dark job-slots, per-job awake stats) for every protocol, plus
+// binary_ack variants for the two protocols whose radio schedule depends
+// on the feedback model (nocd sleeps only under binary_ack; energy_beb
+// skips carrier samples there). These counters are deliberately outside
+// report_digest's frozen traversal, so this is the family that would catch
+// a silent change to the §6k energy meter. Regenerate exactly like
+// kGolden: run, copy the "got 0x..." value, note the reason.
+constexpr GoldenEnergy kGoldenEnergy[] = {
+    {"uniform", false, 0xed99610f1af0b52bULL},
+    {"aligned", false, 0xbf488948f09a2e54ULL},
+    {"punctual", false, 0x5456334c6ae74eafULL},
+    {"nocd", false, 0xf983ee502fc72695ULL},
+    {"nocd_robust", false, 0x9d8332a924cdb962ULL},
+    {"beb", false, 0xaf5f3794d37c26fdULL},
+    {"energy_beb", false, 0x86dbfc167256a8daULL},
+    {"sawtooth", false, 0x217b62e7f46b7192ULL},
+    {"aloha", false, 0x019419b2d2c7c38fULL},
+    // nocd's radio schedule depends on the feedback model (it sleeps only
+    // under binary_ack, where success-drain inference has nothing to hear).
+    {"nocd", true, 0xecb5b5875867a651ULL},
+    // With the carrier sample off (the default), energy_beb's schedule is
+    // feedback-blind: the binary_ack digest EQUALS the ternary one above.
+    // Divergence here means the default protocol started consulting
+    // listener feedback.
+    {"energy_beb", true, 0x86dbfc167256a8daULL},
+    // Carrier-sampling variant: ternary exercises slots_listening; under
+    // binary_ack the sample is suppressed (listeners are deaf), collapsing
+    // back to the plain energy_beb digest.
+    {"energy_beb_cs", false, 0x0c50eb89d99da468ULL},
+    {"energy_beb_cs", true, 0x86dbfc167256a8daULL},
+};
+
+RunOptions energy_options(const GoldenEnergy& g, int threads = 1,
+                          sim::FastForward ff = sim::FastForward::kOff) {
+  RunOptions options;
+  if (g.binary_ack) {
+    options.feedback = sim::FeedbackModel::binary_ack();
+  }
+  options.fast_forward = ff;
+  options.threads = threads;
+  return options;
+}
+
+std::uint64_t run_energy_digest(const std::string& name,
+                                const RunOptions& options) {
+  InstanceGen gen;
+  const sim::ProtocolFactory factory = golden_factory(name, &gen);
+  return energy_digest(
+      run_replications(gen, factory, /*reps=*/3, kSeed, options));
+}
+
+TEST(DeterminismGolden, EnergyDigests) {
+  for (const GoldenEnergy& g : kGoldenEnergy) {
+    const std::uint64_t got = run_energy_digest(g.name, energy_options(g));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llxULL",
+                  static_cast<unsigned long long>(got));
+    EXPECT_EQ(got, g.expected)
+        << "golden energy digest mismatch for '" << g.name
+        << "' (binary_ack=" << g.binary_ack << "): got " << buf
+        << "\nA radio-state accounting or RNG-stream change reached this "
+           "protocol's energy counters. If the change is intentional, "
+           "update kGoldenEnergy in tests/test_determinism_golden.cpp with "
+           "the digest above.";
+  }
+}
+
+// The energy meter must not notice HOW the engine covered the slots: a
+// fast-forwarded dormant span is exactly a sleep span, so skipping it
+// batch-accounts the same zero awake job-slots the slot-by-slot engine
+// tallies. Pinned against the kOff digests above, for the promise-carrying
+// protocols where kOn actually skips.
+TEST(DeterminismGolden, EnergyDigestsAreFastForwardInvariant) {
+  for (const GoldenEnergy& g : kGoldenEnergy) {
+    const std::uint64_t off = run_energy_digest(g.name, energy_options(g));
+    for (const auto ff :
+         {sim::FastForward::kOn, sim::FastForward::kValidate}) {
+      EXPECT_EQ(run_energy_digest(g.name, energy_options(g, 1, ff)), off)
+          << g.name << " (binary_ack=" << g.binary_ack
+          << "): energy digest diverged under fast-forward mode "
+          << static_cast<int>(ff);
+    }
+  }
+}
+
+TEST(DeterminismGolden, EnergyDigestsAreThreadCountInvariant) {
+  for (const GoldenEnergy& g : kGoldenEnergy) {
+    const std::uint64_t serial =
+        run_energy_digest(g.name, energy_options(g));
+    for (const int threads : {2, 8}) {
+      EXPECT_EQ(run_energy_digest(g.name, energy_options(g, threads)),
+                serial)
+          << g.name << " binary_ack=" << g.binary_ack
+          << " threads=" << threads;
     }
   }
 }

@@ -1,12 +1,20 @@
-// Tests for per-job channel-access accounting (the energy metric): the
-// simulator counts each job's transmissions and live slots; the aggregator
-// rolls them up.
+// Tests for radio-energy accounting (DESIGN.md §6k): the simulator counts
+// each job's transmissions, listening slots, and live slots; the sleep
+// declaration is enforced by scrubbing perceived feedback; the aggregator
+// rolls the per-job counters up; and the ENERGY_BEB slow-feedback-loop
+// baseline spends O(1) awake slots per job.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/outcomes.hpp"
 #include "baselines/aloha.hpp"
+#include "baselines/beb.hpp"
+#include "baselines/energy_beb.hpp"
+#include "core/registry.hpp"
 #include "core/uniform.hpp"
+#include "sim/jammer.hpp"
 #include "sim/simulator.hpp"
 #include "test_helpers.hpp"
 #include "workload/generators.hpp"
@@ -79,6 +87,290 @@ TEST(Energy, AggregatorRollsUpAccesses) {
   agg.add_job(b);
   EXPECT_DOUBLE_EQ(agg.accesses().mean(), 7.0);
   EXPECT_DOUBLE_EQ(agg.by_window().at(64).accesses.mean(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Radio-state accounting and sleep enforcement (DESIGN.md §6k)
+// ---------------------------------------------------------------------------
+
+// A protocol that declares sleep every slot but records every non-silence
+// outcome it perceives. Honest sleepers hear nothing; the simulator must
+// make that true even for liars by scrubbing their perceived feedback.
+class SleepEavesdropper final : public Protocol {
+ public:
+  explicit SleepEavesdropper(std::shared_ptr<int> heard, bool declare_sleep)
+      : heard_(std::move(heard)), declare_sleep_(declare_sleep) {}
+
+  void on_activate(const JobInfo& /*info*/) override {}
+  SlotAction on_slot(const SlotView& /*view*/) override {
+    SlotAction action;
+    action.sleep = declare_sleep_;
+    return action;
+  }
+  void on_feedback(const SlotView& /*view*/,
+                   const SlotFeedback& fb) override {
+    if (fb.outcome != SlotOutcome::kSilence) {
+      ++*heard_;
+    }
+  }
+  [[nodiscard]] bool done() const override { return false; }
+
+ private:
+  std::shared_ptr<int> heard_;
+  bool declare_sleep_;
+};
+
+// Job 0 transmits (and succeeds) at offset 3; job 1 is the eavesdropper.
+// With sleep declared, the success is scrubbed to silence before job 1's
+// on_feedback; without it, job 1 hears the success. Same channel, same
+// slots — the only difference is the declaration, so the scrub (not luck)
+// is what keeps sleepers deaf.
+TEST(Energy, SleepScrubsPerceivedFeedback) {
+  for (const bool declare_sleep : {true, false}) {
+    auto heard = std::make_shared<int>(0);
+    auto factory = [&](const JobInfo& info,
+                       util::Rng /*rng*/) -> std::unique_ptr<Protocol> {
+      if (info.id == 0) {
+        return std::make_unique<test::ScriptProtocol>(std::vector<Slot>{3});
+      }
+      return std::make_unique<SleepEavesdropper>(heard, declare_sleep);
+    };
+    const auto result =
+        run(test::instance_of({{0, 20}, {0, 20}}), factory, SimConfig{});
+    ASSERT_TRUE(result.jobs[0].success);
+    if (declare_sleep) {
+      EXPECT_EQ(*heard, 0) << "a declared sleeper overheard the channel";
+      EXPECT_EQ(result.jobs[1].listen_slots, 0);
+      EXPECT_EQ(result.jobs[1].awake_slots(), 0);
+    } else {
+      EXPECT_GE(*heard, 1) << "an awake listener must hear the success";
+      EXPECT_EQ(result.jobs[1].listen_slots, result.jobs[1].live_slots);
+    }
+  }
+}
+
+TEST(Energy, AwakeSplitsIntoListeningPlusTransmitting) {
+  // One scripted transmitter (always-listening otherwise) next to a
+  // sleeper: the aggregate identity and the per-job split must agree.
+  const auto result = run(test::instance_of({{0, 16}}),
+                          test::script_factory({2, 5, 9}), SimConfig{});
+  const SimMetrics& m = result.metrics;
+  EXPECT_EQ(m.slots_awake, m.slots_listening + m.slots_transmitting);
+  EXPECT_EQ(m.live_job_slots - m.dark_job_slots, m.slots_awake);
+  std::int64_t tx = 0;
+  std::int64_t listen = 0;
+  for (const auto& job : result.jobs) {
+    tx += job.transmissions;
+    listen += job.listen_slots;
+  }
+  EXPECT_EQ(tx, m.slots_transmitting);
+  EXPECT_EQ(listen, m.slots_listening);
+}
+
+TEST(Energy, SleepDeclaringBaselinesNeverListen) {
+  // UNIFORM, BEB, ALOHA declare sleep on every non-attempt slot, so their
+  // entire awake budget is transmissions (ternary channel, no carrier
+  // sampling anywhere).
+  const auto instance = workload::gen_batch(32, 512, 0);
+  SimConfig config;
+  config.seed = 11;
+  core::Params params;
+  const sim::ProtocolFactory factories[] = {
+      core::make_uniform_factory(params),
+      baselines::make_beb_factory(),
+      baselines::make_aloha_window_factory(4.0),
+      baselines::make_energy_beb_factory(params),
+  };
+  for (const auto& factory : factories) {
+    const auto result = run(instance, factory, config);
+    EXPECT_EQ(result.metrics.slots_listening, 0);
+    EXPECT_EQ(result.metrics.slots_awake, result.metrics.slots_transmitting);
+    for (const auto& job : result.jobs) {
+      EXPECT_EQ(job.listen_slots, 0);
+      EXPECT_EQ(job.awake_slots(), job.transmissions);
+    }
+  }
+}
+
+TEST(Energy, AlwaysListeningProtocolsPayTheirWholeLifetime) {
+  // ALIGNED and PUNCTUAL never declare sleep — their coordination needs
+  // the channel every slot — so awake ≡ live − dark, per job and in
+  // aggregate. The catalog advertises exactly this contrast.
+  for (const auto& info : core::protocol_catalog()) {
+    if (info.name == std::string("aligned") ||
+        info.name == std::string("punctual")) {
+      EXPECT_TRUE(info.always_listening) << info.name;
+    } else {
+      EXPECT_FALSE(info.always_listening) << info.name;
+    }
+  }
+  core::Params params;
+  params.min_class = 6;
+  const auto instance = workload::gen_batch(16, 1 << 6, 0);
+  SimConfig config;
+  config.seed = 5;
+  const auto result = run(
+      instance, core::make_protocol("punctual", params).value(), config);
+  const SimMetrics& m = result.metrics;
+  EXPECT_EQ(m.slots_awake, m.live_job_slots - m.dark_job_slots);
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.awake_slots(), job.live_slots - job.dark_slots);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ENERGY_BEB: the slow-feedback-loop baseline
+// ---------------------------------------------------------------------------
+
+TEST(Energy, EnergyBebLoneJobWakesOnce) {
+  core::Params params;
+  const auto result = run(workload::gen_batch(1, 1024, 0),
+                          baselines::make_energy_beb_factory(params),
+                          SimConfig{});
+  ASSERT_TRUE(result.jobs[0].success);
+  EXPECT_EQ(result.jobs[0].transmissions, 1);
+  EXPECT_EQ(result.jobs[0].awake_slots(), 1);
+}
+
+TEST(Energy, EnergyBebGivesUpInsteadOfThrashing) {
+  // Blanket-jam every slot: the job can never succeed. BEB would retry
+  // ~log2(window) times; ENERGY_BEB's doubling spreads overrun the deadline
+  // after a handful of draws and the job sleeps out its window. The awake
+  // budget must stay far below the window for every seed.
+  core::Params params;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    SimConfig config;
+    config.seed = seed;
+    const auto result = run(workload::gen_batch(1, 4096, 0),
+                            baselines::make_energy_beb_factory(params),
+                            config, make_blanket_jammer(1.0));
+    EXPECT_FALSE(result.jobs[0].success);
+    EXPECT_EQ(result.jobs[0].live_slots, 4096);
+    EXPECT_LE(result.jobs[0].awake_slots(), 24) << "seed " << seed;
+  }
+}
+
+TEST(Energy, EnergyBebCarrierSenseListensOncePerFailure) {
+  // With the carrier sample enabled on a listener-visible channel, every
+  // failure is followed by exactly one listening slot (the last failure's
+  // sample can fall past the horizon, so listen ≤ failures).
+  core::Params params;
+  params.energy_listen_after_failure = true;
+  SimConfig config;
+  config.seed = 3;
+  const auto jammed = run(workload::gen_batch(4, 2048, 0),
+                          baselines::make_energy_beb_factory(params),
+                          config, make_blanket_jammer(1.0));
+  std::int64_t listens = 0;
+  std::int64_t failures = 0;
+  for (const auto& job : jammed.jobs) {
+    EXPECT_FALSE(job.success);
+    listens += job.listen_slots;
+    failures += job.transmissions;  // every attempt failed
+  }
+  EXPECT_GE(listens, 1);
+  EXPECT_LE(listens, failures);
+
+  // Under binary_ack listeners are deaf, so the sample is suppressed and
+  // the whole awake budget is transmissions again.
+  config.feedback = FeedbackModel::binary_ack();
+  const auto deaf = run(workload::gen_batch(4, 2048, 0),
+                        baselines::make_energy_beb_factory(params),
+                        config, make_blanket_jammer(1.0));
+  EXPECT_EQ(deaf.metrics.slots_listening, 0);
+}
+
+TEST(Energy, EnergyBebDutyCyclesAboveFracOne) {
+  // energy_spread_frac > 1 spreads even first attempts past the deadline:
+  // a measurable fraction of jobs never wakes at all, the deliberate
+  // duty-cycling end of the Pareto knob.
+  core::Params params;
+  params.energy_spread_frac = 2.0;
+  SimConfig config;
+  config.seed = 7;
+  const auto result = run(workload::gen_batch(256, 1024, 0),
+                          baselines::make_energy_beb_factory(params),
+                          config);
+  int never_woke = 0;
+  for (const auto& job : result.jobs) {
+    if (job.awake_slots() == 0) {
+      ++never_woke;
+    }
+  }
+  // Each first draw lands past the deadline with probability 1/2; with 256
+  // jobs the count concentrates hard around 128.
+  EXPECT_GE(never_woke, 64);
+  EXPECT_LE(never_woke, 192);
+}
+
+TEST(Energy, EnergyBebRejectsBadSpreadFrac) {
+  core::Params params;
+  params.energy_spread_frac = 0.0;
+  EXPECT_THROW(baselines::make_energy_beb_factory(params),
+               std::invalid_argument);
+  params.energy_spread_frac = 9.0;
+  EXPECT_THROW(baselines::make_energy_beb_factory(params),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Engine invariance: the meter must not notice HOW slots were covered
+// ---------------------------------------------------------------------------
+
+TEST(Energy, CountersAreFastForwardInvariant) {
+  // The §6k contract: a dormant span is exactly a sleep span, so skipping
+  // it batch-accounts the same counters slot-by-slot simulation tallies.
+  core::Params params;
+  for (const double frac : {0.5, 2.0}) {
+    params.energy_spread_frac = frac;
+    const auto factory = baselines::make_energy_beb_factory(params);
+    SimMetrics reference;
+    bool first = true;
+    for (const auto ff :
+         {FastForward::kOff, FastForward::kOn, FastForward::kValidate}) {
+      SimConfig config;
+      config.seed = 13;
+      config.fast_forward = ff;
+      const auto result =
+          run(workload::gen_batch(64, 2048, 0), factory, config);
+      if (first) {
+        reference = result.metrics;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(result.metrics.slots_awake, reference.slots_awake);
+      EXPECT_EQ(result.metrics.slots_listening, reference.slots_listening);
+      EXPECT_EQ(result.metrics.slots_transmitting,
+                reference.slots_transmitting);
+      EXPECT_EQ(result.metrics.live_job_slots, reference.live_job_slots);
+    }
+  }
+}
+
+TEST(Energy, IdentityHoldsAcrossRegistryAndChannels) {
+  // Property sweep: for every catalog protocol on a contended batch, the
+  // radio states partition awake time and awake time partitions live time.
+  core::Params params;
+  params.min_class = 8;
+  for (const auto& name : core::protocol_names()) {
+    SimConfig config;
+    config.seed = 17;
+    const auto result = run(workload::gen_batch(64, 1 << 8, 0),
+                            core::make_protocol(name, params).value(), config);
+    const SimMetrics& m = result.metrics;
+    EXPECT_EQ(m.slots_awake, m.slots_listening + m.slots_transmitting)
+        << name;
+    EXPECT_LE(m.slots_awake, m.live_job_slots - m.dark_job_slots) << name;
+    std::int64_t tx = 0;
+    std::int64_t listen = 0;
+    for (const auto& job : result.jobs) {
+      EXPECT_LE(job.awake_slots(), job.live_slots - job.dark_slots) << name;
+      tx += job.transmissions;
+      listen += job.listen_slots;
+    }
+    EXPECT_EQ(tx, m.slots_transmitting) << name;
+    EXPECT_EQ(listen, m.slots_listening) << name;
+  }
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ namespace {
 
 TEST(Registry, ListsAllProtocols) {
   const auto names = protocol_names();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
   for (const auto& name : names) {
     EXPECT_TRUE(is_protocol(name)) << name;
   }

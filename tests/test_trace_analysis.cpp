@@ -365,11 +365,13 @@ TEST(TaxonomyDrift, ConditionalChannelKindsPartitionWithBaseTaxonomy) {
       EXPECT_NE(k, b) << obs::to_string(k);
     }
   }
-  ASSERT_EQ(conditional.size(), 4u);
+  ASSERT_EQ(conditional.size(), 6u);
   EXPECT_EQ(conditional[0], obs::EventKind::kFault);
   EXPECT_EQ(conditional[1], obs::EventKind::kCaptureWin);
   EXPECT_EQ(conditional[2], obs::EventKind::kCostSlot);
   EXPECT_EQ(conditional[3], obs::EventKind::kIdleSkip);
+  EXPECT_EQ(conditional[4], obs::EventKind::kRadioSleep);
+  EXPECT_EQ(conditional[5], obs::EventKind::kRadioWake);
   // All condition-gated kinds round-trip through the name parser, so
   // `crmd_trace coverage --require=capture-win,cost-slot,idle-skip` can
   // name them.

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Ratcheted line-coverage gate for the CRMD coverage CI job.
+
+Compares a gcovr --json-summary report (produced by the coverage job over
+src/sim + src/core after running the unit + golden + property suites)
+against the committed floor in bench/baselines/coverage.json. The gate is
+a ratchet, not a target: the floor only ever moves up, and CI fails when
+measured line coverage drops more than --tolerance points below it.
+
+Baseline shape (bench/baselines/coverage.json):
+
+    {
+      "schema": "crmd-coverage-v1",
+      "line_percent": 91.0,            // committed floor, percent of lines
+      "tolerance_points": 0.5,         // allowed drop before CI fails
+      "filters": ["src/sim/", "src/core/"],
+      "suites": "ctest -L 'unit|golden|property'"
+    }
+
+The gcovr summary's top-level line_percent is the figure of merit; files[]
+is printed (worst-covered first) on failure so the offending source is
+obvious without downloading the HTML artifact.
+
+When measured coverage exceeds the floor by more than the tolerance the
+script stays green but prints the one-line baseline update to commit, so
+genuine improvements get ratcheted in instead of eroding silently back to
+the old floor.
+
+Exit codes: 0 ok, 1 coverage regression or malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE_SCHEMA = "crmd-coverage-v1"
+
+
+def fail(message):
+    print(f"check_coverage: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def usage_error(message):
+    print(f"check_coverage: usage error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        usage_error(f"cannot read {what} {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{what} {path} is not valid JSON: {exc}")
+
+
+def get_percent(obj, key, path):
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{path}: '{key}' missing or non-numeric (got {value!r}); "
+             "regenerate with gcovr --json-summary")
+    if not 0.0 <= float(value) <= 100.0:
+        fail(f"{path}: '{key}' = {value} is outside [0, 100]")
+    return float(value)
+
+
+def print_worst_files(summary, limit=10):
+    files = summary.get("files")
+    if not isinstance(files, list):
+        return
+    rows = []
+    for entry in files:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("filename", "?")
+        pct = entry.get("line_percent")
+        if isinstance(pct, (int, float)) and not isinstance(pct, bool):
+            rows.append((float(pct), name))
+    rows.sort()
+    if not rows:
+        return
+    print("worst-covered files:", file=sys.stderr)
+    for pct, name in rows[:limit]:
+        print(f"  {pct:6.1f}%  {name}", file=sys.stderr)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Ratcheted line-coverage gate (see module docstring)")
+    parser.add_argument("summary", help="gcovr --json-summary output")
+    parser.add_argument("--baseline", required=True,
+                        help="committed floor, e.g. bench/baselines/coverage.json")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed drop in points before failing "
+                             "(default: baseline's tolerance_points, else 0.5)")
+    args = parser.parse_args()
+
+    summary = load_json(args.summary, "summary")
+    baseline = load_json(args.baseline, "baseline")
+    if not isinstance(summary, dict):
+        fail(f"{args.summary}: expected a JSON object at top level")
+    if not isinstance(baseline, dict):
+        fail(f"{args.baseline}: expected a JSON object at top level")
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        fail(f"{args.baseline}: schema is {baseline.get('schema')!r}, "
+             f"expected {BASELINE_SCHEMA!r}")
+
+    current = get_percent(summary, "line_percent", args.summary)
+    floor = get_percent(baseline, "line_percent", args.baseline)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance_points", 0.5)
+    if not isinstance(tolerance, (int, float)) or isinstance(tolerance, bool) \
+            or tolerance < 0:
+        usage_error(f"tolerance must be a non-negative number, got {tolerance!r}")
+    tolerance = float(tolerance)
+
+    delta = current - floor
+    line = (f"line coverage {current:.1f}% vs committed floor {floor:.1f}% "
+            f"(delta {delta:+.1f}pt, tolerance {tolerance:.1f}pt)")
+
+    if current < floor - tolerance:
+        print_worst_files(summary)
+        fail(f"{line} — coverage regressed. Either cover the new code or, "
+             "if the drop is a deliberate trade-off, lower 'line_percent' in "
+             f"{args.baseline} in the same PR with a justification.")
+
+    print(f"check_coverage: ok: {line}")
+    if current > floor + tolerance:
+        print(f"check_coverage: hint: coverage beat the floor by "
+              f"{delta:.1f}pt — ratchet it in by setting "
+              f"\"line_percent\": {current - tolerance:.1f} in {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

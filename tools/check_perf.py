@@ -30,6 +30,9 @@ renamed scenario) fails loudly instead of sailing through shape checks.
       baseline, so this catches order-of-magnitude regressions (an
       accidental O(total jobs) slot cost), not few-percent drift. Track
       drift by diffing the uploaded JSON artifacts across runs instead.
+      A candidate column missing from a shared baseline row fails loudly
+      ("column X missing in baseline row N") — the baseline predates a
+      schema change and must be regenerated.
 
   check_perf.py second.json --self-check first.json [--threshold 0.65]
       Self-relative gate: both files come from the SAME machine in the
@@ -71,6 +74,7 @@ TIMELINE_COUNT_FIELDS = (
     "true_silence", "true_success", "true_noise",
     "seen_silence", "seen_success", "seen_noise",
     "activations", "retires", "expiries", "faults",
+    "awake_job_slots", "radio_sleeps", "radio_wakes",
 )
 TIMELINE_PROB_LEVELS = 16
 
@@ -157,6 +161,8 @@ def load_rows(path):
             raise ValueError(f"{path}: row {i} ({key}): slots_per_sec <= 0")
         if key in rows:
             raise ValueError(f"{path}: duplicate sweep point {key}")
+        row = dict(row)
+        row["__row__"] = i  # position in the file, for error messages
         rows[key] = row
     if not rows:
         raise ValueError(f"{path}: no rows")
@@ -411,6 +417,17 @@ def main():
         print("check_perf: FAIL: no sweep points shared with the baseline",
               file=sys.stderr)
         return 1
+
+    # Column consistency: a candidate column absent from the baseline row
+    # means the baseline predates a schema change and must be regenerated —
+    # fail with the column and row instead of a KeyError downstream.
+    for key in shared:
+        stale = [c for c in current[key] if c not in baseline[key]]
+        if stale:
+            print(f"check_perf: FAIL: column {stale[0]} missing in baseline "
+                  f"row {baseline[key]['__row__']} ({key[0]}) — regenerate "
+                  f"the baseline JSON", file=sys.stderr)
+            return 1
 
     failures = []
     print(f"{'scenario':<18} {'jobs':>6} {'baseline':>12} {'current':>12} "

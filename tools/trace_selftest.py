@@ -18,6 +18,10 @@ Generates JSONL traces with crmd_cli, then checks:
      both conditional channel kinds: `coverage
      --require=capture-win,cost-slot --strict` exits 0, and the same
      requirement fails on the plain-ternary base trace.
+  7. a sleeping protocol (energy_beb) fires both radio transitions:
+     `coverage --require=radio-sleep,radio-wake --strict` exits 0 on its
+     trace, and the same requirement fails on the always-listening
+     PUNCTUAL base trace (which never turns its radio off).
 
 Exits nonzero with a one-line FAIL per broken property.
 """
@@ -209,6 +213,46 @@ def main():
         check(
             "ternary base trace lacks the capture kinds under --strict",
             r.returncode == 1 and "MISSING kind: capture-win" in r.stdout,
+            f"rc={r.returncode}",
+        )
+
+        # 7. Radio-state transitions (DESIGN.md §6k) fire end to end for a
+        # sleeping protocol and never for an always-listening one. A
+        # saturated ENERGY_BEB batch sleeps between attempts (radio-sleep)
+        # and wakes for each retry (radio-wake); the PUNCTUAL base trace
+        # keeps its radio on for every live slot, so the same requirement
+        # must flag both kinds as missing.
+        energy = tmp / "energy.jsonl"
+        r = run(
+            [
+                cli,
+                "--protocol=energy_beb",
+                "--workload=batch",
+                "--n=64",
+                "--window=256",
+                "--reps=1",
+                "--seed=11",
+                f"--trace-jsonl={energy}",
+            ]
+        )
+        check("energy scenario run exits 0", r.returncode == 0,
+              r.stderr.strip())
+        r = run(
+            [trace_tool, "coverage", energy,
+             "--require=radio-sleep,radio-wake", "--strict"]
+        )
+        check(
+            "energy_beb trace satisfies --require=radio-sleep,radio-wake",
+            r.returncode == 0,
+            f"rc={r.returncode}\n{r.stdout}",
+        )
+        r = run(
+            [trace_tool, "coverage", base,
+             "--require=radio-sleep,radio-wake", "--strict"]
+        )
+        check(
+            "always-listening base trace lacks the radio kinds",
+            r.returncode == 1 and "MISSING kind: radio-sleep" in r.stdout,
             f"rc={r.returncode}",
         )
 
